@@ -1,0 +1,410 @@
+// Package lia_test holds the repository-level benchmark harness: one
+// benchmark per table and figure of the paper's evaluation, plus ablation
+// benches for the design choices called out in DESIGN.md and micro-benches
+// for the linear-algebra kernels.
+//
+// Every experiment bench regenerates its table (use -v to see the rows) and
+// reports the headline quantities as custom benchmark metrics, so a single
+//
+//	go test -bench=. -benchmem
+//
+// reproduces the whole evaluation. Benches run at a reduced topology scale
+// (BenchScale) so the suite completes in minutes; cmd/liasim regenerates
+// paper-scale results.
+package lia_test
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"lia/internal/core"
+	"lia/internal/experiments"
+	"lia/internal/linalg"
+	"lia/internal/lossmodel"
+	"lia/internal/netsim"
+	"lia/internal/stats"
+	"lia/internal/topogen"
+	"lia/internal/topology"
+)
+
+// BenchScale shrinks the paper-scale topologies for the benchmark suite.
+const BenchScale = 0.35
+
+// BenchRuns is the number of repetitions per configuration.
+const BenchRuns = 3
+
+func benchConfig() experiments.Config {
+	return experiments.Config{Scale: BenchScale, Runs: BenchRuns, Seed: 1}
+}
+
+// --- Figures and tables -----------------------------------------------------
+
+func BenchmarkFigure3MeanVariance(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, corr, err := experiments.Figure3(benchConfig(), 120)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Logf("\n%s", t)
+		b.ReportMetric(corr, "corr")
+		if corr < 0.5 {
+			b.Fatalf("mean-variance correlation %.3f violates Assumption S.3", corr)
+		}
+	}
+}
+
+func BenchmarkFigure5DRFPRvsM(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.Figure5(benchConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Logf("\n%s", t)
+		last := t.Rows[len(t.Rows)-1]
+		b.ReportMetric(last[1], "LIA-DR@m100")
+		b.ReportMetric(last[4], "SCFS-DR")
+		if last[1] <= last[4] {
+			b.Fatalf("LIA (DR %.3f) should beat single-snapshot SCFS (DR %.3f)", last[1], last[4])
+		}
+	}
+}
+
+func BenchmarkFigure6ErrorCDF(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		abs, ef, err := experiments.Figure6(benchConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Logf("\n%s\n%s", abs, ef)
+		// Fraction of links with absolute error ≤ 0.0025 (paper: ≈1.0).
+		row := abs.Rows[len(abs.Rows)-4]
+		b.ReportMetric(row[1], "CDF@2.5e-3")
+	}
+}
+
+func BenchmarkTable2Topologies(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.Table2(benchConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Logf("\n%s", t)
+		var minDR = 1.0
+		for r := range t.Rows {
+			if dr := t.Cell(r, 0); dr < minDR {
+				minDR = dr
+			}
+		}
+		b.ReportMetric(minDR, "min-DR")
+	}
+}
+
+func BenchmarkFigure7EliminationRatio(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.Figure7(benchConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Logf("\n%s", t)
+		for r := range t.Rows {
+			if ratio := t.Cell(r, 0); ratio > 1.0001 {
+				b.Fatalf("%s: congested/kept ratio %.3f exceeds 1 — congested links were eliminated",
+					t.Labels[r], ratio)
+			}
+		}
+	}
+}
+
+func BenchmarkFigure8aVaryP(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.Figure8a(benchConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Logf("\n%s", t)
+		b.ReportMetric(t.Cell(len(t.Rows)-1, 1), "DR@p25")
+	}
+}
+
+func BenchmarkFigure8bVaryS(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.Figure8b(benchConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Logf("\n%s", t)
+		b.ReportMetric(t.Cell(0, 1), "DR@S50")
+	}
+}
+
+func BenchmarkFigure9CrossValidation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.Figure9(benchConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Logf("\n%s", t)
+		last := t.Cell(len(t.Rows)-1, 1)
+		b.ReportMetric(last, "consistent%@m100")
+		if last < 80 {
+			b.Fatalf("cross-validation consistency %.1f%% too low (paper: >95%%)", last)
+		}
+	}
+}
+
+func BenchmarkTable3ASLocation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.Table3(benchConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Logf("\n%s", t)
+		b.ReportMetric(t.Cell(len(t.Rows)-1, 1), "interAS%@tl0.01")
+	}
+}
+
+func BenchmarkCongestionDuration(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.CongestionDurations(benchConfig(), 25, 0.01)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Logf("\n%s", t)
+		b.ReportMetric(t.Cell(0, 0), "one-snapshot%")
+	}
+}
+
+// --- Section 6.4 running-time benches ---------------------------------------
+
+// benchWorkload builds the planetlab-like workload once per bench.
+func benchWorkload(b *testing.B) (*experiments.Workload, []experiments.SnapshotRecord) {
+	b.Helper()
+	cfg := benchConfig()
+	rng := rand.New(rand.NewPCG(1, 12))
+	w, err := experiments.MakeWorkload("planetlab", cfg, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	series := experiments.SimulateSeries(w, cfg, 12, 51)
+	return w, series
+}
+
+func BenchmarkAugmentedBuild(b *testing.B) {
+	w, _ := benchWorkload(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		gr := core.NewGram(w.RM.NumLinks())
+		core.VisitPairs(w.RM, func(pi, pj int, support []int) {
+			if len(support) > 0 {
+				gr.AddEquation(support, 0)
+			}
+		})
+	}
+}
+
+func BenchmarkSolveFirstOrder(b *testing.B) {
+	// Phase 1: the variance solve of eq. (8) — "solved within seconds for
+	// networks with thousands of nodes".
+	w, series := benchWorkload(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l := core.New(w.RM, core.Options{})
+		for t := 0; t < 50; t++ {
+			l.AddSnapshot(series[t].Snap.LogRates())
+		}
+		if _, err := l.Variances(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSolveReduced(b *testing.B) {
+	// Phase 2: eliminating and solving eq. (9) — "about 10 times longer".
+	w, series := benchWorkload(b)
+	l := core.New(w.RM, core.Options{})
+	for t := 0; t < 50; t++ {
+		l.AddSnapshot(series[t].Snap.LogRates())
+	}
+	if _, err := l.Variances(); err != nil {
+		b.Fatal(err)
+	}
+	y := series[50].Snap.LogRates()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := l.Infer(y); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Ablation benches (DESIGN.md design choices) ----------------------------
+
+func ablationRun(b *testing.B, cfg experiments.Config) stats.Detection {
+	b.Helper()
+	rng := rand.New(rand.NewPCG(cfg.Seed, 77))
+	w, err := experiments.MakeWorkload("tree", cfg, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	r, err := experiments.RunOnce(w, cfg, 77)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return r.LIA.Det
+}
+
+func BenchmarkAblationVarianceSolver(b *testing.B) {
+	for _, method := range []core.VarianceMethod{core.VarianceDenseQR, core.VarianceNormalEquations} {
+		b.Run(method.String(), func(b *testing.B) {
+			cfg := benchConfig()
+			cfg.Scale = 0.2 // dense QR is the expensive leg
+			cfg.Variance.Method = method
+			for i := 0; i < b.N; i++ {
+				det := ablationRun(b, cfg)
+				b.ReportMetric(det.DR, "DR")
+			}
+		})
+	}
+}
+
+func BenchmarkAblationElimination(b *testing.B) {
+	for _, strat := range []core.Elimination{core.EliminatePaperSequential, core.EliminateGreedyBasis} {
+		b.Run(strat.String(), func(b *testing.B) {
+			cfg := benchConfig()
+			cfg.Strategy = strat
+			for i := 0; i < b.N; i++ {
+				det := ablationRun(b, cfg)
+				b.ReportMetric(det.DR, "DR")
+				b.ReportMetric(det.FPR, "FPR")
+			}
+		})
+	}
+}
+
+func BenchmarkAblationLossProcess(b *testing.B) {
+	// Paper: "we also run simulations with Bernoulli losses, but the
+	// differences are insignificant."
+	for _, kind := range []lossmodel.ProcessKind{lossmodel.Gilbert, lossmodel.Bernoulli} {
+		b.Run(kind.String(), func(b *testing.B) {
+			cfg := benchConfig()
+			cfg.Kind = kind
+			cfg.Fidelity = experiments.FidelityPacketShared
+			for i := 0; i < b.N; i++ {
+				det := ablationRun(b, cfg)
+				b.ReportMetric(det.DR, "DR")
+			}
+		})
+	}
+}
+
+func BenchmarkAblationS1Sharing(b *testing.B) {
+	// Assumption S.1 exact (shared link state) vs approximate (independent
+	// per-(path,link) processes) vs link-level aggregation.
+	for _, f := range []experiments.Fidelity{
+		experiments.FidelityExact,
+		experiments.FidelityPacketShared,
+		experiments.FidelityPacketPerPath,
+	} {
+		b.Run(f.String(), func(b *testing.B) {
+			cfg := benchConfig()
+			cfg.Fidelity = f
+			for i := 0; i < b.N; i++ {
+				det := ablationRun(b, cfg)
+				b.ReportMetric(det.DR, "DR")
+				b.ReportMetric(det.FPR, "FPR")
+			}
+		})
+	}
+}
+
+func BenchmarkAblationNegativeCovPolicy(b *testing.B) {
+	for _, pol := range []core.NegativeCovPolicy{core.ClampNegativeCov, core.DropNegativeCov, core.KeepNegativeCov} {
+		b.Run(pol.String(), func(b *testing.B) {
+			cfg := benchConfig()
+			cfg.Variance.NegPolicy = pol
+			for i := 0; i < b.N; i++ {
+				det := ablationRun(b, cfg)
+				b.ReportMetric(det.DR, "DR")
+				b.ReportMetric(det.FPR, "FPR")
+			}
+		})
+	}
+}
+
+func BenchmarkAblationGoodRateShape(b *testing.B) {
+	for _, g := range []lossmodel.GoodRateShape{lossmodel.GoodNearZero, lossmodel.GoodUniform} {
+		b.Run(g.String(), func(b *testing.B) {
+			cfg := benchConfig()
+			cfg.Good = g
+			for i := 0; i < b.N; i++ {
+				det := ablationRun(b, cfg)
+				b.ReportMetric(det.FPR, "FPR")
+			}
+		})
+	}
+}
+
+// --- Substrate micro-benches -------------------------------------------------
+
+func BenchmarkPivotedQRRank(b *testing.B) {
+	rng := rand.New(rand.NewPCG(2, 3))
+	m := linalg.NewDense(300, 200)
+	for i := 0; i < 300; i++ {
+		for j := 0; j < 200; j++ {
+			if rng.Float64() < 0.05 {
+				m.Set(i, j, 1)
+			}
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		linalg.Rank(m)
+	}
+}
+
+func BenchmarkGilbertProcess(b *testing.B) {
+	rng := rand.New(rand.NewPCG(4, 5))
+	proc := lossmodel.NewProcess(lossmodel.Gilbert, 0.1, lossmodel.DefaultPStayBad, rng)
+	b.ResetTimer()
+	drops := 0
+	for i := 0; i < b.N; i++ {
+		if proc.Drop(rng) {
+			drops++
+		}
+	}
+	_ = drops
+}
+
+func BenchmarkSnapshotSimulation(b *testing.B) {
+	rng := rand.New(rand.NewPCG(6, 7))
+	net := topogen.Tree(rng, 200, 10)
+	paths := topogen.Routes(net, []int{0}, net.Hosts)
+	rm, err := topology.Build(paths)
+	if err != nil {
+		b.Fatal(err)
+	}
+	scen := lossmodel.NewScenario(lossmodel.Config{Fraction: 0.1}, rng, rm.NumLinks())
+	for _, mode := range []netsim.Mode{netsim.ModeExact, netsim.ModePacketShared, netsim.ModePacketPerPath} {
+		b.Run(mode.String(), func(b *testing.B) {
+			sim := netsim.New(rm, netsim.Config{Probes: 1000, Seed: 1, Mode: mode})
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sim.Run(scen.Rates())
+			}
+		})
+	}
+}
+
+func BenchmarkCovarianceAccumulate(b *testing.B) {
+	rng := rand.New(rand.NewPCG(8, 9))
+	const dim = 300
+	y := make([]float64, dim)
+	for i := range y {
+		y[i] = rng.NormFloat64()
+	}
+	acc := stats.NewCovAccumulator(dim)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		acc.Add(y)
+	}
+}

@@ -1,0 +1,53 @@
+// Command emucore runs the emulated network core as a standalone process:
+// it binds a UDP socket, loads a deployment spec (paths, link loss rates,
+// router inventory), and forwards measurement probes / answers traceroute
+// probes until interrupted.
+//
+//	emucore -addr 127.0.0.1:9000 -spec deploy.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+
+	"lia/internal/emunet"
+)
+
+func main() {
+	var (
+		addr = flag.String("addr", "127.0.0.1:9000", "UDP address to serve the emulated network on")
+		spec = flag.String("spec", "", "deployment spec (JSON; see emunet.DeploySpec)")
+	)
+	flag.Parse()
+	if *spec == "" {
+		fmt.Fprintln(os.Stderr, "emucore: -spec is required")
+		os.Exit(2)
+	}
+	s, err := emunet.LoadDeploySpec(*spec)
+	if err != nil {
+		log.Fatalf("emucore: %v", err)
+	}
+	core, err := emunet.NewCore(emunet.CoreConfig{
+		Addr: *addr,
+		Logf: log.Printf,
+	})
+	if err != nil {
+		log.Fatalf("emucore: %v", err)
+	}
+	defer core.Close()
+	if err := s.Apply(core); err != nil {
+		log.Fatalf("emucore: %v", err)
+	}
+	log.Printf("emucore: serving %d paths on %s", len(s.Paths), core.Addr())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	<-sig
+	seen, dropped := core.LinkStats()
+	for link, n := range seen {
+		log.Printf("emucore: link %d: %d traversals, %d dropped", link, n, dropped[link])
+	}
+}

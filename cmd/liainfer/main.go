@@ -1,0 +1,159 @@
+// Command liainfer is the central-server batch tool: it reads a measurement
+// file (topology paths plus per-snapshot received fractions), learns the
+// link variances from all but the last snapshot, and infers the per-link
+// loss rates of the last snapshot.
+//
+// Input format (JSON):
+//
+//	{
+//	  "probes": 1000,
+//	  "paths": [{"beacon": 0, "dst": 5, "links": [1, 2, 3]}, ...],
+//	  "snapshots": [[0.99, 1.0, ...], ...]   // received fraction per path
+//	}
+//
+// Output: one line per virtual link with the inferred loss rate, the
+// learned variance, and the member physical links, or JSON with -json.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+
+	"lia/internal/core"
+	"lia/internal/topology"
+)
+
+// Input is the measurement file schema.
+type Input struct {
+	Probes    int         `json:"probes"`
+	Paths     []pathSpec  `json:"paths"`
+	Snapshots [][]float64 `json:"snapshots"`
+}
+
+type pathSpec struct {
+	Beacon int   `json:"beacon"`
+	Dst    int   `json:"dst"`
+	Links  []int `json:"links"`
+}
+
+// Output is the machine-readable result schema.
+type Output struct {
+	Kept    int          `json:"kept"`
+	Removed int          `json:"removed"`
+	Links   []LinkResult `json:"links"`
+}
+
+// LinkResult describes one virtual link's inference.
+type LinkResult struct {
+	Members  []int   `json:"members"`
+	LossRate float64 `json:"loss_rate"`
+	Variance float64 `json:"variance"`
+	Kept     bool    `json:"kept"`
+}
+
+func main() {
+	var (
+		file     = flag.String("in", "-", "measurement file (JSON); - for stdin")
+		asJSON   = flag.Bool("json", false, "emit JSON instead of text")
+		strategy = flag.String("strategy", "paper", "phase-2 elimination: paper or greedy")
+	)
+	flag.Parse()
+
+	in := os.Stdin
+	if *file != "-" {
+		f, err := os.Open(*file)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		defer f.Close()
+		in = f
+	}
+	var input Input
+	if err := json.NewDecoder(in).Decode(&input); err != nil {
+		fatalf("decode input: %v", err)
+	}
+	if input.Probes <= 0 {
+		input.Probes = 1000
+	}
+	if len(input.Snapshots) < 3 {
+		fatalf("need at least 3 snapshots (2 to learn, 1 to infer), have %d", len(input.Snapshots))
+	}
+	paths := make([]topology.Path, len(input.Paths))
+	for i, p := range input.Paths {
+		paths[i] = topology.Path{Beacon: p.Beacon, Dst: p.Dst, Links: p.Links}
+	}
+	paths, dropped := topology.RemoveFluttering(paths)
+	if len(dropped) > 0 {
+		fmt.Fprintf(os.Stderr, "liainfer: dropped %d fluttering paths (T.2): %v\n", len(dropped), dropped)
+	}
+	rm, err := topology.Build(paths)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	opts := core.Options{}
+	if *strategy == "greedy" {
+		opts.Strategy = core.EliminateGreedyBasis
+	}
+	l := core.New(rm, opts)
+	for _, snap := range input.Snapshots[:len(input.Snapshots)-1] {
+		if len(snap) != rm.NumPaths() {
+			fatalf("snapshot has %d fractions for %d paths", len(snap), rm.NumPaths())
+		}
+		l.AddSnapshot(logRates(snap, input.Probes))
+	}
+	res, err := l.Infer(logRates(input.Snapshots[len(input.Snapshots)-1], input.Probes))
+	if err != nil {
+		fatalf("%v", err)
+	}
+
+	out := Output{Kept: len(res.Kept), Removed: len(res.Removed)}
+	keptSet := make(map[int]bool)
+	for _, k := range res.Kept {
+		keptSet[k] = true
+	}
+	for k := 0; k < rm.NumLinks(); k++ {
+		out.Links = append(out.Links, LinkResult{
+			Members:  rm.Members(k),
+			LossRate: res.LossRates[k],
+			Variance: res.Variances[k],
+			Kept:     keptSet[k],
+		})
+	}
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fatalf("%v", err)
+		}
+		return
+	}
+	fmt.Printf("learned from %d snapshots over %d paths, %d virtual links (kept %d in R*)\n",
+		len(input.Snapshots)-1, rm.NumPaths(), rm.NumLinks(), len(res.Kept))
+	for k, lr := range out.Links {
+		status := "eliminated (≈0)"
+		if lr.Kept {
+			status = "solved"
+		}
+		fmt.Printf("link %3d members=%v loss=%.5f variance=%.3g %s\n",
+			k, lr.Members, lr.LossRate, lr.Variance, status)
+	}
+}
+
+func logRates(frac []float64, probes int) []float64 {
+	y := make([]float64, len(frac))
+	for i, f := range frac {
+		if f <= 0 {
+			f = 0.5 / float64(probes)
+		}
+		y[i] = math.Log(f)
+	}
+	return y
+}
+
+func fatalf(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "liainfer: "+format+"\n", args...)
+	os.Exit(2)
+}

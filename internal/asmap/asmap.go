@@ -1,0 +1,130 @@
+// Package asmap provides the autonomous-system analysis of Section 7.2.2:
+// classifying congested links as inter- or intra-AS (Table 3) and tracking
+// how long links stay congested across consecutive snapshots.
+package asmap
+
+import (
+	"fmt"
+
+	"lia/internal/topogen"
+	"lia/internal/topology"
+)
+
+// InterASLinks classifies every virtual link of the routing matrix: a
+// virtual link is inter-AS when any of its member physical links crosses an
+// AS boundary (a congested alias group containing a peering link is
+// attributed to the boundary, the usual bottleneck).
+func InterASLinks(net *topogen.Network, rm *topology.RoutingMatrix) []bool {
+	out := make([]bool, rm.NumLinks())
+	for k := 0; k < rm.NumLinks(); k++ {
+		for _, member := range rm.Members(k) {
+			if net.InterAS(member) {
+				out[k] = true
+				break
+			}
+		}
+	}
+	return out
+}
+
+// Location is one Table 3 row: the share of congested links that are
+// inter- vs intra-AS at a given loss threshold.
+type Location struct {
+	Threshold float64
+	Congested int
+	InterAS   float64 // fraction of congested links crossing AS boundaries
+	IntraAS   float64
+}
+
+// LocateCongested computes Table 3 rows for the given thresholds from
+// inferred loss rates.
+func LocateCongested(interAS []bool, lossRates []float64, thresholds []float64) ([]Location, error) {
+	if len(interAS) != len(lossRates) {
+		return nil, fmt.Errorf("asmap: %d classifications for %d rates", len(interAS), len(lossRates))
+	}
+	out := make([]Location, 0, len(thresholds))
+	for _, tl := range thresholds {
+		var inter, total int
+		for k, q := range lossRates {
+			if q > tl {
+				total++
+				if interAS[k] {
+					inter++
+				}
+			}
+		}
+		loc := Location{Threshold: tl, Congested: total}
+		if total > 0 {
+			loc.InterAS = float64(inter) / float64(total)
+			loc.IntraAS = 1 - loc.InterAS
+		}
+		out = append(out, loc)
+	}
+	return out, nil
+}
+
+// DurationTracker measures, per link, how many consecutive snapshots the
+// link stays classified as congested.
+type DurationTracker struct {
+	open      []int // current run length per link (0 = not congested)
+	completed []int // lengths of finished congestion episodes
+	snapshots int
+}
+
+// NewDurationTracker tracks n links.
+func NewDurationTracker(n int) *DurationTracker {
+	return &DurationTracker{open: make([]int, n)}
+}
+
+// Observe folds one snapshot's congestion classification.
+func (d *DurationTracker) Observe(congested []bool) {
+	if len(congested) != len(d.open) {
+		panic(fmt.Sprintf("asmap: observed %d links, tracking %d", len(congested), len(d.open)))
+	}
+	d.snapshots++
+	for k, c := range congested {
+		switch {
+		case c:
+			d.open[k]++
+		case d.open[k] > 0:
+			d.completed = append(d.completed, d.open[k])
+			d.open[k] = 0
+		}
+	}
+}
+
+// Snapshots returns the number of snapshots observed.
+func (d *DurationTracker) Snapshots() int { return d.snapshots }
+
+// Episodes returns all completed episode lengths plus the still-open runs.
+func (d *DurationTracker) Episodes() []int {
+	out := append([]int(nil), d.completed...)
+	for _, run := range d.open {
+		if run > 0 {
+			out = append(out, run)
+		}
+	}
+	return out
+}
+
+// Fractions returns the share of episodes with length exactly 1, exactly 2,
+// and 3 or more (the paper reports 99% / 1% / ~0%).
+func (d *DurationTracker) Fractions() (one, two, more float64) {
+	eps := d.Episodes()
+	if len(eps) == 0 {
+		return 0, 0, 0
+	}
+	var c1, c2, cm int
+	for _, e := range eps {
+		switch {
+		case e == 1:
+			c1++
+		case e == 2:
+			c2++
+		default:
+			cm++
+		}
+	}
+	n := float64(len(eps))
+	return float64(c1) / n, float64(c2) / n, float64(cm) / n
+}

@@ -1,0 +1,113 @@
+package asmap
+
+import (
+	"math"
+	"testing"
+
+	"lia/internal/graph"
+	"lia/internal/topogen"
+	"lia/internal/topology"
+)
+
+func twoASNetwork(t *testing.T) (*topogen.Network, *topology.RoutingMatrix) {
+	t.Helper()
+	// 0,1 in AS 0; 2,3 in AS 1. Edges: 0-1 (intra), 1-2 (inter), 2-3 (intra).
+	g := graph.New(4)
+	e01, _ := g.AddBidirectional(0, 1, 1)
+	e12, _ := g.AddBidirectional(1, 2, 1)
+	e23, _ := g.AddBidirectional(2, 3, 1)
+	net := &topogen.Network{Name: "test", G: g, Hosts: []int{0, 3}, AS: []int{0, 0, 1, 1}}
+	paths := []topology.Path{
+		{Beacon: 0, Dst: 3, Links: []int{e01, e12, e23}},
+		{Beacon: 0, Dst: 2, Links: []int{e01, e12}},
+	}
+	rm, err := topology.Build(paths)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return net, rm
+}
+
+func TestInterASLinks(t *testing.T) {
+	net, rm := twoASNetwork(t)
+	inter := InterASLinks(net, rm)
+	// Find the virtual link containing physical link 2 (edge 1→2).
+	k12, ok := rm.VirtualOf(2)
+	if !ok {
+		t.Fatal("edge 1→2 not covered")
+	}
+	for k, isInter := range inter {
+		if k == k12 {
+			if !isInter {
+				t.Error("boundary link classified intra-AS")
+			}
+		} else if isInter {
+			t.Errorf("virtual link %d wrongly classified inter-AS", k)
+		}
+	}
+}
+
+func TestLocateCongested(t *testing.T) {
+	inter := []bool{true, false, false, true}
+	rates := []float64{0.05, 0.03, 0.001, 0.001}
+	locs, err := LocateCongested(inter, rates, []float64{0.02, 0.0005})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// tl=0.02: links 0 (inter) and 1 (intra) congested → 50/50.
+	if locs[0].Congested != 2 || math.Abs(locs[0].InterAS-0.5) > 1e-12 {
+		t.Fatalf("tl=0.02: %+v", locs[0])
+	}
+	// tl=0.0005: all four → 2/4 inter.
+	if locs[1].Congested != 4 || math.Abs(locs[1].InterAS-0.5) > 1e-12 {
+		t.Fatalf("tl=0.0005: %+v", locs[1])
+	}
+	if _, err := LocateCongested(inter[:2], rates, []float64{0.1}); err == nil {
+		t.Fatal("length mismatch should error")
+	}
+}
+
+func TestLocateCongestedEmpty(t *testing.T) {
+	locs, err := LocateCongested([]bool{false}, []float64{0}, []float64{0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if locs[0].Congested != 0 || locs[0].InterAS != 0 || locs[0].IntraAS != 0 {
+		t.Fatalf("empty congested set: %+v", locs[0])
+	}
+}
+
+func TestDurationTracker(t *testing.T) {
+	d := NewDurationTracker(2)
+	// Link 0: episodes of length 2 then 1. Link 1: one open run of 3.
+	d.Observe([]bool{true, true})
+	d.Observe([]bool{true, true})
+	d.Observe([]bool{false, true})
+	d.Observe([]bool{true, false})
+	eps := d.Episodes()
+	// Completed: link0 len2, link1 len3; open: link0 len1.
+	if len(eps) != 3 {
+		t.Fatalf("episodes = %v", eps)
+	}
+	one, two, more := d.Fractions()
+	if math.Abs(one-1.0/3) > 1e-12 || math.Abs(two-1.0/3) > 1e-12 || math.Abs(more-1.0/3) > 1e-12 {
+		t.Fatalf("fractions = %v %v %v", one, two, more)
+	}
+	if d.Snapshots() != 4 {
+		t.Fatalf("snapshots = %d", d.Snapshots())
+	}
+}
+
+func TestDurationTrackerEmpty(t *testing.T) {
+	d := NewDurationTracker(3)
+	one, two, more := d.Fractions()
+	if one != 0 || two != 0 || more != 0 {
+		t.Fatal("empty tracker should report zero fractions")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("length mismatch should panic")
+		}
+	}()
+	d.Observe([]bool{true})
+}

@@ -1,0 +1,125 @@
+// Package baseline implements the Smallest Consistent Failure Set (SCFS)
+// algorithm of Duffield ("Network tomography of binary network performance
+// characteristics", IEEE Trans. IT 2006), the single-snapshot congested-link
+// locator the paper compares LIA against in Figure 5, plus a greedy
+// set-cover variant usable on mesh topologies (in the spirit of Padmanabhan
+// et al.'s server-based inference).
+package baseline
+
+import (
+	"fmt"
+	"math"
+
+	"lia/internal/topology"
+)
+
+// PathStatus classifies each path of a snapshot as good or bad. A path is
+// bad when its observed loss rate exceeds the length-adjusted threshold
+// 1 − (1 − tl)^L, i.e. when it lost more than L good links could explain.
+func PathStatus(rm *topology.RoutingMatrix, frac []float64, tl float64) []bool {
+	if len(frac) != rm.NumPaths() {
+		panic(fmt.Sprintf("baseline: %d fractions for %d paths", len(frac), rm.NumPaths()))
+	}
+	bad := make([]bool, rm.NumPaths())
+	for i, f := range frac {
+		l := len(rm.Row(i))
+		thresh := 1 - math.Pow(1-tl, float64(l))
+		bad[i] = (1 - f) > thresh
+	}
+	return bad
+}
+
+// SCFS computes the smallest consistent failure set on a single-beacon tree
+// topology: the set of links closest to the root such that (i) every path
+// through a chosen link is bad and (ii) every bad path contains a chosen
+// link. It returns a per-virtual-link congestion verdict.
+//
+// The routing matrix must come from a tree (every path shares the
+// root-adjacent prefix structure); mesh inputs should use GreedyCover.
+func SCFS(rm *topology.RoutingMatrix, badPath []bool) []bool {
+	nc := rm.NumLinks()
+	// candidate(k): all paths through k are bad.
+	candidate := make([]bool, nc)
+	for k := 0; k < nc; k++ {
+		paths := rm.PathsThrough(k)
+		all := len(paths) > 0
+		for _, p := range paths {
+			if !badPath[p] {
+				all = false
+				break
+			}
+		}
+		candidate[k] = all
+	}
+	// parent(k): the virtual link preceding k on any path through it. In a
+	// tree this is unique; -1 for root-adjacent links.
+	parent := make([]int, nc)
+	for k := range parent {
+		parent[k] = -1
+	}
+	for i := 0; i < rm.NumPaths(); i++ {
+		row := rm.OrderedRow(i)
+		for j := 1; j < len(row); j++ {
+			parent[row[j]] = row[j-1]
+		}
+	}
+	// SCFS: topmost candidates.
+	out := make([]bool, nc)
+	for k := 0; k < nc; k++ {
+		if candidate[k] && (parent[k] == -1 || !candidate[parent[k]]) {
+			out[k] = true
+		}
+	}
+	return out
+}
+
+// GreedyCover locates congested links on arbitrary topologies: the
+// candidates are links appearing on no good path; bad paths are then covered
+// greedily by the candidate that explains the most still-unexplained bad
+// paths (ties to the smaller link index for determinism).
+func GreedyCover(rm *topology.RoutingMatrix, badPath []bool) []bool {
+	nc := rm.NumLinks()
+	candidate := make([]bool, nc)
+	for k := 0; k < nc; k++ {
+		ok := true
+		for _, p := range rm.PathsThrough(k) {
+			if !badPath[p] {
+				ok = false
+				break
+			}
+		}
+		candidate[k] = ok && len(rm.PathsThrough(k)) > 0
+	}
+	uncovered := make(map[int]bool)
+	for p, bad := range badPath {
+		if bad {
+			uncovered[p] = true
+		}
+	}
+	out := make([]bool, nc)
+	for len(uncovered) > 0 {
+		best, bestN := -1, 0
+		for k := 0; k < nc; k++ {
+			if !candidate[k] || out[k] {
+				continue
+			}
+			n := 0
+			for _, p := range rm.PathsThrough(k) {
+				if uncovered[p] {
+					n++
+				}
+			}
+			if n > bestN {
+				best, bestN = k, n
+			}
+		}
+		if best == -1 {
+			break // remaining bad paths have no all-bad candidate link
+		}
+		out[best] = true
+		for _, p := range rm.PathsThrough(best) {
+			delete(uncovered, p)
+		}
+	}
+	return out
+}

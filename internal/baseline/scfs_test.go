@@ -1,0 +1,144 @@
+package baseline
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"lia/internal/lossmodel"
+	"lia/internal/netsim"
+	"lia/internal/stats"
+	"lia/internal/topogen"
+	"lia/internal/topology"
+)
+
+// star builds a one-beacon, three-leaf tree:
+//
+//	root --1--> a; a --2--> D1, a --3--> b; b --4--> D2, b --5--> D3
+func star(t *testing.T) *topology.RoutingMatrix {
+	t.Helper()
+	rm, err := topology.Build([]topology.Path{
+		{Beacon: 0, Dst: 2, Links: []int{1, 2}},
+		{Beacon: 0, Dst: 4, Links: []int{1, 3, 4}},
+		{Beacon: 0, Dst: 5, Links: []int{1, 3, 5}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rm
+}
+
+func linkOf(t *testing.T, rm *topology.RoutingMatrix, physical int) int {
+	t.Helper()
+	k, ok := rm.VirtualOf(physical)
+	if !ok {
+		t.Fatalf("link %d not covered", physical)
+	}
+	return k
+}
+
+func TestSCFSRootExplanation(t *testing.T) {
+	rm := star(t)
+	// All paths bad → the smallest explanation is the shared root link.
+	got := SCFS(rm, []bool{true, true, true})
+	root := linkOf(t, rm, 1)
+	for k, v := range got {
+		if (k == root) != v {
+			t.Fatalf("SCFS = %v, want only root link %d", got, root)
+		}
+	}
+}
+
+func TestSCFSLeafExplanation(t *testing.T) {
+	rm := star(t)
+	// Only path 1 (to D2) bad: its leaf link is the topmost candidate.
+	got := SCFS(rm, []bool{false, true, false})
+	leaf := linkOf(t, rm, 4)
+	for k, v := range got {
+		if (k == leaf) != v {
+			t.Fatalf("SCFS = %v, want only leaf link %d", got, leaf)
+		}
+	}
+}
+
+func TestSCFSSubtreeExplanation(t *testing.T) {
+	rm := star(t)
+	// Paths to D2 and D3 bad, D1 good → link 3 (a→b) explains both.
+	got := SCFS(rm, []bool{false, true, true})
+	mid := linkOf(t, rm, 3)
+	for k, v := range got {
+		if (k == mid) != v {
+			t.Fatalf("SCFS = %v, want only link %d", got, mid)
+		}
+	}
+}
+
+func TestSCFSNothingBad(t *testing.T) {
+	rm := star(t)
+	got := SCFS(rm, []bool{false, false, false})
+	for _, v := range got {
+		if v {
+			t.Fatal("SCFS should identify nothing when no path is bad")
+		}
+	}
+}
+
+func TestGreedyCoverMatchesSCFSOnTree(t *testing.T) {
+	rm := star(t)
+	for _, bad := range [][]bool{
+		{true, true, true},
+		{false, true, true},
+		{true, false, false},
+	} {
+		s := SCFS(rm, bad)
+		g := GreedyCover(rm, bad)
+		for k := range s {
+			if s[k] != g[k] {
+				t.Fatalf("bad=%v: SCFS %v != GreedyCover %v", bad, s, g)
+			}
+		}
+	}
+}
+
+func TestPathStatusLengthAdjusted(t *testing.T) {
+	rm := star(t)
+	// Path 0 has 2 links: threshold 1−(1−tl)² ≈ 0.004.
+	frac := []float64{1 - 0.003, 1 - 0.05, 1}
+	bad := PathStatus(rm, frac, 0.002)
+	if bad[0] {
+		t.Error("path 0 at 0.003 loss over 2 links should be good")
+	}
+	if !bad[1] {
+		t.Error("path 1 at 5% loss should be bad")
+	}
+	if bad[2] {
+		t.Error("lossless path should be good")
+	}
+}
+
+// TestSCFSVersusTruthOnSimulatedTree checks the Figure 5 shape: SCFS from a
+// single snapshot finds most congested links but with noticeably lower
+// detection than LIA achieves with many snapshots (asserted in core's tests).
+func TestSCFSVersusTruthOnSimulatedTree(t *testing.T) {
+	rng := rand.New(rand.NewPCG(15, 16))
+	net := topogen.Tree(rng, 300, 10)
+	paths := topogen.Routes(net, []int{0}, net.Hosts)
+	rm, err := topology.Build(paths)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scen := lossmodel.NewScenario(lossmodel.Config{Model: lossmodel.LLRD1, Fraction: 0.1}, rng, rm.NumLinks())
+	sim := netsim.New(rm, netsim.Config{Probes: 1000, Seed: 5})
+	snap := sim.Run(scen.Rates())
+	truth := make([]bool, rm.NumLinks())
+	for k, q := range scen.Rates() {
+		truth[k] = q > lossmodel.Threshold
+	}
+	got := SCFS(rm, PathStatus(rm, snap.Frac, lossmodel.Threshold))
+	det := stats.Detect(truth, got)
+	if det.DR < 0.4 {
+		t.Errorf("SCFS DR = %.3f, implausibly low", det.DR)
+	}
+	if det.DR > 0.98 {
+		t.Errorf("SCFS DR = %.3f: single-snapshot SCFS should trail LIA", det.DR)
+	}
+}

@@ -1,0 +1,179 @@
+package core
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"lia/internal/linalg"
+	"lia/internal/topogen"
+	"lia/internal/topology"
+)
+
+// figure1 returns the routing matrix of the paper's Figure 1 single-beacon
+// example (3 paths, 5 links; R rank deficient, A full column rank).
+func figure1(t *testing.T) *topology.RoutingMatrix {
+	t.Helper()
+	rm, err := topology.Build([]topology.Path{
+		{Beacon: 0, Dst: 2, Links: []int{1, 2}},
+		{Beacon: 0, Dst: 4, Links: []int{1, 3, 4}},
+		{Beacon: 0, Dst: 5, Links: []int{1, 3, 5}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rm
+}
+
+// figure2 returns the two-beacon example of Figure 2 (6 paths, 8 links).
+//
+//	B1=0, B2=1, D1=2, D2=3, D3=4, internal a=5, b=6.
+//	B1→a (1), a→D1 (2), a→b (3), b→D2 (4), b→D3 (5), B2→b (6), B2→D1 (7)… the
+//	exact figure is not fully specified in text, so we use a faithful variant:
+//	both beacons reach all three destinations through a shared internal chain.
+func figure2(t *testing.T) *topology.RoutingMatrix {
+	t.Helper()
+	rm, err := topology.Build([]topology.Path{
+		{Beacon: 0, Dst: 2, Links: []int{1, 2}},
+		{Beacon: 0, Dst: 3, Links: []int{1, 3, 4}},
+		{Beacon: 0, Dst: 4, Links: []int{1, 3, 5}},
+		{Beacon: 1, Dst: 2, Links: []int{6, 7, 2}},
+		{Beacon: 1, Dst: 3, Links: []int{6, 8, 4}},
+		{Beacon: 1, Dst: 4, Links: []int{6, 8, 5}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rm
+}
+
+func TestAugmentedDenseShape(t *testing.T) {
+	rm := figure1(t)
+	a := AugmentedDense(rm)
+	r, c := a.Dims()
+	if r != 6 || c != 5 { // np(np+1)/2 = 6 rows
+		t.Fatalf("A is %d×%d, want 6×5", r, c)
+	}
+	// Every entry is 0/1 and row (i,i) equals row i of R.
+	d := rm.Dense()
+	for j := 0; j < c; j++ {
+		if a.At(0, j) != d.At(0, j) {
+			t.Fatalf("A row (0,0) != R row 0 at col %d", j)
+		}
+	}
+}
+
+func TestFigure1Identifiability(t *testing.T) {
+	rm := figure1(t)
+	// First moments: rank deficient.
+	if rm.Rank() >= rm.NumLinks() {
+		t.Fatal("R should be rank deficient in the Figure 1 example")
+	}
+	// Second moments: full column rank (Lemma 3 / Theorem 1).
+	if got := AugmentedRank(rm); got != rm.NumLinks() {
+		t.Fatalf("rank(A) = %d, want %d", got, rm.NumLinks())
+	}
+	if !Identifiable(rm) {
+		t.Fatal("Figure 1 example must be identifiable")
+	}
+}
+
+func TestFigure2Identifiability(t *testing.T) {
+	rm := figure2(t)
+	if !Identifiable(rm) {
+		t.Fatal("Figure 2 example must be identifiable")
+	}
+}
+
+func TestAugmentedRankMatchesDense(t *testing.T) {
+	// The Gram-based rank must agree with the rank of the explicit A.
+	for name, rm := range map[string]*topology.RoutingMatrix{
+		"fig1": figure1(t),
+		"fig2": figure2(t),
+	} {
+		dense := linalg.Rank(AugmentedDense(rm))
+		gram := AugmentedRank(rm)
+		if dense != gram {
+			t.Errorf("%s: rank via A = %d, via Gram = %d", name, dense, gram)
+		}
+	}
+}
+
+func TestTheorem1OnRandomTrees(t *testing.T) {
+	// Property (Lemma 3): every single-beacon tree topology is identifiable.
+	rng := rand.New(rand.NewPCG(42, 1))
+	for trial := 0; trial < 10; trial++ {
+		net := topogen.Tree(rng, 30+rng.IntN(50), 2+rng.IntN(8))
+		paths := topogen.Routes(net, []int{0}, net.Hosts)
+		rm, err := topology.Build(paths)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !Identifiable(rm) {
+			t.Fatalf("trial %d: tree topology not identifiable (nc=%d, rank=%d)",
+				trial, rm.NumLinks(), AugmentedRank(rm))
+		}
+	}
+}
+
+func TestTheorem1OnRandomMeshes(t *testing.T) {
+	// Property (Theorem 1): multi-beacon mesh topologies with tree-consistent
+	// routing and no fluttering are identifiable.
+	rng := rand.New(rand.NewPCG(43, 2))
+	gens := []func() *topogen.Network{
+		func() *topogen.Network { return topogen.Waxman(rng, 60, 0.2, 0.25) },
+		func() *topogen.Network { return topogen.BarabasiAlbert(rng, 60, 2) },
+		func() *topogen.Network { return topogen.HierarchicalTopDown(rng, 4, 12) },
+	}
+	for gi, gen := range gens {
+		net := gen()
+		hosts := topogen.SelectHosts(rng, net, 8)
+		paths := topogen.Routes(net, hosts, hosts)
+		paths, _ = topology.RemoveFluttering(paths)
+		rm, err := topology.Build(paths)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !Identifiable(rm) {
+			t.Errorf("generator %d (%s): mesh not identifiable (np=%d nc=%d rank(A)=%d)",
+				gi, net.Name, rm.NumPaths(), rm.NumLinks(), AugmentedRank(rm))
+		}
+	}
+}
+
+func TestGramAddRemoveEquation(t *testing.T) {
+	gr := NewGram(3)
+	gr.AddEquation([]int{0, 2}, 1.5)
+	gr.AddEquation([]int{1}, 0.5)
+	if gr.Equations() != 2 {
+		t.Fatalf("Equations = %d, want 2", gr.Equations())
+	}
+	gr.RemoveEquation([]int{1}, 0.5)
+	if gr.Equations() != 1 {
+		t.Fatalf("Equations = %d, want 1 after removal", gr.Equations())
+	}
+	if gr.Matrix().At(1, 1) != 0 || gr.RHS()[1] != 0 {
+		t.Fatal("RemoveEquation did not cancel the contribution")
+	}
+	if gr.Matrix().At(0, 2) != 1 || gr.Matrix().At(2, 0) != 1 {
+		t.Fatal("AddEquation should fill the symmetric outer product")
+	}
+}
+
+func TestVisitPairsCountsAndOrder(t *testing.T) {
+	rm := figure1(t)
+	count := 0
+	var lastI, lastJ = -1, -1
+	VisitPairs(rm, func(i, j int, support []int) {
+		if i > j {
+			t.Fatalf("VisitPairs emitted i=%d > j=%d", i, j)
+		}
+		if i < lastI || (i == lastI && j <= lastJ) {
+			t.Fatalf("VisitPairs order violated: (%d,%d) after (%d,%d)", i, j, lastI, lastJ)
+		}
+		lastI, lastJ = i, j
+		count++
+	})
+	if want := 3 * 4 / 2; count != want {
+		t.Fatalf("VisitPairs count = %d, want %d", count, want)
+	}
+}

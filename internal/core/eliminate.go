@@ -1,0 +1,176 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"lia/internal/linalg"
+	"lia/internal/topology"
+)
+
+// Elimination selects the Phase-2 strategy for shrinking R to a full-column-
+// rank R*.
+type Elimination int
+
+const (
+	// EliminatePaperSequential is the algorithm exactly as printed in the
+	// paper: repeatedly remove the remaining column with the smallest
+	// variance until R* has full column rank. Because independence of a
+	// column suffix is monotone in the number of removals, the loop is
+	// implemented as a binary search over the ascending-variance order.
+	EliminatePaperSequential Elimination = iota
+	// EliminateGreedyBasis builds R* greedily from the highest-variance
+	// column down, keeping a column only if it is linearly independent of
+	// the columns already kept. This yields the maximum-variance basis (a
+	// matroid-greedy optimum) and never discards an independent congested
+	// link, unlike the sequential rule; it is evaluated as an ablation.
+	EliminateGreedyBasis
+)
+
+func (e Elimination) String() string {
+	switch e {
+	case EliminateGreedyBasis:
+		return "greedy-basis"
+	default:
+		return "paper-sequential"
+	}
+}
+
+// Eliminate reduces the routing matrix to a full-column-rank set of columns,
+// preferring to keep high-variance (congested) links. It returns the kept
+// and removed virtual-link indices; kept is sorted ascending.
+func Eliminate(rm *topology.RoutingMatrix, variances []float64, strategy Elimination) (kept, removed []int) {
+	nc := rm.NumLinks()
+	if len(variances) != nc {
+		panic(fmt.Sprintf("core: %d variances for %d links", len(variances), nc))
+	}
+	switch strategy {
+	case EliminateGreedyBasis:
+		kept = greedyBasis(rm, variances)
+	default:
+		kept = sequentialSuffix(rm, variances)
+	}
+	keptSet := make(map[int]bool, len(kept))
+	for _, k := range kept {
+		keptSet[k] = true
+	}
+	for k := 0; k < nc; k++ {
+		if !keptSet[k] {
+			removed = append(removed, k)
+		}
+	}
+	sort.Ints(kept)
+	return kept, removed
+}
+
+// ascendingByVariance returns link indices sorted by (variance, index).
+func ascendingByVariance(variances []float64) []int {
+	order := make([]int, len(variances))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		va, vb := variances[order[a]], variances[order[b]]
+		if va != vb {
+			return va < vb
+		}
+		return order[a] < order[b]
+	})
+	return order
+}
+
+// sequentialSuffix finds the smallest t such that the columns with the
+// (nc−t) largest variances are linearly independent — exactly the state the
+// paper's remove-smallest loop terminates in — via binary search (suffix
+// independence is monotone in t).
+func sequentialSuffix(rm *topology.RoutingMatrix, variances []float64) []int {
+	nc := rm.NumLinks()
+	order := ascendingByVariance(variances)
+	suffixIndependent := func(t int) bool {
+		cols := order[t:]
+		if len(cols) == 0 {
+			return true
+		}
+		if len(cols) > rm.NumPaths() {
+			return false
+		}
+		sub := rm.DenseColumns(cols)
+		return linalg.Rank(sub) == len(cols)
+	}
+	// Lower bound: at least nc − rank(R) columns must go.
+	lo := nc - rm.Rank()
+	hi := nc
+	if suffixIndependent(lo) {
+		hi = lo
+	}
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if suffixIndependent(mid) {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return append([]int(nil), order[hi:]...)
+}
+
+// greedyBasis performs modified Gram–Schmidt over columns in descending
+// variance order, keeping every column that adds a new direction.
+func greedyBasis(rm *topology.RoutingMatrix, variances []float64) []int {
+	np := rm.NumPaths()
+	order := ascendingByVariance(variances)
+	// Descending.
+	for i, j := 0, len(order)-1; i < j; i, j = i+1, j-1 {
+		order[i], order[j] = order[j], order[i]
+	}
+	var basis [][]float64
+	var kept []int
+	col := make([]float64, np)
+	tol := 1e-9 * math.Sqrt(float64(np))
+	for _, k := range order {
+		for i := range col {
+			col[i] = 0
+		}
+		for _, p := range rm.PathsThrough(k) {
+			col[p] = 1
+		}
+		norm0 := linalg.Norm2(col)
+		if norm0 == 0 {
+			continue
+		}
+		// Two rounds of MGS for numerical safety.
+		for round := 0; round < 2; round++ {
+			for _, q := range basis {
+				d := linalg.Dot(q, col)
+				for i := range col {
+					col[i] -= d * q[i]
+				}
+			}
+		}
+		if n := linalg.Norm2(col); n > tol*norm0 {
+			q := make([]float64, np)
+			for i := range col {
+				q[i] = col[i] / n
+			}
+			basis = append(basis, q)
+			kept = append(kept, k)
+		}
+	}
+	return kept
+}
+
+// SolveReduced solves the reduced first-order system Y = R*·X* (eq. 9) for
+// one snapshot's per-path log transmission rates y, returning the estimated
+// per-link log transmission rates for the kept columns (aligned with kept).
+func SolveReduced(rm *topology.RoutingMatrix, kept []int, y []float64) ([]float64, error) {
+	if len(y) != rm.NumPaths() {
+		return nil, fmt.Errorf("core: snapshot of %d paths, routing matrix has %d", len(y), rm.NumPaths())
+	}
+	sub := rm.DenseColumns(kept)
+	x, err := linalg.SolveLeastSquares(sub, y)
+	if err != nil {
+		return nil, fmt.Errorf("core: reduced solve over %d links: %w", len(kept), err)
+	}
+	return x, nil
+}

@@ -1,0 +1,225 @@
+package core
+
+import (
+	"fmt"
+
+	"lia/internal/stats"
+	"lia/internal/topology"
+)
+
+// IncrementalLearner maintains the normal-equations system AᵀA·v = AᵀΣ*
+// under routing changes. Section 5.1 notes that computing A dominates the
+// setup cost but "when there are changes in the routing matrix R due to
+// arrivals of new beacons, removals of existing beacons or routing changes,
+// we can rapidly modify A ... because only the rows corresponding to the
+// changes need to be updated". This type implements exactly that: paths can
+// be deactivated and reactivated, and only the equations involving those
+// paths are touched.
+//
+// The measured covariances are supplied by the caller (typically a
+// stats.CovAccumulator over the active paths' snapshots).
+type IncrementalLearner struct {
+	rm     *topology.RoutingMatrix
+	opts   VarianceOptions
+	gram   *Gram
+	active []bool
+	// sigma caches the covariance used for each folded equation so it can
+	// be cancelled exactly on removal. Keyed by packed pair index.
+	sigma map[int]float64
+}
+
+// NewIncrementalLearner builds the full system for all paths of rm using the
+// covariances in cov.
+func NewIncrementalLearner(rm *topology.RoutingMatrix, cov *stats.CovAccumulator, opts VarianceOptions) (*IncrementalLearner, error) {
+	if cov.Count() < 2 {
+		return nil, ErrTooFewSnapshots
+	}
+	if cov.Dim() != rm.NumPaths() {
+		return nil, fmt.Errorf("core: covariance over %d paths, routing matrix has %d", cov.Dim(), rm.NumPaths())
+	}
+	il := &IncrementalLearner{
+		rm:     rm,
+		opts:   opts,
+		gram:   NewGram(rm.NumLinks()),
+		active: make([]bool, rm.NumPaths()),
+		sigma:  make(map[int]float64),
+	}
+	for i := range il.active {
+		il.active[i] = true
+	}
+	np := rm.NumPaths()
+	buf := make([]int, 0, 64)
+	for i := 0; i < np; i++ {
+		for j := i; j < np; j++ {
+			buf = rm.IntersectRows(i, j, buf[:0])
+			if len(buf) == 0 {
+				continue
+			}
+			s, keep := opts.adjust(cov.Cov(i, j))
+			if !keep {
+				continue
+			}
+			il.gram.AddEquation(buf, s)
+			il.sigma[pairIndex(i, j, np)] = s
+		}
+	}
+	return il, nil
+}
+
+// pairIndex packs (i ≤ j) into the upper-triangular row index used
+// throughout the package.
+func pairIndex(i, j, np int) int {
+	return i*np - i*(i-1)/2 + (j - i)
+}
+
+// Equations returns the number of covariance equations currently folded in.
+func (il *IncrementalLearner) Equations() int { return il.gram.Equations() }
+
+// DeactivatePath removes every equation involving path i — the update for a
+// departed beacon or a rerouted path. Only O(np) equations are touched,
+// versus O(np²) for a rebuild.
+func (il *IncrementalLearner) DeactivatePath(i int) error {
+	if err := il.checkPath(i); err != nil {
+		return err
+	}
+	if !il.active[i] {
+		return fmt.Errorf("core: path %d already inactive", i)
+	}
+	il.forEachPairOf(i, func(a, b int, support []int) {
+		key := pairIndex(a, b, il.rm.NumPaths())
+		if s, ok := il.sigma[key]; ok {
+			il.gram.RemoveEquation(support, s)
+			delete(il.sigma, key)
+		}
+	})
+	il.active[i] = false
+	return nil
+}
+
+// ReactivatePath re-adds the equations of path i using covariances from cov
+// (which must cover all paths of the routing matrix).
+func (il *IncrementalLearner) ReactivatePath(i int, cov *stats.CovAccumulator) error {
+	if err := il.checkPath(i); err != nil {
+		return err
+	}
+	if il.active[i] {
+		return fmt.Errorf("core: path %d already active", i)
+	}
+	if cov.Dim() != il.rm.NumPaths() {
+		return fmt.Errorf("core: covariance over %d paths, routing matrix has %d", cov.Dim(), il.rm.NumPaths())
+	}
+	il.active[i] = true
+	il.forEachPairOf(i, func(a, b int, support []int) {
+		s, keep := il.opts.adjust(cov.Cov(a, b))
+		if !keep {
+			return
+		}
+		il.gram.AddEquation(support, s)
+		il.sigma[pairIndex(a, b, il.rm.NumPaths())] = s
+	})
+	return nil
+}
+
+// forEachPairOf visits every pair (a ≤ b) that involves path i and at least
+// one other *active* path (including the self pair), with a non-empty
+// support.
+func (il *IncrementalLearner) forEachPairOf(i int, visit func(a, b int, support []int)) {
+	buf := make([]int, 0, 64)
+	for j := 0; j < il.rm.NumPaths(); j++ {
+		if j != i && !il.active[j] {
+			continue
+		}
+		a, b := i, j
+		if b < a {
+			a, b = b, a
+		}
+		buf = il.rm.IntersectRows(a, b, buf[:0])
+		if len(buf) == 0 {
+			continue
+		}
+		visit(a, b, buf)
+	}
+}
+
+func (il *IncrementalLearner) checkPath(i int) error {
+	if i < 0 || i >= il.rm.NumPaths() {
+		return fmt.Errorf("core: path %d out of range [0, %d)", i, il.rm.NumPaths())
+	}
+	return nil
+}
+
+// Variances solves the current system. Links covered only by inactive paths
+// come out of the regularized solve near zero; callers typically mask them
+// with CoveredLinks.
+func (il *IncrementalLearner) Variances() ([]float64, error) {
+	v, err := il.gram.Solve()
+	if err != nil {
+		return nil, fmt.Errorf("core: incremental variance solve: %w", err)
+	}
+	return v, nil
+}
+
+// CoveredLinks reports which virtual links are traversed by at least one
+// active path.
+func (il *IncrementalLearner) CoveredLinks() []bool {
+	out := make([]bool, il.rm.NumLinks())
+	for k := 0; k < il.rm.NumLinks(); k++ {
+		for _, p := range il.rm.PathsThrough(k) {
+			if il.active[p] {
+				out[k] = true
+				break
+			}
+		}
+	}
+	return out
+}
+
+// RebuildCheck recomputes the Gram system from scratch over the active
+// paths and reports the largest absolute deviation from the incrementally
+// maintained one — a consistency diagnostic used by tests and long-running
+// deployments.
+func (il *IncrementalLearner) RebuildCheck(cov *stats.CovAccumulator) (float64, error) {
+	fresh := NewGram(il.rm.NumLinks())
+	np := il.rm.NumPaths()
+	buf := make([]int, 0, 64)
+	for i := 0; i < np; i++ {
+		if !il.active[i] {
+			continue
+		}
+		for j := i; j < np; j++ {
+			if !il.active[j] {
+				continue
+			}
+			buf = il.rm.IntersectRows(i, j, buf[:0])
+			if len(buf) == 0 {
+				continue
+			}
+			s, keep := il.opts.adjust(cov.Cov(i, j))
+			if !keep {
+				continue
+			}
+			fresh.AddEquation(buf, s)
+		}
+	}
+	var maxDev float64
+	nc := il.rm.NumLinks()
+	for a := 0; a < nc; a++ {
+		for b := 0; b < nc; b++ {
+			d := fresh.Matrix().At(a, b) - il.gram.Matrix().At(a, b)
+			if d < 0 {
+				d = -d
+			}
+			if d > maxDev {
+				maxDev = d
+			}
+		}
+		d := fresh.RHS()[a] - il.gram.RHS()[a]
+		if d < 0 {
+			d = -d
+		}
+		if d > maxDev {
+			maxDev = d
+		}
+	}
+	return maxDev, nil
+}

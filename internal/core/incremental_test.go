@@ -1,0 +1,205 @@
+package core
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"lia/internal/topogen"
+	"lia/internal/topology"
+)
+
+func TestIncrementalLearnerMatchesBatch(t *testing.T) {
+	rng := rand.New(rand.NewPCG(41, 1))
+	net := topogen.Tree(rng, 60, 5)
+	paths := topogen.Routes(net, []int{0}, net.Hosts)
+	rm, err := topology.Build(paths)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := make([]float64, rm.NumLinks())
+	for k := range truth {
+		if rng.Float64() < 0.15 {
+			truth[k] = 0.02
+		} else {
+			truth[k] = 1e-7
+		}
+	}
+	cov := syntheticSnapshots(rng, rm, truth, 2000)
+
+	il, err := NewIncrementalLearner(rm, cov, VarianceOptions{NegPolicy: KeepNegativeCov})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vInc, err := il.Variances()
+	if err != nil {
+		t.Fatal(err)
+	}
+	vBatch, err := EstimateVariances(rm, cov, VarianceOptions{
+		Method:    VarianceNormalEquations,
+		NegPolicy: KeepNegativeCov,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := range vBatch {
+		if math.Abs(vInc[k]-vBatch[k]) > 1e-9 {
+			t.Fatalf("link %d: incremental %g vs batch %g", k, vInc[k], vBatch[k])
+		}
+	}
+}
+
+func TestIncrementalDeactivateReactivateRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewPCG(42, 2))
+	net := topogen.Tree(rng, 50, 4)
+	paths := topogen.Routes(net, []int{0}, net.Hosts)
+	rm, err := topology.Build(paths)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := make([]float64, rm.NumLinks())
+	for k := range truth {
+		truth[k] = 1e-4 * rng.Float64()
+	}
+	cov := syntheticSnapshots(rng, rm, truth, 500)
+	il, err := NewIncrementalLearner(rm, cov, VarianceOptions{NegPolicy: KeepNegativeCov})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := il.Equations()
+
+	// Deactivate two paths; the system must match a from-scratch rebuild.
+	for _, p := range []int{0, 3} {
+		if err := il.DeactivatePath(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if dev, err := il.RebuildCheck(cov); err != nil || dev > 1e-9 {
+		t.Fatalf("after deactivation: deviation %g, err %v", dev, err)
+	}
+	covered := il.CoveredLinks()
+	uncovered := 0
+	for _, c := range covered {
+		if !c {
+			uncovered++
+		}
+	}
+	if uncovered == 0 {
+		t.Log("note: all links still covered after removing two paths (dense tree)")
+	}
+
+	// Reactivate: the system must return to the original equation count and
+	// contents.
+	for _, p := range []int{0, 3} {
+		if err := il.ReactivatePath(p, cov); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if il.Equations() != before {
+		t.Fatalf("equations %d after round trip, want %d", il.Equations(), before)
+	}
+	if dev, err := il.RebuildCheck(cov); err != nil || dev > 1e-9 {
+		t.Fatalf("after reactivation: deviation %g, err %v", dev, err)
+	}
+}
+
+func TestIncrementalErrors(t *testing.T) {
+	rng := rand.New(rand.NewPCG(43, 3))
+	rm := figure1(t)
+	truth := []float64{0.01, 0, 0.01, 0, 0}
+	cov := syntheticSnapshots(rng, rm, truth, 100)
+	il, err := NewIncrementalLearner(rm, cov, VarianceOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := il.DeactivatePath(99); err == nil {
+		t.Error("out-of-range deactivate should fail")
+	}
+	if err := il.ReactivatePath(0, cov); err == nil {
+		t.Error("reactivating an active path should fail")
+	}
+	if err := il.DeactivatePath(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := il.DeactivatePath(0); err == nil {
+		t.Error("double deactivate should fail")
+	}
+}
+
+func TestVarGateAt(t *testing.T) {
+	g := VarGateAt(0.002, 1000)
+	if g <= 0 {
+		t.Fatal("gate must be positive")
+	}
+	// More probes → tighter sampling variance → smaller gate.
+	if VarGateAt(0.002, 4000) >= g {
+		t.Error("gate should shrink with more probes")
+	}
+	// Default probes fallback.
+	if VarGateAt(0.002, 0) != g {
+		t.Error("zero probes should default to 1000")
+	}
+}
+
+func TestCongestedGated(t *testing.T) {
+	r := &Result{
+		LossRates: []float64{0.05, 0.05, 0.001},
+		Variances: []float64{1e-3, 1e-9, 1e-3},
+	}
+	got := r.CongestedGated(0.002, 1e-5)
+	want := []bool{true, false, false} // link 1 gated out by variance
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("CongestedGated = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestObserveLinearDelays(t *testing.T) {
+	// The Section 8 delay extension: plant additive link delays, verify the
+	// linear-observation mode recovers them for kept links.
+	rng := rand.New(rand.NewPCG(44, 4))
+	rm := figure1(t)
+	congested := []bool{true, false, true, false, false}
+	draw := func() []float64 {
+		d := make([]float64, rm.NumLinks())
+		for k := range d {
+			if congested[k] {
+				d[k] = 5 + 10*rng.Float64()
+			} else {
+				d[k] = 0.01 * rng.Float64()
+			}
+		}
+		return d
+	}
+	l := New(rm, Options{Observation: ObserveLinear})
+	for s := 0; s < 300; s++ {
+		d := draw()
+		y := make([]float64, rm.NumPaths())
+		for i := range y {
+			for _, k := range rm.Row(i) {
+				y[i] += d[k]
+			}
+		}
+		l.AddSnapshot(y)
+	}
+	truth := draw()
+	y := make([]float64, rm.NumPaths())
+	for i := range y {
+		for _, k := range rm.Row(i) {
+			y[i] += truth[k]
+		}
+	}
+	res, err := l.Infer(y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, c := range congested {
+		if !c {
+			continue
+		}
+		if math.Abs(res.LossRates[k]-truth[k]) > 0.1 {
+			t.Errorf("link %d delay: inferred %.3f, want %.3f", k, res.LossRates[k], truth[k])
+		}
+	}
+}

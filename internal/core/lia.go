@@ -1,0 +1,204 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"lia/internal/stats"
+	"lia/internal/topology"
+)
+
+// CongestionThreshold is the default loss-rate threshold tl separating good
+// from congested links (the LLRD models' 0.002).
+const CongestionThreshold = 0.002
+
+// Observation selects what the snapshot vectors measure. The identifiability
+// theory and both LIA phases are agnostic to it; only the final conversion
+// differs.
+type Observation int
+
+const (
+	// ObserveLogTransmission (default): Y holds log path transmission rates
+	// and results convert to loss rates via 1 − eˣ.
+	ObserveLogTransmission Observation = iota
+	// ObserveLinear: Y holds additive path metrics (e.g. excess queueing
+	// delays, the Section 8 extension); results are reported as-is, clamped
+	// at zero.
+	ObserveLinear
+)
+
+// Options configures a LIA instance.
+type Options struct {
+	Variance VarianceOptions
+	Strategy Elimination
+	// Observation selects the snapshot semantics (default log transmission).
+	Observation Observation
+	// Threshold tl used by Result.Congested (default CongestionThreshold).
+	Threshold float64
+}
+
+func (o Options) threshold() float64 {
+	if o.Threshold <= 0 {
+		return CongestionThreshold
+	}
+	return o.Threshold
+}
+
+// LIA is the Loss Inference Algorithm of Section 5.3. Feed it the learning
+// snapshots (Phase 1) with AddSnapshot, then call Infer on the newest
+// snapshot (Phase 2).
+//
+// A LIA instance is not safe for concurrent use.
+type LIA struct {
+	rm   *topology.RoutingMatrix
+	opts Options
+	acc  *stats.CovAccumulator
+
+	vars      []float64 // cached variance estimates
+	varsAt    int       // snapshot count the cache was computed at
+	keptCache []int
+	remCache  []int
+}
+
+// New creates a LIA over the reduced routing matrix.
+func New(rm *topology.RoutingMatrix, opts Options) *LIA {
+	return &LIA{rm: rm, opts: opts, acc: stats.NewCovAccumulator(rm.NumPaths())}
+}
+
+// RoutingMatrix returns the matrix the instance operates on.
+func (l *LIA) RoutingMatrix() *topology.RoutingMatrix { return l.rm }
+
+// AddSnapshot folds one learning snapshot of per-path log transmission
+// rates into the covariance moments.
+func (l *LIA) AddSnapshot(y []float64) {
+	l.acc.Add(y)
+}
+
+// Snapshots returns the number of learning snapshots absorbed so far.
+func (l *LIA) Snapshots() int { return l.acc.Count() }
+
+// Variances returns the Phase-1 estimates of the per-link variances,
+// recomputing only when new snapshots arrived since the last call.
+func (l *LIA) Variances() ([]float64, error) {
+	if l.vars != nil && l.varsAt == l.acc.Count() {
+		return l.vars, nil
+	}
+	v, err := EstimateVariances(l.rm, l.acc, l.opts.Variance)
+	if err != nil {
+		return nil, err
+	}
+	l.vars, l.varsAt = v, l.acc.Count()
+	l.keptCache, l.remCache = nil, nil
+	return v, nil
+}
+
+// Result is the output of one Phase-2 inference.
+type Result struct {
+	// LossRates[k] is the inferred per-link metric: the mean loss rate under
+	// ObserveLogTransmission, or the clamped linear metric (e.g. excess
+	// delay) under ObserveLinear. Eliminated links report 0.
+	LossRates []float64
+	// LogRates[k] is the raw reduced-system solution (log transmission rate,
+	// or the linear metric; 0 for eliminated links).
+	LogRates []float64
+	// Kept and Removed partition the virtual links: Kept columns form the
+	// full-column-rank R*, Removed columns were approximated as loss-free.
+	Kept, Removed []int
+	// Variances are the Phase-1 estimates used for the ordering.
+	Variances []float64
+}
+
+// Congested classifies every virtual link against the threshold tl.
+func (r *Result) Congested(tl float64) []bool {
+	out := make([]bool, len(r.LossRates))
+	for k, q := range r.LossRates {
+		out[k] = q > tl
+	}
+	return out
+}
+
+// CongestedGated classifies links as congested only when the inferred rate
+// exceeds tl AND the Phase-1 variance exceeds varGate. Under the
+// monotonicity assumption S.3 a link with mean loss above tl cannot have a
+// variance below the variance at tl, so gating removes false positives
+// caused by one-snapshot inference noise on links the learning phase saw to
+// be quiet. VarGateAt derives a suitable gate.
+func (r *Result) CongestedGated(tl, varGate float64) []bool {
+	out := r.Congested(tl)
+	for k := range out {
+		if out[k] && r.Variances[k] <= varGate {
+			out[k] = false
+		}
+	}
+	return out
+}
+
+// VarGateAt estimates the variance a link sitting exactly at the congestion
+// threshold tl would exhibit across snapshots measured with S probes: the
+// sum of the level-redraw variance (uniform on [0, tl]: tl²/12) and the
+// burst-inflated sampling variance of the realized rate (≈2.5·tl/S for the
+// paper's Gilbert parameter), with a 3× safety factor.
+func VarGateAt(tl float64, probes int) float64 {
+	if probes <= 0 {
+		probes = 1000
+	}
+	return 3 * (tl*tl/12 + 2.5*tl/float64(probes))
+}
+
+// Infer runs Phase 2 on the newest snapshot's per-path log transmission
+// rates. The learning snapshots previously added determine the elimination
+// order; the elimination itself is cached across calls until new learning
+// data arrives.
+func (l *LIA) Infer(y []float64) (*Result, error) {
+	vars, err := l.Variances()
+	if err != nil {
+		return nil, fmt.Errorf("core: phase 1: %w", err)
+	}
+	if l.keptCache == nil {
+		l.keptCache, l.remCache = Eliminate(l.rm, vars, l.opts.Strategy)
+	}
+	kept, removed := l.keptCache, l.remCache
+	x, err := SolveReduced(l.rm, kept, y)
+	if err != nil {
+		return nil, fmt.Errorf("core: phase 2: %w", err)
+	}
+	res := &Result{
+		LossRates: make([]float64, l.rm.NumLinks()),
+		LogRates:  make([]float64, l.rm.NumLinks()),
+		Kept:      kept,
+		Removed:   removed,
+		Variances: vars,
+	}
+	for idx, k := range kept {
+		res.LogRates[k] = x[idx]
+		switch l.opts.Observation {
+		case ObserveLinear:
+			v := x[idx]
+			if v < 0 {
+				v = 0
+			}
+			res.LossRates[k] = v
+		default:
+			// Loss = 1 − e^x, clamped to [0, 1]: sampling noise can push the
+			// estimated log transmission rate slightly above 0.
+			loss := 1 - math.Exp(x[idx])
+			if loss < 0 {
+				loss = 0
+			} else if loss > 1 {
+				loss = 1
+			}
+			res.LossRates[k] = loss
+		}
+	}
+	return res, nil
+}
+
+// InferCongested is a convenience wrapper returning the congestion
+// classification at the configured threshold.
+func (l *LIA) InferCongested(y []float64) ([]bool, *Result, error) {
+	res, err := l.Infer(y)
+	if err != nil {
+		return nil, nil, err
+	}
+	return res.Congested(l.opts.threshold()), res, nil
+}

@@ -1,0 +1,197 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"lia/internal/linalg"
+	"lia/internal/stats"
+	"lia/internal/topology"
+)
+
+// VarianceMethod selects how the moment system Σ* = A·v is solved.
+type VarianceMethod int
+
+const (
+	// VarianceAuto picks DenseQR for small systems and NormalEquations once
+	// the explicit A would be large.
+	VarianceAuto VarianceMethod = iota
+	// VarianceDenseQR materializes A (non-zero rows only) and solves the
+	// least-squares problem with a Householder QR — the paper's reference
+	// method.
+	VarianceDenseQR
+	// VarianceNormalEquations streams the equations into AᵀA and AᵀΣ* and
+	// solves by Cholesky; never materializes A.
+	VarianceNormalEquations
+)
+
+func (m VarianceMethod) String() string {
+	switch m {
+	case VarianceDenseQR:
+		return "dense-qr"
+	case VarianceNormalEquations:
+		return "normal-equations"
+	default:
+		return "auto"
+	}
+}
+
+// NegativeCovPolicy chooses what to do with covariance equations whose
+// measured value Σ̂ii′ is negative — a pure sampling artifact under the link
+// independence assumption S.2, since true path covariances are sums of link
+// variances.
+type NegativeCovPolicy int
+
+const (
+	// ClampNegativeCov keeps the equation but clamps its right-hand side to
+	// zero. This is the default: unlike dropping, it preserves the full
+	// column rank guaranteed by Theorem 1 (dropping the only pair equation
+	// of two sibling leaf paths leaves their leaf links and shared parent
+	// mutually unidentifiable) while still encoding that the shared
+	// segment's variance is ≈ 0.
+	ClampNegativeCov NegativeCovPolicy = iota
+	// DropNegativeCov removes the equation entirely — the paper's rule
+	// ("we ignore equations with Σ̂ii′ < 0"). Survives in practice thanks to
+	// redundant equations, but can lose identifiability on sparse pair sets;
+	// the estimator then falls back to a minimum-norm solution.
+	DropNegativeCov
+	// KeepNegativeCov uses the raw negative value.
+	KeepNegativeCov
+)
+
+func (p NegativeCovPolicy) String() string {
+	switch p {
+	case DropNegativeCov:
+		return "drop"
+	case KeepNegativeCov:
+		return "keep"
+	default:
+		return "clamp"
+	}
+}
+
+// VarianceOptions tunes Phase 1.
+type VarianceOptions struct {
+	Method VarianceMethod
+	// NegPolicy selects the treatment of negative measured covariances
+	// (default ClampNegativeCov).
+	NegPolicy NegativeCovPolicy
+	// DenseBudget caps the approximate flop count (rows × nc²) the dense QR
+	// path may incur before Auto switches to normal equations
+	// (default 2e8, ≈ a few hundred ms).
+	DenseBudget int
+}
+
+// adjust applies the negative-covariance policy to one measured covariance,
+// returning the value to use and whether the equation should be kept.
+func (o VarianceOptions) adjust(sigma float64) (float64, bool) {
+	if sigma >= 0 {
+		return sigma, true
+	}
+	switch o.NegPolicy {
+	case DropNegativeCov:
+		return 0, false
+	case KeepNegativeCov:
+		return sigma, true
+	default:
+		return 0, true
+	}
+}
+
+func (o VarianceOptions) budget() int {
+	if o.DenseBudget <= 0 {
+		return 200_000_000
+	}
+	return o.DenseBudget
+}
+
+// ErrTooFewSnapshots is returned when variance estimation is attempted with
+// fewer than two snapshots.
+var ErrTooFewSnapshots = errors.New("core: need at least 2 snapshots to estimate covariances")
+
+// EstimateVariances solves Σ* = A·v for the per-link variances from the
+// accumulated path covariance moments. The returned slice has one entry per
+// virtual link of rm. Entries may come out slightly negative under sampling
+// noise; callers that need true variances should clamp at zero, while the
+// Phase-2 ordering uses the raw values.
+func EstimateVariances(rm *topology.RoutingMatrix, cov *stats.CovAccumulator, opts VarianceOptions) ([]float64, error) {
+	if cov.Count() < 2 {
+		return nil, ErrTooFewSnapshots
+	}
+	if cov.Dim() != rm.NumPaths() {
+		return nil, fmt.Errorf("core: covariance over %d paths, routing matrix has %d", cov.Dim(), rm.NumPaths())
+	}
+	method := opts.Method
+	if method == VarianceAuto {
+		np, nc := rm.NumPaths(), rm.NumLinks()
+		rows := np * (np + 1) / 2
+		if rows*nc*nc <= opts.budget() {
+			method = VarianceDenseQR
+		} else {
+			method = VarianceNormalEquations
+		}
+	}
+	switch method {
+	case VarianceDenseQR:
+		return estimateDense(rm, cov, opts)
+	default:
+		return estimateNormal(rm, cov, opts)
+	}
+}
+
+func estimateDense(rm *topology.RoutingMatrix, cov *stats.CovAccumulator, opts VarianceOptions) ([]float64, error) {
+	nc := rm.NumLinks()
+	var rows [][]int
+	var rhs []float64
+	VisitPairs(rm, func(i, j int, support []int) {
+		if len(support) == 0 {
+			return
+		}
+		sigma, keep := opts.adjust(cov.Cov(i, j))
+		if !keep {
+			return
+		}
+		rows = append(rows, append([]int(nil), support...))
+		rhs = append(rhs, sigma)
+	})
+	if len(rows) < nc {
+		return nil, fmt.Errorf("core: only %d usable covariance equations for %d links: %w",
+			len(rows), nc, linalg.ErrRankDeficient)
+	}
+	a := linalg.NewDense(len(rows), nc)
+	for r, support := range rows {
+		for _, k := range support {
+			a.Set(r, k, 1)
+		}
+	}
+	v, err := linalg.SolveLeastSquares(a, rhs)
+	if errors.Is(err, linalg.ErrRankDeficient) {
+		// Dropped equations (DropNegativeCov) can cost full column rank;
+		// fall back to the minimum-norm basic solution, which resolves only
+		// the identifiable directions and zeroes the rest.
+		return linalg.NewPivotedQR(a).SolveMinNorm(rhs), nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("core: dense variance solve: %w", err)
+	}
+	return v, nil
+}
+
+func estimateNormal(rm *topology.RoutingMatrix, cov *stats.CovAccumulator, opts VarianceOptions) ([]float64, error) {
+	gr := NewGram(rm.NumLinks())
+	VisitPairs(rm, func(i, j int, support []int) {
+		if len(support) == 0 {
+			return
+		}
+		sigma, keep := opts.adjust(cov.Cov(i, j))
+		if !keep {
+			return
+		}
+		gr.AddEquation(support, sigma)
+	})
+	v, err := gr.Solve()
+	if err != nil {
+		return nil, fmt.Errorf("core: normal-equations variance solve: %w", err)
+	}
+	return v, nil
+}

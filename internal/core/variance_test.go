@@ -1,0 +1,143 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"lia/internal/stats"
+	"lia/internal/topogen"
+	"lia/internal/topology"
+)
+
+// syntheticSnapshots draws m snapshots of Y = R·X with X ~ independent
+// zero-mean Gaussians of the given per-link variances — the exact generative
+// model of Section 4 — and accumulates their covariance.
+func syntheticSnapshots(rng *rand.Rand, rm *topology.RoutingMatrix, vars []float64, m int) *stats.CovAccumulator {
+	acc := stats.NewCovAccumulator(rm.NumPaths())
+	x := make([]float64, rm.NumLinks())
+	y := make([]float64, rm.NumPaths())
+	for t := 0; t < m; t++ {
+		for k := range x {
+			x[k] = rng.NormFloat64() * math.Sqrt(vars[k])
+		}
+		for i := range y {
+			y[i] = 0
+			for _, k := range rm.Row(i) {
+				y[i] += x[k]
+			}
+		}
+		acc.Add(y)
+	}
+	return acc
+}
+
+func testVarianceRecovery(t *testing.T, method VarianceMethod) {
+	t.Helper()
+	rng := rand.New(rand.NewPCG(9, uint64(method)))
+	net := topogen.Tree(rng, 80, 5)
+	paths := topogen.Routes(net, []int{0}, net.Hosts)
+	rm, err := topology.Build(paths)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := make([]float64, rm.NumLinks())
+	for k := range truth {
+		if rng.Float64() < 0.1 {
+			truth[k] = 0.01 + 0.02*rng.Float64() // congested: high variance
+		} else {
+			truth[k] = 1e-6 * rng.Float64() // good: ~zero variance
+		}
+	}
+	acc := syntheticSnapshots(rng, rm, truth, 4000)
+	got, err := EstimateVariances(rm, acc, VarianceOptions{Method: method})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := range truth {
+		tol := 0.25*truth[k] + 5e-4
+		if math.Abs(got[k]-truth[k]) > tol {
+			t.Errorf("link %d: variance %g, want %g (±%g)", k, got[k], truth[k], tol)
+		}
+	}
+}
+
+func TestVarianceRecoveryDenseQR(t *testing.T)    { testVarianceRecovery(t, VarianceDenseQR) }
+func TestVarianceRecoveryNormalEqns(t *testing.T) { testVarianceRecovery(t, VarianceNormalEquations) }
+
+func TestVarianceMethodsAgree(t *testing.T) {
+	// Both solvers minimize the same least-squares objective, so on the same
+	// moments they must agree to numerical precision.
+	rng := rand.New(rand.NewPCG(10, 20))
+	rm := figure2(t)
+	truth := []float64{0.02, 0.001, 0.005, 0, 0.01, 0.0002, 0.003, 0}
+	truth = truth[:rm.NumLinks()]
+	acc := syntheticSnapshots(rng, rm, truth, 500)
+	// Keep negative-covariance equations so both paths see identical systems.
+	opts := VarianceOptions{NegPolicy: KeepNegativeCov}
+	opts.Method = VarianceDenseQR
+	a, err := EstimateVariances(rm, acc, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.Method = VarianceNormalEquations
+	b, err := EstimateVariances(rm, acc, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := range a {
+		if math.Abs(a[k]-b[k]) > 1e-8 {
+			t.Fatalf("solvers disagree at link %d: %g vs %g", k, a[k], b[k])
+		}
+	}
+}
+
+func TestVarianceOrderingSeparatesCongested(t *testing.T) {
+	// Even with few snapshots the congested links must dominate the
+	// variance ordering — that is all Phase 2 needs.
+	rng := rand.New(rand.NewPCG(11, 21))
+	net := topogen.Tree(rng, 60, 6)
+	paths := topogen.Routes(net, []int{0}, net.Hosts)
+	rm, err := topology.Build(paths)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := make([]float64, rm.NumLinks())
+	congested := map[int]bool{}
+	for k := range truth {
+		if rng.Float64() < 0.12 {
+			truth[k] = 0.02
+			congested[k] = true
+		} else {
+			truth[k] = 1e-7
+		}
+	}
+	acc := syntheticSnapshots(rng, rm, truth, 60)
+	got, err := EstimateVariances(rm, acc, VarianceOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	order := ascendingByVariance(got)
+	// All congested links must sit in the top |congested| positions.
+	top := order[len(order)-len(congested):]
+	for _, k := range top {
+		if !congested[k] {
+			t.Errorf("link %d (variance %g) ranked among congested, truth says good", k, got[k])
+		}
+	}
+}
+
+func TestEstimateVariancesErrors(t *testing.T) {
+	rm := figure1(t)
+	acc := stats.NewCovAccumulator(rm.NumPaths())
+	if _, err := EstimateVariances(rm, acc, VarianceOptions{}); !errors.Is(err, ErrTooFewSnapshots) {
+		t.Fatalf("err = %v, want ErrTooFewSnapshots", err)
+	}
+	wrong := stats.NewCovAccumulator(rm.NumPaths() + 1)
+	wrong.Add(make([]float64, rm.NumPaths()+1))
+	wrong.Add(make([]float64, rm.NumPaths()+1))
+	if _, err := EstimateVariances(rm, wrong, VarianceOptions{}); err == nil {
+		t.Fatal("dimension mismatch should fail")
+	}
+}

@@ -1,0 +1,74 @@
+package emunet
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"os"
+)
+
+// DeploySpec is the JSON deployment description shared by the standalone
+// processes (cmd/emucore, cmd/beacon, cmd/collector): it tells the core
+// which paths exist, which links they traverse at which loss rates, where
+// each path's sink lives, and the router inventory for traceroute.
+type DeploySpec struct {
+	Rates   map[string]float64 `json:"rates"` // link ID (decimal string) -> mean loss rate
+	Paths   []DeployPath       `json:"paths"`
+	Routers []DeployRouter     `json:"routers,omitempty"`
+}
+
+// DeployPath is one forwarding entry.
+type DeployPath struct {
+	ID      int    `json:"id"`
+	Links   []int  `json:"links"`
+	Routers []int  `json:"routers,omitempty"`
+	Sink    string `json:"sink"` // host:port UDP address
+}
+
+// DeployRouter is one traceroute-visible router.
+type DeployRouter struct {
+	ID         int      `json:"id"`
+	Interfaces []uint32 `json:"interfaces"`
+	Responds   bool     `json:"responds"`
+}
+
+// LoadDeploySpec reads and validates a deployment file.
+func LoadDeploySpec(path string) (*DeploySpec, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("emunet: open spec: %w", err)
+	}
+	defer f.Close()
+	var spec DeploySpec
+	if err := json.NewDecoder(f).Decode(&spec); err != nil {
+		return nil, fmt.Errorf("emunet: decode spec %s: %w", path, err)
+	}
+	if len(spec.Paths) == 0 {
+		return nil, fmt.Errorf("emunet: spec %s has no paths", path)
+	}
+	return &spec, nil
+}
+
+// Apply installs the spec into a running core.
+func (s *DeploySpec) Apply(core *Core) error {
+	rates := make(map[int]float64, len(s.Rates))
+	for k, v := range s.Rates {
+		var link int
+		if _, err := fmt.Sscanf(k, "%d", &link); err != nil {
+			return fmt.Errorf("emunet: bad link id %q in spec", k)
+		}
+		rates[link] = v
+	}
+	core.SetRates(rates)
+	for _, r := range s.Routers {
+		core.AddRouter(RouterInfo{ID: r.ID, Interfaces: r.Interfaces, Responds: r.Responds})
+	}
+	for _, p := range s.Paths {
+		sink, err := net.ResolveUDPAddr("udp", p.Sink)
+		if err != nil {
+			return fmt.Errorf("emunet: path %d sink %q: %w", p.ID, p.Sink, err)
+		}
+		core.AddPath(PathSpec{ID: p.ID, Links: p.Links, Routers: p.Routers, Sink: sink})
+	}
+	return nil
+}

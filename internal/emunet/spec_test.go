@@ -1,0 +1,101 @@
+package emunet
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func TestDeploySpecApply(t *testing.T) {
+	sink, err := NewSink()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sink.Close()
+	dir := t.TempDir()
+	specPath := filepath.Join(dir, "deploy.json")
+	spec := `{
+	  "rates": {"10": 0.0, "11": 0.0},
+	  "paths": [{"id": 1, "links": [10, 11], "routers": [5], "sink": "` + sink.Addr().String() + `"}],
+	  "routers": [{"id": 5, "interfaces": [81], "responds": true}]
+	}`
+	if err := os.WriteFile(specPath, []byte(spec), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadDeploySpec(specPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(loaded.Paths) != 1 || loaded.Paths[0].ID != 1 {
+		t.Fatalf("spec paths = %+v", loaded.Paths)
+	}
+	core, err := NewCore(CoreConfig{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer core.Close()
+	if err := loaded.Apply(core); err != nil {
+		t.Fatal(err)
+	}
+	// The applied path must forward probes end to end.
+	b, err := NewBeacon(core.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	if _, err := b.ProbePath(1, 0, 50, 0); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for sink.Received(1, 0) < 50 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if got := sink.Received(1, 0); got != 50 {
+		t.Fatalf("received %d probes through applied spec, want 50", got)
+	}
+	// And the router must answer traces.
+	tracer, err := NewTracer(core.Addr(), 2, 100*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tracer.Close()
+	hops, err := tracer.TracePath(1, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hops) != 1 || hops[0].Interface != 81 {
+		t.Fatalf("hops = %+v", hops)
+	}
+}
+
+func TestDeploySpecErrors(t *testing.T) {
+	if _, err := LoadDeploySpec("/nonexistent/spec.json"); err == nil {
+		t.Error("missing file should error")
+	}
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad.json")
+	os.WriteFile(bad, []byte("{not json"), 0o644)
+	if _, err := LoadDeploySpec(bad); err == nil {
+		t.Error("malformed JSON should error")
+	}
+	empty := filepath.Join(dir, "empty.json")
+	os.WriteFile(empty, []byte(`{"rates":{},"paths":[]}`), 0o644)
+	if _, err := LoadDeploySpec(empty); err == nil {
+		t.Error("empty path list should error")
+	}
+	// Bad link key in rates.
+	core, err := NewCore(CoreConfig{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer core.Close()
+	spec := &DeploySpec{Rates: map[string]float64{"abc": 0.5}, Paths: []DeployPath{{ID: 0, Links: []int{1}, Sink: "127.0.0.1:1"}}}
+	if err := spec.Apply(core); err == nil {
+		t.Error("non-numeric link key should error")
+	}
+	spec = &DeploySpec{Paths: []DeployPath{{ID: 0, Links: []int{1}, Sink: "::bad::"}}}
+	if err := spec.Apply(core); err == nil {
+		t.Error("bad sink address should error")
+	}
+}

@@ -1,0 +1,152 @@
+package emunet
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sort"
+	"time"
+)
+
+// TraceHop is one hop discovered by the tracer: the interface address that
+// answered (or 0 if the router stayed silent).
+type TraceHop struct {
+	Interface uint32
+	Responded bool
+}
+
+// Tracer performs traceroute-style discovery over the emulated network.
+type Tracer struct {
+	conn    *net.UDPConn
+	core    *net.UDPAddr
+	retries int
+	timeout time.Duration
+}
+
+// NewTracer opens a discovery socket. Each hop is retried up to retries
+// times before being declared silent ("5 to 10% of routers do not respond
+// to ICMP requests").
+func NewTracer(core *net.UDPAddr, retries int, timeout time.Duration) (*Tracer, error) {
+	conn, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		return nil, fmt.Errorf("emunet: tracer listen: %w", err)
+	}
+	if retries < 1 {
+		retries = 2
+	}
+	if timeout <= 0 {
+		timeout = 200 * time.Millisecond
+	}
+	return &Tracer{conn: conn, core: core, retries: retries, timeout: timeout}, nil
+}
+
+// Close releases the tracer socket.
+func (t *Tracer) Close() error { return t.conn.Close() }
+
+// ErrTraceTimeout is returned when no reply arrives for a hop probe.
+var ErrTraceTimeout = errors.New("emunet: trace probe timed out")
+
+// TracePath walks the path hop by hop with increasing TTL until the
+// destination replies, returning the discovered hops in order.
+func (t *Tracer) TracePath(pathID, maxHops int) ([]TraceHop, error) {
+	var hops []TraceHop
+	buf := make([]byte, 2048)
+	for ttl := 1; ttl <= maxHops; ttl++ {
+		hop, done, err := t.probeHop(pathID, ttl, buf)
+		if err != nil {
+			return hops, err
+		}
+		if done {
+			return hops, nil
+		}
+		hops = append(hops, hop)
+	}
+	return hops, fmt.Errorf("emunet: path %d longer than %d hops", pathID, maxHops)
+}
+
+func (t *Tracer) probeHop(pathID, ttl int, buf []byte) (TraceHop, bool, error) {
+	for attempt := 0; attempt < t.retries; attempt++ {
+		h := Header{Type: TypeTrace, TTL: uint8(ttl), PathID: uint32(pathID), Seq: uint32(attempt)}
+		if _, err := t.conn.WriteToUDP(h.Marshal(), t.core); err != nil {
+			return TraceHop{}, false, fmt.Errorf("emunet: trace send: %w", err)
+		}
+		if err := t.conn.SetReadDeadline(time.Now().Add(t.timeout)); err != nil {
+			return TraceHop{}, false, err
+		}
+		for {
+			n, _, err := t.conn.ReadFromUDP(buf)
+			if err != nil {
+				break // timeout: retry or give up on this hop
+			}
+			var reply Header
+			if reply.Unmarshal(buf[:n]) != nil || reply.Type != TypeTraceReply ||
+				reply.PathID != uint32(pathID) {
+				continue // stale or foreign datagram
+			}
+			if reply.HopIndex == 0xFFFF {
+				return TraceHop{}, true, nil // destination reached
+			}
+			if int(reply.HopIndex) != ttl-1 {
+				continue // reply to an earlier retry
+			}
+			return TraceHop{Interface: reply.Interface, Responded: true}, false, nil
+		}
+	}
+	// Silent router: record an anonymous hop, keep walking.
+	return TraceHop{Responded: false}, false, nil
+}
+
+// AliasResolver models sr-ally style interface disambiguation: it knows the
+// true interface→router mapping for a subset of interfaces (resolution is
+// incomplete in practice) and canonicalizes each interface to the smallest
+// interface address of its resolved router.
+type AliasResolver struct {
+	canon map[uint32]uint32
+}
+
+// NewAliasResolver builds a resolver from the true router inventory,
+// resolving each multi-interface router independently with the given
+// probability (the tool "does not guarantee complete identification").
+// The decision is deterministic in the interface addresses for a given
+// resolveProb, via a cheap hash, so repeated runs agree.
+func NewAliasResolver(routers []RouterInfo, resolveProb float64) *AliasResolver {
+	r := &AliasResolver{canon: make(map[uint32]uint32)}
+	for _, info := range routers {
+		if len(info.Interfaces) == 0 {
+			continue
+		}
+		ifs := append([]uint32(nil), info.Interfaces...)
+		sort.Slice(ifs, func(a, b int) bool { return ifs[a] < ifs[b] })
+		// Hash decides whether this router's aliases get resolved.
+		h := uint32(2166136261)
+		for _, x := range ifs {
+			h = (h ^ x) * 16777619
+		}
+		if float64(h%1000)/1000 < resolveProb {
+			for _, x := range ifs {
+				r.canon[x] = ifs[0]
+			}
+		}
+	}
+	return r
+}
+
+// Canonical maps an interface address to its canonical alias (itself when
+// unresolved).
+func (r *AliasResolver) Canonical(iface uint32) uint32 {
+	if c, ok := r.canon[iface]; ok {
+		return c
+	}
+	return iface
+}
+
+// anonBase numbers anonymous (non-responding) hops so that distinct silent
+// routers on the same path do not merge. Discovered topologies use the
+// canonical interface address as the "node" identity, so a silent hop gets
+// a synthetic per-path, per-position address above this base.
+const anonBase = 0xF0000000
+
+// AnonAddress synthesizes a stable pseudo-address for a silent hop.
+func AnonAddress(pathID, hop int) uint32 {
+	return anonBase + uint32(pathID)<<8 + uint32(hop)
+}

@@ -1,0 +1,203 @@
+package experiments
+
+import (
+	"math/rand/v2"
+	"strings"
+	"testing"
+)
+
+// tinyConfig keeps experiment tests fast; the benches run larger scales.
+func tinyConfig() Config {
+	return Config{Scale: 0.15, Runs: 2, Snapshots: 30, Seed: 3}
+}
+
+func TestMakeWorkloadAllTopologies(t *testing.T) {
+	for _, name := range TopologyNames {
+		rng := rand.New(rand.NewPCG(1, 7))
+		w, err := MakeWorkload(name, tinyConfig(), rng)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if w.RM.NumPaths() < 2 || w.RM.NumLinks() < 2 {
+			t.Errorf("%s: degenerate workload np=%d nc=%d", name, w.RM.NumPaths(), w.RM.NumLinks())
+		}
+	}
+	if _, err := MakeWorkload("nope", tinyConfig(), rand.New(rand.NewPCG(1, 1))); err == nil {
+		t.Error("unknown topology should error")
+	}
+}
+
+func TestRunCheckpointsProtocol(t *testing.T) {
+	rng := rand.New(rand.NewPCG(2, 8))
+	w, err := MakeWorkload("tree", tinyConfig(), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunCheckpoints(w, tinyConfig(), 0, []int{5, 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 2 || res[0].M != 5 || res[1].M != 10 {
+		t.Fatalf("checkpoints = %+v", res)
+	}
+	for _, r := range res {
+		if r.LIA.Kept <= 0 || r.LIA.Kept > w.RM.NumLinks() {
+			t.Fatalf("m=%d: kept %d of %d", r.M, r.LIA.Kept, w.RM.NumLinks())
+		}
+		if len(r.LIA.AbsErrors) != w.RM.NumLinks() {
+			t.Fatalf("m=%d: %d abs errors", r.M, len(r.LIA.AbsErrors))
+		}
+	}
+	if _, err := RunCheckpoints(w, tinyConfig(), 0, []int{0}); err == nil {
+		t.Error("checkpoint 0 should error")
+	}
+}
+
+func TestFigure5ShapeLIABeatsSCFS(t *testing.T) {
+	cfg := tinyConfig()
+	tab, err := Figure5(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 10 {
+		t.Fatalf("%d rows", len(tab.Rows))
+	}
+	last := tab.Rows[len(tab.Rows)-1]
+	liaDR, scfsDR := last[1], last[4]
+	if liaDR < 0.85 {
+		t.Errorf("LIA DR at m=100 is %.3f", liaDR)
+	}
+	if liaDR <= scfsDR {
+		t.Errorf("LIA DR %.3f should beat SCFS %.3f", liaDR, scfsDR)
+	}
+}
+
+func TestFigure6CDFsMonotone(t *testing.T) {
+	abs, ef, err := Figure6(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tab := range []*Table{abs, ef} {
+		prev := -1.0
+		for r := range tab.Rows {
+			c := tab.Cell(r, 1)
+			if c < prev || c < 0 || c > 1 {
+				t.Fatalf("%s: CDF not monotone in [0,1]: %v", tab.Title, tab.Column(1))
+			}
+			prev = c
+		}
+		if tab.Cell(len(tab.Rows)-1, 1) < 0.95 {
+			t.Errorf("%s: CDF does not approach 1", tab.Title)
+		}
+	}
+}
+
+func TestFigure7RatioAtMostOne(t *testing.T) {
+	tab, err := Figure7(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != len(TopologyNames) {
+		t.Fatalf("%d rows for %d topologies", len(tab.Rows), len(TopologyNames))
+	}
+	for r := range tab.Rows {
+		if ratio := tab.Cell(r, 0); ratio > 1.0001 {
+			t.Errorf("%s: ratio %.3f > 1 — a congested link was eliminated", tab.Labels[r], ratio)
+		}
+	}
+}
+
+func TestFigure9ConsistencyHigh(t *testing.T) {
+	cfg := tinyConfig()
+	tab, err := Figure9(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := range tab.Rows {
+		if c := tab.Cell(r, 1); c < 70 {
+			t.Errorf("m=%.0f: consistency %.1f%% too low", tab.Cell(r, 0), c)
+		}
+	}
+}
+
+func TestFigure3MonotoneAssumption(t *testing.T) {
+	_, corr, err := Figure3(tinyConfig(), 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if corr < 0.5 {
+		t.Errorf("mean-variance correlation %.3f: Assumption S.3 violated in the model", corr)
+	}
+}
+
+func TestTable3RowsComplete(t *testing.T) {
+	tab, err := Table3(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != len(Table3Thresholds) {
+		t.Fatalf("%d rows", len(tab.Rows))
+	}
+	for r := range tab.Rows {
+		inter, intra := tab.Cell(r, 1), tab.Cell(r, 2)
+		if inter+intra > 0 && (inter+intra < 99.9 || inter+intra > 100.1) {
+			t.Errorf("tl=%.2f: inter+intra = %.1f%%", tab.Cell(r, 0), inter+intra)
+		}
+	}
+}
+
+func TestCrossValidateErrors(t *testing.T) {
+	if _, err := CrossValidate(nil, nil, 5, 100, 0.005, 1); err == nil {
+		t.Error("missing snapshots should error")
+	}
+}
+
+func TestTableFormatting(t *testing.T) {
+	tab := &Table{
+		Title:     "demo",
+		Header:    []string{"a", "b"},
+		Precision: []int{0, 2},
+	}
+	tab.AddRow("row1", 42, 0.125)
+	out := tab.String()
+	if !strings.Contains(out, "demo") || !strings.Contains(out, "42") || !strings.Contains(out, "0.12") {
+		t.Fatalf("formatting wrong:\n%s", out)
+	}
+	if v, ok := tab.RowByLabel("row1"); !ok || v[0] != 42 {
+		t.Fatal("RowByLabel failed")
+	}
+	if _, ok := tab.RowByLabel("nope"); ok {
+		t.Fatal("RowByLabel found a ghost")
+	}
+	if got := tab.Column(1); len(got) != 1 || got[0] != 0.125 {
+		t.Fatalf("Column = %v", got)
+	}
+}
+
+func TestRunningTimesProducesRow(t *testing.T) {
+	tab, err := RunningTimes(tinyConfig(), "planetlab")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 1 || tab.Cell(0, 1) < 0 {
+		t.Fatalf("running times: %v", tab)
+	}
+}
+
+func TestCongestionDurationsTrackTruth(t *testing.T) {
+	cfg := tinyConfig()
+	tab, err := CongestionDurations(cfg, 12, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 2 {
+		t.Fatalf("want inferred + truth rows, got %d", len(tab.Rows))
+	}
+	// Inferred episode shares should be close to ground truth (the key
+	// claim: LIA tracks per-snapshot congestion).
+	for c := 0; c < 3; c++ {
+		if d := tab.Cell(0, c) - tab.Cell(1, c); d > 35 || d < -35 {
+			t.Errorf("column %d: inferred %.1f vs truth %.1f", c, tab.Cell(0, c), tab.Cell(1, c))
+		}
+	}
+}

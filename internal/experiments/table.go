@@ -1,0 +1,114 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is a formatted experiment result: a titled grid with named columns.
+// Raw numeric cells are retained so tests and benchmarks can assert on them.
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]float64
+	// Labels optionally names each row (e.g. topology names); empty means
+	// rows are unlabeled.
+	Labels []string
+	// Precision per column (default 4 decimal places).
+	Precision []int
+}
+
+// AddRow appends a labeled row.
+func (t *Table) AddRow(label string, cells ...float64) {
+	t.Labels = append(t.Labels, label)
+	t.Rows = append(t.Rows, cells)
+}
+
+// Cell returns the raw value at (row, col).
+func (t *Table) Cell(row, col int) float64 { return t.Rows[row][col] }
+
+// Column returns a copy of one column.
+func (t *Table) Column(col int) []float64 {
+	out := make([]float64, len(t.Rows))
+	for i, r := range t.Rows {
+		out[i] = r[col]
+	}
+	return out
+}
+
+// RowByLabel returns the first row with the given label.
+func (t *Table) RowByLabel(label string) ([]float64, bool) {
+	for i, l := range t.Labels {
+		if l == label {
+			return t.Rows[i], true
+		}
+	}
+	return nil, false
+}
+
+func (t *Table) prec(col int) int {
+	if col < len(t.Precision) {
+		return t.Precision[col] // 0 means integer formatting
+	}
+	return 4
+}
+
+// Fprint renders the table, padding columns for terminal readability.
+func (t *Table) Fprint(w io.Writer) {
+	labelled := false
+	for _, l := range t.Labels {
+		if l != "" {
+			labelled = true
+			break
+		}
+	}
+	var rows [][]string
+	head := []string{}
+	if labelled {
+		head = append(head, "")
+	}
+	head = append(head, t.Header...)
+	rows = append(rows, head)
+	for i, r := range t.Rows {
+		var row []string
+		if labelled {
+			row = append(row, t.Labels[i])
+		}
+		for c, v := range r {
+			row = append(row, fmt.Sprintf("%.*f", t.prec(c), v))
+		}
+		rows = append(rows, row)
+	}
+	width := make([]int, len(rows[0]))
+	for _, r := range rows {
+		for c, cell := range r {
+			if c < len(width) && len(cell) > width[c] {
+				width[c] = len(cell)
+			}
+		}
+	}
+	fmt.Fprintf(w, "== %s ==\n", t.Title)
+	for _, r := range rows {
+		var b strings.Builder
+		for c, cell := range r {
+			if c > 0 {
+				b.WriteString("  ")
+			}
+			pad := 0
+			if c < len(width) {
+				pad = width[c] - len(cell)
+			}
+			b.WriteString(strings.Repeat(" ", pad))
+			b.WriteString(cell)
+		}
+		fmt.Fprintln(w, b.String())
+	}
+}
+
+// String renders the table to a string.
+func (t *Table) String() string {
+	var b strings.Builder
+	t.Fprint(&b)
+	return b.String()
+}

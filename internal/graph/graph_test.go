@@ -1,0 +1,186 @@
+package graph
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+)
+
+func TestAddEdgeAndDegrees(t *testing.T) {
+	g := New(3)
+	e0 := g.AddEdge(0, 1, 1)
+	e1, e2 := g.AddBidirectional(1, 2, 2)
+	if g.NumEdges() != 3 {
+		t.Fatalf("NumEdges = %d, want 3", g.NumEdges())
+	}
+	if g.Edge(e0).To != 1 || g.Edge(e1).From != 1 || g.Edge(e2).From != 2 {
+		t.Fatal("edge endpoints wrong")
+	}
+	if g.OutDegree(1) != 1 || g.InDegree(1) != 2 {
+		t.Fatalf("degrees of node 1: out=%d in=%d, want 1/2", g.OutDegree(1), g.InDegree(1))
+	}
+	if !g.HasEdgeBetween(0, 1) || g.HasEdgeBetween(1, 0) {
+		t.Fatal("HasEdgeBetween wrong for directed edges")
+	}
+}
+
+func TestAddEdgePanics(t *testing.T) {
+	g := New(2)
+	for _, fn := range []func(){
+		func() { g.AddEdge(0, 5, 1) },
+		func() { g.AddEdge(-1, 0, 1) },
+		func() { g.AddEdge(0, 1, -2) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestAddNode(t *testing.T) {
+	g := New(0)
+	if id := g.AddNode(); id != 0 {
+		t.Fatalf("first node id = %d", id)
+	}
+	if id := g.AddNode(); id != 1 {
+		t.Fatalf("second node id = %d", id)
+	}
+}
+
+func TestShortestPathTreeLine(t *testing.T) {
+	// 0 -1- 1 -1- 2 -1- 3
+	g := New(4)
+	for i := 0; i < 3; i++ {
+		g.AddBidirectional(i, i+1, 1)
+	}
+	tree := g.ShortestPathTree(0)
+	if tree.Dist[3] != 3 {
+		t.Fatalf("Dist[3] = %v, want 3", tree.Dist[3])
+	}
+	path := tree.PathTo(3, g)
+	if len(path) != 3 {
+		t.Fatalf("path length %d, want 3", len(path))
+	}
+	// Edges must chain 0→1→2→3.
+	at := 0
+	for _, eid := range path {
+		e := g.Edge(eid)
+		if e.From != at {
+			t.Fatalf("path edge from %d, expected %d", e.From, at)
+		}
+		at = e.To
+	}
+	if at != 3 {
+		t.Fatalf("path ends at %d, want 3", at)
+	}
+}
+
+func TestShortestPathPrefersLowerWeight(t *testing.T) {
+	// Two routes 0→2: direct cost 5, via 1 cost 2.
+	g := New(3)
+	g.AddEdge(0, 2, 5)
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(1, 2, 1)
+	tree := g.ShortestPathTree(0)
+	if tree.Dist[2] != 2 {
+		t.Fatalf("Dist[2] = %v, want 2", tree.Dist[2])
+	}
+	if len(tree.PathTo(2, g)) != 2 {
+		t.Fatal("should route via node 1")
+	}
+}
+
+func TestShortestPathUnreachable(t *testing.T) {
+	g := New(3)
+	g.AddEdge(0, 1, 1)
+	tree := g.ShortestPathTree(0)
+	if tree.Reachable(2) {
+		t.Fatal("node 2 should be unreachable")
+	}
+	if tree.PathTo(2, g) != nil {
+		t.Fatal("PathTo unreachable node should be nil")
+	}
+	if !math.IsInf(tree.Dist[2], 1) {
+		t.Fatal("unreachable distance should be +Inf")
+	}
+}
+
+func TestShortestPathDeterministicTieBreak(t *testing.T) {
+	// Diamond with equal-cost routes: 0→1→3 and 0→2→3. The tie-break must
+	// pick the same route every time.
+	build := func() *Digraph {
+		g := New(4)
+		g.AddBidirectional(0, 1, 1)
+		g.AddBidirectional(0, 2, 1)
+		g.AddBidirectional(1, 3, 1)
+		g.AddBidirectional(2, 3, 1)
+		return g
+	}
+	ref := build().ShortestPathTree(0).PathTo(3, build())
+	for i := 0; i < 10; i++ {
+		g := build()
+		got := g.ShortestPathTree(0).PathTo(3, g)
+		if len(got) != len(ref) {
+			t.Fatal("nondeterministic path length")
+		}
+		for j := range got {
+			if got[j] != ref[j] {
+				t.Fatal("nondeterministic tie-break")
+			}
+		}
+	}
+}
+
+func TestShortestPathTreeIsTree(t *testing.T) {
+	// Property: on a random connected graph, the parent pointers form a
+	// tree reaching every node, and Dist satisfies the triangle property
+	// along tree edges.
+	rng := rand.New(rand.NewPCG(9, 9))
+	for trial := 0; trial < 10; trial++ {
+		n := 20 + rng.IntN(30)
+		g := New(n)
+		for v := 1; v < n; v++ {
+			g.AddBidirectional(v, rng.IntN(v), 1+float64(rng.IntN(3)))
+		}
+		for e := 0; e < n/2; e++ {
+			a, b := rng.IntN(n), rng.IntN(n)
+			if a != b {
+				g.AddBidirectional(a, b, 1+float64(rng.IntN(3)))
+			}
+		}
+		tree := g.ShortestPathTree(0)
+		for v := 1; v < n; v++ {
+			if !tree.Reachable(v) {
+				t.Fatalf("node %d unreachable in connected graph", v)
+			}
+			eid := tree.ParentEdge[v]
+			e := g.Edge(eid)
+			if e.To != v {
+				t.Fatalf("parent edge of %d points to %d", v, e.To)
+			}
+			if math.Abs(tree.Dist[e.From]+e.Weight-tree.Dist[v]) > 1e-12 {
+				t.Fatalf("distance inconsistency at node %d", v)
+			}
+		}
+	}
+}
+
+func TestConnected(t *testing.T) {
+	g := New(3)
+	g.AddBidirectional(0, 1, 1)
+	if g.Connected() {
+		t.Fatal("graph with isolated node 2 reported connected")
+	}
+	g.AddBidirectional(1, 2, 1)
+	if !g.Connected() {
+		t.Fatal("connected graph reported disconnected")
+	}
+	if !New(0).Connected() {
+		t.Fatal("empty graph should be connected")
+	}
+}

@@ -1,0 +1,108 @@
+package linalg
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrNotPositiveDefinite is returned by NewCholesky when the input matrix is
+// not (numerically) symmetric positive definite.
+var ErrNotPositiveDefinite = errors.New("linalg: matrix is not positive definite")
+
+// Cholesky holds the lower-triangular factor L of a symmetric positive
+// definite matrix G = L·Lᵀ. It is used to solve the normal equations
+// AᵀA·v = AᵀΣ* assembled by the scalable variance estimator.
+type Cholesky struct {
+	l *Dense
+	n int
+}
+
+// NewCholesky factorizes the symmetric matrix g (only the lower triangle is
+// read). It fails with ErrNotPositiveDefinite on a non-positive pivot.
+func NewCholesky(g *Dense) (*Cholesky, error) {
+	n, c := g.Dims()
+	if n != c {
+		panic(fmt.Sprintf("linalg: Cholesky of non-square %d×%d", n, c))
+	}
+	l := NewDense(n, n)
+	for j := 0; j < n; j++ {
+		d := g.At(j, j)
+		lrowj := l.Row(j)
+		for k := 0; k < j; k++ {
+			d -= lrowj[k] * lrowj[k]
+		}
+		if d <= 0 || math.IsNaN(d) {
+			return nil, fmt.Errorf("%w: pivot %d is %g", ErrNotPositiveDefinite, j, d)
+		}
+		dj := math.Sqrt(d)
+		lrowj[j] = dj
+		for i := j + 1; i < n; i++ {
+			s := g.At(i, j)
+			lrowi := l.Row(i)
+			for k := 0; k < j; k++ {
+				s -= lrowi[k] * lrowj[k]
+			}
+			lrowi[j] = s / dj
+		}
+	}
+	return &Cholesky{l: l, n: n}, nil
+}
+
+// NewCholeskyRegularized retries the factorization with an increasing ridge
+// term λ·diag(G) until it succeeds, returning the factor and the λ used.
+// It lets the normal-equations solver survive nearly-dependent augmented
+// matrix columns caused by sampling noise.
+func NewCholeskyRegularized(g *Dense) (*Cholesky, float64, error) {
+	ch, err := NewCholesky(g)
+	if err == nil {
+		return ch, 0, nil
+	}
+	n, _ := g.Dims()
+	var maxDiag float64
+	for i := 0; i < n; i++ {
+		if d := math.Abs(g.At(i, i)); d > maxDiag {
+			maxDiag = d
+		}
+	}
+	if maxDiag == 0 {
+		maxDiag = 1
+	}
+	for lambda := 1e-12; lambda <= 1e-2; lambda *= 100 {
+		r := g.Clone()
+		for i := 0; i < n; i++ {
+			r.Add(i, i, lambda*maxDiag)
+		}
+		if ch, err := NewCholesky(r); err == nil {
+			return ch, lambda, nil
+		}
+	}
+	return nil, 0, fmt.Errorf("linalg: regularized Cholesky failed: %w", err)
+}
+
+// Solve solves G·x = b using the factorization.
+func (c *Cholesky) Solve(b []float64) []float64 {
+	if len(b) != c.n {
+		panic(fmt.Sprintf("linalg: Cholesky.Solve rhs length %d != %d", len(b), c.n))
+	}
+	// Forward substitution L·y = b.
+	y := make([]float64, c.n)
+	for i := 0; i < c.n; i++ {
+		s := b[i]
+		row := c.l.Row(i)
+		for k := 0; k < i; k++ {
+			s -= row[k] * y[k]
+		}
+		y[i] = s / row[i]
+	}
+	// Back substitution Lᵀ·x = y.
+	x := make([]float64, c.n)
+	for i := c.n - 1; i >= 0; i-- {
+		s := y[i]
+		for k := i + 1; k < c.n; k++ {
+			s -= c.l.At(k, i) * x[k]
+		}
+		x[i] = s / c.l.At(i, i)
+	}
+	return x
+}

@@ -1,0 +1,235 @@
+// Package linalg provides the dense and structured linear algebra used by the
+// loss-inference pipeline: Householder QR (plain and column-pivoted),
+// Cholesky factorization, least-squares solvers and rank estimation.
+//
+// It is written from scratch on the standard library so that the repository
+// has no external dependencies. The implementations follow Golub & Van Loan,
+// "Matrix Computations" (the reference the paper itself cites for its
+// orthogonal-triangular factorizations).
+package linalg
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Dense is a row-major dense matrix of float64.
+//
+// The zero value is an empty matrix; use NewDense to allocate one with a
+// shape. Methods panic on out-of-range indices and on dimension mismatches:
+// those are programmer errors, not runtime conditions.
+type Dense struct {
+	rows, cols int
+	data       []float64
+}
+
+// NewDense allocates an r×c zero matrix.
+func NewDense(r, c int) *Dense {
+	if r < 0 || c < 0 {
+		panic(fmt.Sprintf("linalg: negative dimension %d×%d", r, c))
+	}
+	return &Dense{rows: r, cols: c, data: make([]float64, r*c)}
+}
+
+// NewDenseFrom builds an r×c matrix from row-major data. The slice is copied.
+func NewDenseFrom(r, c int, data []float64) *Dense {
+	if len(data) != r*c {
+		panic(fmt.Sprintf("linalg: data length %d does not match %d×%d", len(data), r, c))
+	}
+	m := NewDense(r, c)
+	copy(m.data, data)
+	return m
+}
+
+// Dims returns the number of rows and columns.
+func (m *Dense) Dims() (r, c int) { return m.rows, m.cols }
+
+// Rows returns the number of rows.
+func (m *Dense) Rows() int { return m.rows }
+
+// Cols returns the number of columns.
+func (m *Dense) Cols() int { return m.cols }
+
+// At returns the element at row i, column j.
+func (m *Dense) At(i, j int) float64 {
+	m.check(i, j)
+	return m.data[i*m.cols+j]
+}
+
+// Set assigns the element at row i, column j.
+func (m *Dense) Set(i, j int, v float64) {
+	m.check(i, j)
+	m.data[i*m.cols+j] = v
+}
+
+// Add adds v to the element at row i, column j.
+func (m *Dense) Add(i, j int, v float64) {
+	m.check(i, j)
+	m.data[i*m.cols+j] += v
+}
+
+func (m *Dense) check(i, j int) {
+	if i < 0 || i >= m.rows || j < 0 || j >= m.cols {
+		panic(fmt.Sprintf("linalg: index (%d,%d) out of range %d×%d", i, j, m.rows, m.cols))
+	}
+}
+
+// Row returns a view (not a copy) of row i.
+func (m *Dense) Row(i int) []float64 {
+	if i < 0 || i >= m.rows {
+		panic(fmt.Sprintf("linalg: row %d out of range %d", i, m.rows))
+	}
+	return m.data[i*m.cols : (i+1)*m.cols]
+}
+
+// Clone returns a deep copy of the matrix.
+func (m *Dense) Clone() *Dense {
+	c := NewDense(m.rows, m.cols)
+	copy(c.data, m.data)
+	return c
+}
+
+// MulVec computes y = M·x.
+func (m *Dense) MulVec(x []float64) []float64 {
+	if len(x) != m.cols {
+		panic(fmt.Sprintf("linalg: MulVec length %d != cols %d", len(x), m.cols))
+	}
+	y := make([]float64, m.rows)
+	for i := 0; i < m.rows; i++ {
+		row := m.Row(i)
+		var s float64
+		for j, v := range row {
+			s += v * x[j]
+		}
+		y[i] = s
+	}
+	return y
+}
+
+// TMulVec computes y = Mᵀ·x.
+func (m *Dense) TMulVec(x []float64) []float64 {
+	if len(x) != m.rows {
+		panic(fmt.Sprintf("linalg: TMulVec length %d != rows %d", len(x), m.rows))
+	}
+	y := make([]float64, m.cols)
+	for i := 0; i < m.rows; i++ {
+		row := m.Row(i)
+		xi := x[i]
+		if xi == 0 {
+			continue
+		}
+		for j, v := range row {
+			y[j] += v * xi
+		}
+	}
+	return y
+}
+
+// Mul computes the product M·B as a new matrix.
+func (m *Dense) Mul(b *Dense) *Dense {
+	if m.cols != b.rows {
+		panic(fmt.Sprintf("linalg: Mul %d×%d by %d×%d", m.rows, m.cols, b.rows, b.cols))
+	}
+	out := NewDense(m.rows, b.cols)
+	for i := 0; i < m.rows; i++ {
+		arow := m.Row(i)
+		orow := out.Row(i)
+		for k, aik := range arow {
+			if aik == 0 {
+				continue
+			}
+			brow := b.Row(k)
+			for j, bkj := range brow {
+				orow[j] += aik * bkj
+			}
+		}
+	}
+	return out
+}
+
+// T returns the transpose as a new matrix.
+func (m *Dense) T() *Dense {
+	t := NewDense(m.cols, m.rows)
+	for i := 0; i < m.rows; i++ {
+		row := m.Row(i)
+		for j, v := range row {
+			t.data[j*t.cols+i] = v
+		}
+	}
+	return t
+}
+
+// MaxAbs returns the largest absolute entry (0 for an empty matrix).
+func (m *Dense) MaxAbs() float64 {
+	var mx float64
+	for _, v := range m.data {
+		if a := math.Abs(v); a > mx {
+			mx = a
+		}
+	}
+	return mx
+}
+
+// SelectColumns returns a new matrix made of the given columns, in order.
+func (m *Dense) SelectColumns(cols []int) *Dense {
+	out := NewDense(m.rows, len(cols))
+	for i := 0; i < m.rows; i++ {
+		src := m.Row(i)
+		dst := out.Row(i)
+		for k, j := range cols {
+			dst[k] = src[j]
+		}
+	}
+	return out
+}
+
+// String renders the matrix for debugging; large matrices are elided.
+func (m *Dense) String() string {
+	const maxShow = 8
+	var b strings.Builder
+	fmt.Fprintf(&b, "Dense %d×%d", m.rows, m.cols)
+	if m.rows > maxShow || m.cols > maxShow {
+		return b.String()
+	}
+	for i := 0; i < m.rows; i++ {
+		b.WriteString("\n  ")
+		for j := 0; j < m.cols; j++ {
+			fmt.Fprintf(&b, "% .4g ", m.At(i, j))
+		}
+	}
+	return b.String()
+}
+
+// Norm2 returns the Euclidean norm of a vector.
+func Norm2(x []float64) float64 {
+	// Scaled to avoid overflow/underflow, as in LAPACK's dnrm2.
+	var scale, ssq float64 = 0, 1
+	for _, v := range x {
+		if v == 0 {
+			continue
+		}
+		a := math.Abs(v)
+		if scale < a {
+			r := scale / a
+			ssq = 1 + ssq*r*r
+			scale = a
+		} else {
+			r := a / scale
+			ssq += r * r
+		}
+	}
+	return scale * math.Sqrt(ssq)
+}
+
+// Dot returns the inner product of two equal-length vectors.
+func Dot(x, y []float64) float64 {
+	if len(x) != len(y) {
+		panic(fmt.Sprintf("linalg: Dot length mismatch %d != %d", len(x), len(y)))
+	}
+	var s float64
+	for i, v := range x {
+		s += v * y[i]
+	}
+	return s
+}

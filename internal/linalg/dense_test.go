@@ -1,0 +1,186 @@
+package linalg
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func randomDense(rng *rand.Rand, r, c int) *Dense {
+	m := NewDense(r, c)
+	for i := 0; i < r; i++ {
+		for j := 0; j < c; j++ {
+			m.Set(i, j, rng.NormFloat64())
+		}
+	}
+	return m
+}
+
+func TestDenseAtSet(t *testing.T) {
+	m := NewDense(3, 4)
+	m.Set(1, 2, 7.5)
+	if got := m.At(1, 2); got != 7.5 {
+		t.Fatalf("At(1,2) = %v, want 7.5", got)
+	}
+	m.Add(1, 2, 0.5)
+	if got := m.At(1, 2); got != 8 {
+		t.Fatalf("after Add, At(1,2) = %v, want 8", got)
+	}
+	if r, c := m.Dims(); r != 3 || c != 4 {
+		t.Fatalf("Dims = %d,%d want 3,4", r, c)
+	}
+}
+
+func TestDenseOutOfRangePanics(t *testing.T) {
+	m := NewDense(2, 2)
+	for _, fn := range []func(){
+		func() { m.At(2, 0) },
+		func() { m.At(0, -1) },
+		func() { m.Set(-1, 0, 1) },
+		func() { m.Row(5) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic on out-of-range access")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestNewDenseFrom(t *testing.T) {
+	m := NewDenseFrom(2, 3, []float64{1, 2, 3, 4, 5, 6})
+	if m.At(1, 0) != 4 || m.At(0, 2) != 3 {
+		t.Fatalf("unexpected layout: %v", m)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on bad data length")
+		}
+	}()
+	NewDenseFrom(2, 2, []float64{1})
+}
+
+func TestDenseMulVec(t *testing.T) {
+	m := NewDenseFrom(2, 3, []float64{1, 2, 3, 4, 5, 6})
+	y := m.MulVec([]float64{1, 1, 1})
+	if y[0] != 6 || y[1] != 15 {
+		t.Fatalf("MulVec = %v, want [6 15]", y)
+	}
+	z := m.TMulVec([]float64{1, 1})
+	want := []float64{5, 7, 9}
+	for i := range want {
+		if z[i] != want[i] {
+			t.Fatalf("TMulVec = %v, want %v", z, want)
+		}
+	}
+}
+
+func TestDenseMulMatchesManual(t *testing.T) {
+	a := NewDenseFrom(2, 2, []float64{1, 2, 3, 4})
+	b := NewDenseFrom(2, 2, []float64{5, 6, 7, 8})
+	c := a.Mul(b)
+	want := [][]float64{{19, 22}, {43, 50}}
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			if c.At(i, j) != want[i][j] {
+				t.Fatalf("Mul[%d][%d] = %v, want %v", i, j, c.At(i, j), want[i][j])
+			}
+		}
+	}
+}
+
+func TestDenseTransposeInvolution(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 2))
+	m := randomDense(rng, 5, 3)
+	tt := m.T().T()
+	for i := 0; i < 5; i++ {
+		for j := 0; j < 3; j++ {
+			if tt.At(i, j) != m.At(i, j) {
+				t.Fatal("transpose twice is not identity")
+			}
+		}
+	}
+}
+
+func TestSelectColumns(t *testing.T) {
+	m := NewDenseFrom(2, 3, []float64{1, 2, 3, 4, 5, 6})
+	s := m.SelectColumns([]int{2, 0})
+	if s.At(0, 0) != 3 || s.At(0, 1) != 1 || s.At(1, 0) != 6 || s.At(1, 1) != 4 {
+		t.Fatalf("SelectColumns wrong: %v", s)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	m := NewDense(1, 1)
+	c := m.Clone()
+	c.Set(0, 0, 9)
+	if m.At(0, 0) != 0 {
+		t.Fatal("Clone shares storage with original")
+	}
+}
+
+func TestNorm2(t *testing.T) {
+	if got := Norm2([]float64{3, 4}); math.Abs(got-5) > 1e-15 {
+		t.Fatalf("Norm2(3,4) = %v, want 5", got)
+	}
+	if got := Norm2(nil); got != 0 {
+		t.Fatalf("Norm2(nil) = %v, want 0", got)
+	}
+	// Overflow safety: should not produce +Inf for large entries.
+	if got := Norm2([]float64{1e308, 1e308}); math.IsInf(got, 0) {
+		t.Fatal("Norm2 overflowed")
+	}
+}
+
+func TestNorm2Property(t *testing.T) {
+	// Property: scaling a vector scales its norm.
+	f := func(a, b, c float64) bool {
+		if math.IsNaN(a) || math.IsNaN(b) || math.IsNaN(c) ||
+			math.IsInf(a, 0) || math.IsInf(b, 0) || math.IsInf(c, 0) {
+			return true
+		}
+		a, b, c = math.Mod(a, 1e6), math.Mod(b, 1e6), math.Mod(c, 1e6)
+		v := []float64{a, b, c}
+		n1 := Norm2(v)
+		scaled := []float64{2 * a, 2 * b, 2 * c}
+		n2 := Norm2(scaled)
+		return math.Abs(n2-2*n1) <= 1e-9*(1+n1)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDotMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on length mismatch")
+		}
+	}()
+	Dot([]float64{1}, []float64{1, 2})
+}
+
+func TestMaxAbs(t *testing.T) {
+	m := NewDenseFrom(2, 2, []float64{1, -7, 3, 2})
+	if got := m.MaxAbs(); got != 7 {
+		t.Fatalf("MaxAbs = %v, want 7", got)
+	}
+	if got := NewDense(0, 0).MaxAbs(); got != 0 {
+		t.Fatalf("MaxAbs(empty) = %v, want 0", got)
+	}
+}
+
+func TestStringSmallAndLarge(t *testing.T) {
+	small := NewDense(2, 2)
+	if s := small.String(); len(s) == 0 {
+		t.Error("String() empty for small matrix")
+	}
+	large := NewDense(100, 100)
+	if s := large.String(); len(s) > 64 {
+		t.Errorf("String() should elide large matrices, got %q", s)
+	}
+}

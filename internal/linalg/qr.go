@@ -1,0 +1,178 @@
+package linalg
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrRankDeficient is returned by least-squares solvers when the system
+// matrix does not have full column rank (within tolerance), so a unique
+// minimizer does not exist.
+var ErrRankDeficient = errors.New("linalg: matrix is rank deficient")
+
+// QR holds a Householder orthogonal-triangular factorization A = Q·R of an
+// m×n matrix with m ≥ n. It is the factorization the paper prescribes for
+// solving the moment equations (Section 5.1, citing Golub & Van Loan).
+type QR struct {
+	qr   *Dense    // packed factors: R in the upper triangle, reflectors below
+	tau  []float64 // Householder scalar coefficients
+	m, n int
+}
+
+// NewQR computes the Householder QR factorization of a. The input matrix is
+// not modified. It requires m ≥ n.
+func NewQR(a *Dense) *QR {
+	m, n := a.Dims()
+	if m < n {
+		panic(fmt.Sprintf("linalg: QR requires rows ≥ cols, got %d×%d", m, n))
+	}
+	f := &QR{qr: a.Clone(), tau: make([]float64, n), m: m, n: n}
+	for k := 0; k < n; k++ {
+		f.tau[k] = houseColumn(f.qr, k, k)
+		applyHouseLeft(f.qr, k, k, f.tau[k], k+1)
+	}
+	return f
+}
+
+// houseColumn generates a Householder reflector that annihilates the entries
+// of column col below row row, storing the reflector in place. It returns the
+// scalar tau; after the call, qr[row,col] holds the resulting R entry and the
+// entries below hold the reflector's essential part.
+func houseColumn(a *Dense, row, col int) float64 {
+	m := a.Rows()
+	// norm of a[row:m, col]
+	var normSq float64
+	for i := row + 1; i < m; i++ {
+		v := a.At(i, col)
+		normSq += v * v
+	}
+	alpha := a.At(row, col)
+	if normSq == 0 {
+		// Already triangular in this column; reflector is identity.
+		return 0
+	}
+	beta := math.Sqrt(alpha*alpha + normSq)
+	if alpha > 0 {
+		beta = -beta
+	}
+	// v = x - beta·e1, normalized so v[0] = 1.
+	v0 := alpha - beta
+	for i := row + 1; i < m; i++ {
+		a.Set(i, col, a.At(i, col)/v0)
+	}
+	a.Set(row, col, beta)
+	return (beta - alpha) / beta
+}
+
+// applyHouseLeft applies the reflector stored in column col (with pivot at
+// row) to columns [fromCol, n) of a: A ← (I − τ·v·vᵀ)·A.
+func applyHouseLeft(a *Dense, row, col int, tau float64, fromCol int) {
+	if tau == 0 {
+		return
+	}
+	m, n := a.Dims()
+	for j := fromCol; j < n; j++ {
+		// w = vᵀ·a[:,j] with v[0] = 1.
+		w := a.At(row, j)
+		for i := row + 1; i < m; i++ {
+			w += a.At(i, col) * a.At(i, j)
+		}
+		w *= tau
+		a.Add(row, j, -w)
+		for i := row + 1; i < m; i++ {
+			a.Add(i, j, -w*a.At(i, col))
+		}
+	}
+}
+
+// applyQT computes y ← Qᵀ·y in place using the stored reflectors.
+func (f *QR) applyQT(y []float64) {
+	for k := 0; k < f.n; k++ {
+		tau := f.tau[k]
+		if tau == 0 {
+			continue
+		}
+		w := y[k]
+		for i := k + 1; i < f.m; i++ {
+			w += f.qr.At(i, k) * y[i]
+		}
+		w *= tau
+		y[k] -= w
+		for i := k + 1; i < f.m; i++ {
+			y[i] -= w * f.qr.At(i, k)
+		}
+	}
+}
+
+// RCond crudely estimates the reciprocal condition of R via the ratio of the
+// smallest to largest diagonal magnitude. Zero means numerically singular.
+func (f *QR) RCond() float64 {
+	if f.n == 0 {
+		return 1
+	}
+	minD, maxD := math.Inf(1), 0.0
+	for k := 0; k < f.n; k++ {
+		d := math.Abs(f.qr.At(k, k))
+		if d < minD {
+			minD = d
+		}
+		if d > maxD {
+			maxD = d
+		}
+	}
+	if maxD == 0 {
+		return 0
+	}
+	return minD / maxD
+}
+
+// Solve returns the least-squares solution x minimizing ‖A·x − b‖₂.
+// It returns ErrRankDeficient when R has a (numerically) zero diagonal entry.
+func (f *QR) Solve(b []float64) ([]float64, error) {
+	if len(b) != f.m {
+		panic(fmt.Sprintf("linalg: QR.Solve rhs length %d != rows %d", len(b), f.m))
+	}
+	y := make([]float64, f.m)
+	copy(y, b)
+	f.applyQT(y)
+	// Back substitution on the n×n upper triangle.
+	x := make([]float64, f.n)
+	tol := float64(f.m) * eps * f.maxDiag()
+	for k := f.n - 1; k >= 0; k-- {
+		d := f.qr.At(k, k)
+		if math.Abs(d) <= tol {
+			return nil, fmt.Errorf("%w: zero pivot at column %d", ErrRankDeficient, k)
+		}
+		s := y[k]
+		for j := k + 1; j < f.n; j++ {
+			s -= f.qr.At(k, j) * x[j]
+		}
+		x[k] = s / d
+	}
+	return x, nil
+}
+
+func (f *QR) maxDiag() float64 {
+	var mx float64
+	for k := 0; k < f.n; k++ {
+		if d := math.Abs(f.qr.At(k, k)); d > mx {
+			mx = d
+		}
+	}
+	if mx == 0 {
+		return 1
+	}
+	return mx
+}
+
+const eps = 2.220446049250313e-16 // IEEE-754 double machine epsilon
+
+// SolveLeastSquares is a convenience wrapper: QR-factorize a and solve for b.
+func SolveLeastSquares(a *Dense, b []float64) ([]float64, error) {
+	m, n := a.Dims()
+	if m < n {
+		return nil, fmt.Errorf("linalg: under-determined system %d×%d: %w", m, n, ErrRankDeficient)
+	}
+	return NewQR(a).Solve(b)
+}

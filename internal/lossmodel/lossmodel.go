@@ -1,0 +1,312 @@
+// Package lossmodel implements the link loss-rate assignment models (LLRD1
+// and LLRD2 of Padmanabhan et al., used in Section 6 of the paper) and the
+// per-packet loss processes (Gilbert bursts and Bernoulli drops) that realize
+// those mean rates.
+package lossmodel
+
+import (
+	"fmt"
+	"math/rand/v2"
+)
+
+// RateModel selects how mean loss rates are drawn for good/congested links.
+type RateModel int
+
+const (
+	// LLRD1 draws congested-link loss rates uniformly from [0.05, 0.2] and
+	// good-link loss rates from [0, 0.002].
+	LLRD1 RateModel = iota
+	// LLRD2 draws congested-link loss rates from the wider range [0.002, 1].
+	LLRD2
+)
+
+func (m RateModel) String() string {
+	switch m {
+	case LLRD1:
+		return "LLRD1"
+	case LLRD2:
+		return "LLRD2"
+	default:
+		return fmt.Sprintf("RateModel(%d)", int(m))
+	}
+}
+
+// ProcessKind selects the per-packet loss process on a link.
+type ProcessKind int
+
+const (
+	// Gilbert is the two-state burst-loss process: a good state that drops
+	// nothing and a bad state that drops everything, with P(stay bad) = 0.35
+	// per packet (after Paxson's measurements, as in the paper).
+	Gilbert ProcessKind = iota
+	// Bernoulli drops each packet independently with the link's loss rate.
+	Bernoulli
+)
+
+func (k ProcessKind) String() string {
+	switch k {
+	case Gilbert:
+		return "gilbert"
+	case Bernoulli:
+		return "bernoulli"
+	default:
+		return fmt.Sprintf("ProcessKind(%d)", int(k))
+	}
+}
+
+// Threshold is the loss-rate threshold tl separating good from congested
+// links in both LLRD models.
+const Threshold = 0.002
+
+// DefaultPStayBad is the Gilbert P(remain in bad state) used in the paper's
+// simulations.
+const DefaultPStayBad = 0.35
+
+// GoodRateShape selects the distribution of good-link loss rates within
+// [0, Threshold].
+type GoodRateShape int
+
+const (
+	// GoodNearZero (the default) draws u³·Threshold, concentrating mass
+	// near zero: the paper builds on "the loss rates of non-congested links
+	// are close to 0" with "virtually zero" first and second moments, and
+	// its reported false-positive rates imply good links sit well clear of
+	// the classification threshold.
+	GoodNearZero GoodRateShape = iota
+	// GoodUniform draws good rates uniformly from [0, Threshold] — the
+	// literal LLRD reading; kept as an ablation (it parks half the good
+	// links within one inference-error quantum of the threshold).
+	GoodUniform
+)
+
+func (g GoodRateShape) String() string {
+	if g == GoodNearZero {
+		return "near-zero"
+	}
+	return "uniform"
+}
+
+// Config parameterizes a loss scenario.
+type Config struct {
+	Model    RateModel
+	Process  ProcessKind
+	Fraction float64       // p: fraction of links congested
+	PStayBad float64       // Gilbert bad-state self-transition (default 0.35)
+	Good     GoodRateShape // distribution of good-link rates
+
+	// ResampleStatuses redraws which links are congested at every snapshot
+	// instead of fixing the congested set for the whole scenario.
+	ResampleStatuses bool
+	// Episodic, when positive, makes congestion transient: the Fraction-
+	// selected links are only *prone* to congestion, and each is actively
+	// congested in a given snapshot with this probability. Episode lengths
+	// are then geometric, matching the short congestion durations observed
+	// in Section 7.2.2 (99% of congested links stay congested for a single
+	// snapshot).
+	Episodic float64
+	// FreezeRates keeps each link's mean loss rate constant across
+	// snapshots. By default congested links re-draw their level each
+	// snapshot ("a congested link will experience different congestion
+	// levels at different times", Section 3.2), which is what gives
+	// congested links their high variance.
+	FreezeRates bool
+	// ProneWeights optionally skews which links are congestion-prone: the
+	// per-link selection probability is Fraction·ProneWeights[i] (clamped
+	// to 1). Used to make peering links likelier congestion points, as the
+	// paper's Table 3 observes on PlanetLab.
+	ProneWeights []float64
+}
+
+// Scenario holds the evolving ground truth of a simulation: which links are
+// congested and what their current mean loss rates are. Call Advance once per
+// snapshot.
+type Scenario struct {
+	cfg    Config
+	rng    *rand.Rand
+	n      int
+	prone  []bool
+	active []bool
+	rates  []float64
+}
+
+// NewScenario creates a scenario over n links and draws the initial state.
+func NewScenario(cfg Config, rng *rand.Rand, n int) *Scenario {
+	if cfg.Fraction < 0 || cfg.Fraction > 1 {
+		panic(fmt.Sprintf("lossmodel: fraction %g out of [0,1]", cfg.Fraction))
+	}
+	if cfg.PStayBad == 0 {
+		cfg.PStayBad = DefaultPStayBad
+	}
+	if cfg.ProneWeights != nil && len(cfg.ProneWeights) != n {
+		panic(fmt.Sprintf("lossmodel: %d prone weights for %d links", len(cfg.ProneWeights), n))
+	}
+	s := &Scenario{cfg: cfg, rng: rng, n: n, prone: make([]bool, n), active: make([]bool, n), rates: make([]float64, n)}
+	for i := range s.prone {
+		s.prone[i] = rng.Float64() < s.proneProb(i)
+	}
+	s.drawActive()
+	s.drawRates()
+	return s
+}
+
+// proneProb returns link i's probability of being congestion-prone.
+func (s *Scenario) proneProb(i int) float64 {
+	p := s.cfg.Fraction
+	if s.cfg.ProneWeights != nil {
+		p *= s.cfg.ProneWeights[i]
+	}
+	if p > 1 {
+		p = 1
+	}
+	return p
+}
+
+// drawActive realizes which prone links are congested this snapshot.
+func (s *Scenario) drawActive() {
+	for i, p := range s.prone {
+		if !p {
+			s.active[i] = false
+			continue
+		}
+		if s.cfg.Episodic > 0 {
+			s.active[i] = s.rng.Float64() < s.cfg.Episodic
+		} else {
+			s.active[i] = true
+		}
+	}
+}
+
+func (s *Scenario) drawRates() {
+	for i := range s.rates {
+		s.rates[i] = s.drawRate(s.active[i])
+	}
+}
+
+func (s *Scenario) drawRate(congested bool) float64 {
+	u := s.rng.Float64()
+	if !congested {
+		if s.cfg.Good != GoodUniform {
+			return u * u * u * Threshold
+		}
+		return u * Threshold // good: [0, 0.002] under both models
+	}
+	switch s.cfg.Model {
+	case LLRD2:
+		return Threshold + u*(1-Threshold) // [0.002, 1]
+	default: // LLRD1
+		return 0.05 + u*(0.2-0.05) // [0.05, 0.2]
+	}
+}
+
+// Advance moves the scenario to the next snapshot: congested links re-draw
+// their congestion level (unless FreezeRates), and the congested set itself
+// is redrawn when ResampleStatuses is set.
+func (s *Scenario) Advance() {
+	if s.cfg.ResampleStatuses {
+		for i := range s.prone {
+			s.prone[i] = s.rng.Float64() < s.proneProb(i)
+		}
+		s.drawActive()
+		s.drawRates()
+		return
+	}
+	if s.cfg.Episodic > 0 {
+		s.drawActive()
+		s.drawRates()
+		return
+	}
+	if s.cfg.FreezeRates {
+		return
+	}
+	s.drawRates()
+}
+
+// Rates returns the current per-link mean loss rates. The slice is shared;
+// copy before storing.
+func (s *Scenario) Rates() []float64 { return s.rates }
+
+// Congested returns the current congestion statuses. Shared slice.
+func (s *Scenario) Congested() []bool { return s.active }
+
+// Prone returns which links are congestion-prone (equal to Congested unless
+// Episodic is set). Shared slice.
+func (s *Scenario) Prone() []bool { return s.prone }
+
+// NumLinks returns the number of links in the scenario.
+func (s *Scenario) NumLinks() int { return s.n }
+
+// Config returns the scenario configuration.
+func (s *Scenario) Config() Config { return s.cfg }
+
+// Process is a per-packet loss process: Drop reports whether the next packet
+// crossing the link is lost.
+type Process interface {
+	Drop(rng *rand.Rand) bool
+}
+
+// NewProcess builds a loss process of the configured kind with the given
+// mean loss rate. The process's long-run drop fraction equals rate exactly.
+func NewProcess(kind ProcessKind, rate, pStayBad float64, rng *rand.Rand) Process {
+	switch kind {
+	case Bernoulli:
+		return &bernoulliProc{rate: rate}
+	default:
+		return newGilbert(rate, pStayBad, rng)
+	}
+}
+
+type bernoulliProc struct{ rate float64 }
+
+func (b *bernoulliProc) Drop(rng *rand.Rand) bool { return rng.Float64() < b.rate }
+
+// gilbertProc is the two-state Gilbert chain. In the good state no packet is
+// dropped; in the bad state every packet is dropped. Transition
+// probabilities are chosen so that the stationary probability of the bad
+// state equals the target mean loss rate, keeping P(stay bad) at pStayBad
+// when feasible (always feasible for rates ≤ 1/(1+pBadToGood), which covers
+// LLRD1; for extreme LLRD2 rates the bad state's holding time grows
+// instead).
+type gilbertProc struct {
+	pGoodToBad float64
+	pBadToGood float64
+	bad        bool
+}
+
+func newGilbert(rate, pStayBad float64, rng *rand.Rand) *gilbertProc {
+	if rate < 0 || rate > 1 {
+		panic(fmt.Sprintf("lossmodel: loss rate %g out of [0,1]", rate))
+	}
+	g := &gilbertProc{}
+	pBadToGood := 1 - pStayBad
+	switch {
+	case rate >= 1:
+		g.pGoodToBad, g.pBadToGood = 1, 0
+	case rate == 0:
+		g.pGoodToBad, g.pBadToGood = 0, 1
+	default:
+		// Stationary bad probability π = pGB / (pGB + pBG) = rate.
+		pGB := pBadToGood * rate / (1 - rate)
+		if pGB <= 1 {
+			g.pGoodToBad, g.pBadToGood = pGB, pBadToGood
+		} else {
+			// Keep the mean exact by lengthening bad-state holding time.
+			g.pGoodToBad, g.pBadToGood = 1, (1-rate)/rate
+		}
+	}
+	// Start from the stationary distribution.
+	g.bad = rng.Float64() < rate
+	return g
+}
+
+func (g *gilbertProc) Drop(rng *rand.Rand) bool {
+	if g.bad {
+		if rng.Float64() < g.pBadToGood {
+			g.bad = false
+		}
+	} else {
+		if rng.Float64() < g.pGoodToBad {
+			g.bad = true
+		}
+	}
+	return g.bad
+}

@@ -1,0 +1,248 @@
+package lossmodel
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func TestGilbertMeanLossRate(t *testing.T) {
+	// Property: the long-run drop fraction matches the configured rate for
+	// both the feasible-pStayBad regime and the extreme LLRD2 regime.
+	rng := rand.New(rand.NewPCG(1, 2))
+	for _, rate := range []float64{0, 0.001, 0.05, 0.2, 0.5, 0.8, 0.95, 1} {
+		proc := NewProcess(Gilbert, rate, DefaultPStayBad, rng)
+		const n = 200000
+		drops := 0
+		for i := 0; i < n; i++ {
+			if proc.Drop(rng) {
+				drops++
+			}
+		}
+		got := float64(drops) / n
+		tol := 4 * math.Sqrt(rate*(1-rate)/n*10) // burst-inflated
+		if tol < 0.004 {
+			tol = 0.004
+		}
+		if math.Abs(got-rate) > tol {
+			t.Errorf("Gilbert(%g): empirical rate %g (±%g)", rate, got, tol)
+		}
+	}
+}
+
+func TestGilbertBurstiness(t *testing.T) {
+	// Consecutive drops must be far more likely than under Bernoulli: with
+	// P(stay bad) = 0.35, P(drop | previous drop) = 0.35 regardless of rate.
+	rng := rand.New(rand.NewPCG(3, 4))
+	proc := NewProcess(Gilbert, 0.05, DefaultPStayBad, rng)
+	prev := false
+	both, prevCount := 0, 0
+	for i := 0; i < 500000; i++ {
+		d := proc.Drop(rng)
+		if prev {
+			prevCount++
+			if d {
+				both++
+			}
+		}
+		prev = d
+	}
+	condl := float64(both) / float64(prevCount)
+	if condl < 0.25 || condl > 0.45 {
+		t.Errorf("P(drop|drop) = %.3f, want ≈0.35", condl)
+	}
+}
+
+func TestBernoulliMean(t *testing.T) {
+	rng := rand.New(rand.NewPCG(5, 6))
+	proc := NewProcess(Bernoulli, 0.1, DefaultPStayBad, rng)
+	drops := 0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		if proc.Drop(rng) {
+			drops++
+		}
+	}
+	if got := float64(drops) / n; math.Abs(got-0.1) > 0.005 {
+		t.Errorf("Bernoulli(0.1): empirical %g", got)
+	}
+}
+
+func TestGilbertRejectsBadRate(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 1))
+	for _, bad := range []float64{-0.1, 1.5} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("rate %g should panic", bad)
+				}
+			}()
+			NewProcess(Gilbert, bad, DefaultPStayBad, rng)
+		}()
+	}
+}
+
+func TestScenarioFractionAndRanges(t *testing.T) {
+	rng := rand.New(rand.NewPCG(7, 8))
+	const n = 5000
+	s := NewScenario(Config{Model: LLRD1, Fraction: 0.1}, rng, n)
+	cong := 0
+	for i, c := range s.Congested() {
+		r := s.Rates()[i]
+		if c {
+			cong++
+			if r < 0.05 || r > 0.2 {
+				t.Fatalf("congested rate %g outside LLRD1 range", r)
+			}
+		} else if r < 0 || r > Threshold {
+			t.Fatalf("good rate %g outside [0, %g]", r, Threshold)
+		}
+	}
+	frac := float64(cong) / n
+	if frac < 0.08 || frac > 0.12 {
+		t.Errorf("congested fraction %.3f, want ≈0.1", frac)
+	}
+}
+
+func TestScenarioLLRD2Range(t *testing.T) {
+	rng := rand.New(rand.NewPCG(9, 10))
+	s := NewScenario(Config{Model: LLRD2, Fraction: 1}, rng, 1000)
+	for _, r := range s.Rates() {
+		if r < Threshold || r > 1 {
+			t.Fatalf("LLRD2 congested rate %g outside [%g, 1]", r, Threshold)
+		}
+	}
+}
+
+func TestScenarioAdvanceRedrawsRates(t *testing.T) {
+	rng := rand.New(rand.NewPCG(11, 12))
+	s := NewScenario(Config{Model: LLRD1, Fraction: 1}, rng, 50)
+	before := append([]float64(nil), s.Rates()...)
+	s.Advance()
+	same := 0
+	for i, r := range s.Rates() {
+		if r == before[i] {
+			same++
+		}
+	}
+	if same == 50 {
+		t.Fatal("Advance did not redraw congested rates")
+	}
+	// Statuses stay fixed by default.
+	frozen := NewScenario(Config{Model: LLRD1, Fraction: 0.5, FreezeRates: true}, rng, 50)
+	b := append([]float64(nil), frozen.Rates()...)
+	frozen.Advance()
+	for i, r := range frozen.Rates() {
+		if r != b[i] {
+			t.Fatal("FreezeRates scenario changed rates")
+		}
+	}
+}
+
+func TestScenarioResampleStatuses(t *testing.T) {
+	rng := rand.New(rand.NewPCG(13, 14))
+	s := NewScenario(Config{Fraction: 0.5, ResampleStatuses: true}, rng, 200)
+	before := append([]bool(nil), s.Congested()...)
+	s.Advance()
+	diff := 0
+	for i, c := range s.Congested() {
+		if c != before[i] {
+			diff++
+		}
+	}
+	if diff == 0 {
+		t.Fatal("ResampleStatuses did not change the congested set")
+	}
+}
+
+func TestScenarioEpisodic(t *testing.T) {
+	rng := rand.New(rand.NewPCG(15, 16))
+	s := NewScenario(Config{Fraction: 0.5, Episodic: 0.3}, rng, 2000)
+	prone := 0
+	for _, p := range s.Prone() {
+		if p {
+			prone++
+		}
+	}
+	activeTotal := 0
+	const rounds = 50
+	for r := 0; r < rounds; r++ {
+		s.Advance()
+		for i, a := range s.Congested() {
+			if a {
+				activeTotal++
+				if !s.Prone()[i] {
+					t.Fatal("non-prone link became active")
+				}
+			}
+		}
+	}
+	got := float64(activeTotal) / float64(rounds*prone)
+	if math.Abs(got-0.3) > 0.05 {
+		t.Errorf("episodic activation %.3f, want ≈0.3", got)
+	}
+}
+
+func TestScenarioProneWeights(t *testing.T) {
+	rng := rand.New(rand.NewPCG(17, 18))
+	const n = 4000
+	w := make([]float64, n)
+	for i := range w {
+		if i < n/2 {
+			w[i] = 2
+		} else {
+			w[i] = 0.5
+		}
+	}
+	s := NewScenario(Config{Fraction: 0.1, ProneWeights: w}, rng, n)
+	var hi, lo int
+	for i, p := range s.Prone() {
+		if p {
+			if i < n/2 {
+				hi++
+			} else {
+				lo++
+			}
+		}
+	}
+	if hi < 3*lo {
+		t.Errorf("weighted proneness: hi=%d lo=%d, want ≈4× ratio", hi, lo)
+	}
+}
+
+func TestGoodNearZeroShape(t *testing.T) {
+	rng := rand.New(rand.NewPCG(19, 20))
+	s := NewScenario(Config{Fraction: 0, Good: GoodNearZero}, rng, 5000)
+	var mean float64
+	for _, r := range s.Rates() {
+		mean += r
+	}
+	mean /= 5000
+	// E[u³]·tl = tl/4 = 0.0005.
+	if mean > 0.00075 || mean < 0.00035 {
+		t.Errorf("near-zero good mean %g, want ≈0.0005", mean)
+	}
+}
+
+func TestGilbertStationaryStartProperty(t *testing.T) {
+	// Property: the first packet's drop probability matches the rate (the
+	// chain starts in the stationary distribution).
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 1))
+		const rate = 0.3
+		drops := 0
+		const n = 3000
+		for i := 0; i < n; i++ {
+			p := NewProcess(Gilbert, rate, DefaultPStayBad, rng)
+			if p.Drop(rng) {
+				drops++
+			}
+		}
+		got := float64(drops) / n
+		return math.Abs(got-rate) < 0.06
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,209 @@
+package netsim
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"lia/internal/lossmodel"
+	"lia/internal/topogen"
+	"lia/internal/topology"
+)
+
+func smallTree(t *testing.T) *topology.RoutingMatrix {
+	t.Helper()
+	rng := rand.New(rand.NewPCG(1, 1))
+	net := topogen.Tree(rng, 40, 4)
+	paths := topogen.Routes(net, []int{0}, net.Hosts)
+	rm, err := topology.Build(paths)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rm
+}
+
+func TestSimulateLossless(t *testing.T) {
+	rm := smallTree(t)
+	rates := make([]float64, rm.NumLinks())
+	for _, mode := range []Mode{ModePacketPerPath, ModePacketShared, ModeExact} {
+		sim := New(rm, Config{Probes: 500, Seed: 2, Mode: mode})
+		snap := sim.Run(rates)
+		for i, f := range snap.Frac {
+			if f != 1 {
+				t.Fatalf("%v: path %d delivered %v on a lossless network", mode, i, f)
+			}
+		}
+		for k, r := range snap.LinkRealized {
+			if r != 0 {
+				t.Fatalf("%v: link %d realized loss %v on a lossless network", mode, k, r)
+			}
+		}
+	}
+}
+
+func TestSimulateTotalLoss(t *testing.T) {
+	rm := smallTree(t)
+	rates := make([]float64, rm.NumLinks())
+	for k := range rates {
+		rates[k] = 1
+	}
+	sim := New(rm, Config{Probes: 100, Seed: 3})
+	snap := sim.Run(rates)
+	for i, r := range snap.Received {
+		if r != 0 {
+			t.Fatalf("path %d received %d probes through fully lossy links", i, r)
+		}
+	}
+	y := snap.LogRates()
+	for i, v := range y {
+		if !(v < 0) || math.IsInf(v, -1) {
+			t.Fatalf("LogRates[%d] = %v, want finite negative (zero-clamp)", i, v)
+		}
+	}
+}
+
+func TestSimulateMatchesAssignedRates(t *testing.T) {
+	// Property: realized per-link loss tracks the assigned rate in every
+	// mode (law of large numbers at S=4000).
+	rm := smallTree(t)
+	rng := rand.New(rand.NewPCG(4, 4))
+	rates := make([]float64, rm.NumLinks())
+	for k := range rates {
+		if rng.Float64() < 0.2 {
+			rates[k] = 0.05 + 0.1*rng.Float64()
+		}
+	}
+	for _, mode := range []Mode{ModePacketPerPath, ModePacketShared, ModeExact} {
+		sim := New(rm, Config{Probes: 4000, Seed: 5, Mode: mode})
+		snap := sim.Run(rates)
+		for k, want := range rates {
+			got := snap.LinkRealized[k]
+			if math.Abs(got-want) > 0.03 {
+				t.Errorf("%v: link %d realized %.4f, assigned %.4f", mode, k, got, want)
+			}
+		}
+	}
+}
+
+func TestExactModeProductIdentity(t *testing.T) {
+	// In ModeExact the path fraction equals the product of link realized
+	// transmission rates exactly.
+	rm := smallTree(t)
+	rng := rand.New(rand.NewPCG(6, 6))
+	rates := make([]float64, rm.NumLinks())
+	for k := range rates {
+		rates[k] = 0.3 * rng.Float64()
+	}
+	sim := New(rm, Config{Probes: 1000, Seed: 7, Mode: ModeExact})
+	snap := sim.Run(rates)
+	for i := 0; i < rm.NumPaths(); i++ {
+		want := 1.0
+		for _, k := range rm.Row(i) {
+			want *= 1 - snap.LinkRealized[k]
+		}
+		if math.Abs(snap.Frac[i]-want) > 1e-12 {
+			t.Fatalf("path %d: frac %v != product %v", i, snap.Frac[i], want)
+		}
+	}
+}
+
+func TestSharedModeS1Exact(t *testing.T) {
+	// In shared mode, two paths through the same single congested link must
+	// observe exactly the same loss pattern on it; with all other links
+	// lossless, their received counts are identical.
+	paths := []topology.Path{
+		{Beacon: 0, Dst: 2, Links: []int{1, 2}},
+		{Beacon: 0, Dst: 3, Links: []int{1, 3}},
+	}
+	rm, err := topology.Build(paths)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shared, _ := rm.VirtualOf(1)
+	rates := make([]float64, rm.NumLinks())
+	rates[shared] = 0.2
+	sim := New(rm, Config{Probes: 2000, Seed: 8, Mode: ModePacketShared})
+	snap := sim.Run(rates)
+	if snap.Received[0] != snap.Received[1] {
+		t.Fatalf("shared-state paths disagree: %d vs %d", snap.Received[0], snap.Received[1])
+	}
+}
+
+func TestDeterministicAcrossRuns(t *testing.T) {
+	rm := smallTree(t)
+	rates := make([]float64, rm.NumLinks())
+	for k := range rates {
+		rates[k] = 0.1
+	}
+	run := func(workers int) []int {
+		sim := New(rm, Config{Probes: 300, Seed: 11, Workers: workers})
+		return sim.Run(rates).Received
+	}
+	a, b := run(1), run(8)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("parallelism changed results at path %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+}
+
+func TestSnapshotCounterAdvancesRandomness(t *testing.T) {
+	rm := smallTree(t)
+	rates := make([]float64, rm.NumLinks())
+	for k := range rates {
+		rates[k] = 0.1
+	}
+	sim := New(rm, Config{Probes: 500, Seed: 12})
+	s1 := sim.Run(rates)
+	s2 := sim.Run(rates)
+	same := 0
+	for i := range s1.Received {
+		if s1.Received[i] == s2.Received[i] {
+			same++
+		}
+	}
+	if same == len(s1.Received) {
+		t.Fatal("consecutive snapshots are identical — snapshot counter not advancing the RNG")
+	}
+}
+
+func TestSeriesAdvancesScenario(t *testing.T) {
+	rm := smallTree(t)
+	rng := rand.New(rand.NewPCG(13, 13))
+	scen := lossmodel.NewScenario(lossmodel.Config{Fraction: 0.5}, rng, rm.NumLinks())
+	sim := New(rm, Config{Probes: 200, Seed: 14})
+	series := sim.Series(scen, 4)
+	if len(series) != 4 {
+		t.Fatalf("Series returned %d snapshots", len(series))
+	}
+	diff := false
+	for k := range series[0].LinkRate {
+		if series[0].LinkRate[k] != series[1].LinkRate[k] {
+			diff = true
+		}
+	}
+	if !diff {
+		t.Fatal("scenario did not advance between snapshots")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	rm := smallTree(t)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for Probes ≤ 0")
+		}
+	}()
+	New(rm, Config{})
+}
+
+func TestRunValidatesRateLength(t *testing.T) {
+	rm := smallTree(t)
+	sim := New(rm, Config{Probes: 10, Seed: 1})
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for wrong rate vector length")
+		}
+	}()
+	sim.Run(make([]float64, rm.NumLinks()+1))
+}

@@ -1,0 +1,248 @@
+// Package stats provides the second-order sample moments (Section 5.1,
+// eq. 7), the evaluation metrics of Section 6 (detection rate, false
+// positive rate, absolute error, error factor fδ of eq. 10), and small
+// summary/CDF helpers shared by the experiment harness.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// CovAccumulator builds the empirical covariance matrix Σ̂ of the per-path
+// log transmission rates incrementally, one snapshot vector at a time, using
+// a numerically stable streaming update (Welford generalized to
+// cross-moments).
+type CovAccumulator struct {
+	n     int
+	dim   int
+	mean  []float64
+	comom []float64 // packed upper triangle of co-moment sums
+}
+
+// NewCovAccumulator creates an accumulator for dim-dimensional vectors.
+func NewCovAccumulator(dim int) *CovAccumulator {
+	return &CovAccumulator{
+		dim:   dim,
+		mean:  make([]float64, dim),
+		comom: make([]float64, dim*(dim+1)/2),
+	}
+}
+
+func triIndex(i, j, dim int) int {
+	// Upper triangle, row-major: index of (i,j) with i ≤ j.
+	return i*dim - i*(i-1)/2 + (j - i)
+}
+
+// Add folds one snapshot vector into the moments.
+func (c *CovAccumulator) Add(y []float64) {
+	if len(y) != c.dim {
+		panic(fmt.Sprintf("stats: Add vector of length %d to %d-dim accumulator", len(y), c.dim))
+	}
+	c.n++
+	// delta before mean update, delta2 after: comom += delta_i * delta2_j.
+	inv := 1 / float64(c.n)
+	delta := make([]float64, c.dim)
+	for i, v := range y {
+		delta[i] = v - c.mean[i]
+	}
+	for i := range c.mean {
+		c.mean[i] += delta[i] * inv
+	}
+	for i := 0; i < c.dim; i++ {
+		di := delta[i]
+		base := triIndex(i, i, c.dim)
+		for j := i; j < c.dim; j++ {
+			c.comom[base+(j-i)] += di * (y[j] - c.mean[j])
+		}
+	}
+}
+
+// Count returns the number of snapshots folded in.
+func (c *CovAccumulator) Count() int { return c.n }
+
+// Mean returns the per-coordinate sample means.
+func (c *CovAccumulator) Mean() []float64 {
+	out := make([]float64, c.dim)
+	copy(out, c.mean)
+	return out
+}
+
+// Cov returns the unbiased sample covariance Σ̂ᵢⱼ between coordinates i ≤ j.
+// It requires at least two snapshots.
+func (c *CovAccumulator) Cov(i, j int) float64 {
+	if c.n < 2 {
+		panic("stats: covariance needs at least 2 snapshots")
+	}
+	if j < i {
+		i, j = j, i
+	}
+	return c.comom[triIndex(i, j, c.dim)] / float64(c.n-1)
+}
+
+// Dim returns the vector dimension.
+func (c *CovAccumulator) Dim() int { return c.dim }
+
+// Covariance computes the full upper-triangular covariance from a slice of
+// snapshot vectors (rows). Convenience wrapper over CovAccumulator.
+func Covariance(ys [][]float64) *CovAccumulator {
+	if len(ys) == 0 {
+		panic("stats: Covariance of empty sample")
+	}
+	acc := NewCovAccumulator(len(ys[0]))
+	for _, y := range ys {
+		acc.Add(y)
+	}
+	return acc
+}
+
+// Mean returns the arithmetic mean of xs (0 for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Variance returns the unbiased sample variance of xs.
+func Variance(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	var s float64
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return s / float64(len(xs)-1)
+}
+
+// ErrorFactor computes fδ(q, q*) of eq. 10: the maximum ratio, upward or
+// downward, by which the true and inferred loss rates differ, with both
+// clamped below by δ. The paper's default is δ = 10⁻³.
+func ErrorFactor(q, qStar, delta float64) float64 {
+	qd := math.Max(delta, q)
+	qs := math.Max(delta, qStar)
+	return math.Max(qd/qs, qs/qd)
+}
+
+// DefaultDelta is the paper's default error-factor clamp δ.
+const DefaultDelta = 1e-3
+
+// Detection holds congested-link location quality: DR is the fraction of
+// truly congested links identified; FPR is the fraction of identified links
+// that are actually good (|X\F| / |X|, as defined in Section 6).
+type Detection struct {
+	DR  float64
+	FPR float64
+	// TruePositives, FalsePositives, FalseNegatives are the raw counts.
+	TruePositives  int
+	FalsePositives int
+	FalseNegatives int
+}
+
+// Detect compares inferred congestion statuses against the truth.
+// Links where both are false contribute to neither rate. When nothing is
+// truly congested DR is 1; when nothing is identified FPR is 0.
+func Detect(truth, inferred []bool) Detection {
+	if len(truth) != len(inferred) {
+		panic(fmt.Sprintf("stats: Detect length mismatch %d vs %d", len(truth), len(inferred)))
+	}
+	var d Detection
+	for i := range truth {
+		switch {
+		case truth[i] && inferred[i]:
+			d.TruePositives++
+		case truth[i] && !inferred[i]:
+			d.FalseNegatives++
+		case !truth[i] && inferred[i]:
+			d.FalsePositives++
+		}
+	}
+	if tot := d.TruePositives + d.FalseNegatives; tot > 0 {
+		d.DR = float64(d.TruePositives) / float64(tot)
+	} else {
+		d.DR = 1
+	}
+	if tot := d.TruePositives + d.FalsePositives; tot > 0 {
+		d.FPR = float64(d.FalsePositives) / float64(tot)
+	}
+	return d
+}
+
+// Summary is the (min, median, max) triple reported in Table 2.
+type Summary struct {
+	Min, Median, Max float64
+}
+
+// Summarize computes min/median/max of xs. It panics on empty input.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		panic("stats: Summarize of empty slice")
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	return Summary{Min: s[0], Median: Quantile(s, 0.5), Max: s[len(s)-1]}
+}
+
+// Quantile returns the q-quantile (0 ≤ q ≤ 1) of an already-sorted slice
+// using linear interpolation.
+func Quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		panic("stats: Quantile of empty slice")
+	}
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(pos)
+	frac := pos - float64(lo)
+	if lo+1 >= len(sorted) {
+		return sorted[lo]
+	}
+	return sorted[lo]*(1-frac) + sorted[lo+1]*frac
+}
+
+// CDF returns the empirical distribution of xs evaluated at the given
+// points: fraction of samples ≤ point.
+func CDF(xs, at []float64) []float64 {
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	out := make([]float64, len(at))
+	for i, p := range at {
+		out[i] = float64(sort.SearchFloat64s(s, math.Nextafter(p, math.Inf(1)))) / float64(len(s))
+	}
+	return out
+}
+
+// Pearson returns the sample correlation coefficient of two equal-length
+// series (0 when either is constant).
+func Pearson(x, y []float64) float64 {
+	if len(x) != len(y) {
+		panic(fmt.Sprintf("stats: Pearson length mismatch %d vs %d", len(x), len(y)))
+	}
+	if len(x) < 2 {
+		return 0
+	}
+	mx, my := Mean(x), Mean(y)
+	var sxy, sxx, syy float64
+	for i := range x {
+		dx, dy := x[i]-mx, y[i]-my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	if sxx == 0 || syy == 0 {
+		return 0
+	}
+	return sxy / math.Sqrt(sxx*syy)
+}

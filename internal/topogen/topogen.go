@@ -1,0 +1,481 @@
+// Package topogen generates the network topologies used throughout the
+// paper's evaluation: random trees (Section 6.1), BRITE-style Waxman,
+// Barabási–Albert and hierarchical meshes (Section 6.2), and synthetic
+// stand-ins for the measured PlanetLab and DIMES topologies.
+//
+// Every generator labels nodes with an autonomous-system (AS) number so the
+// inter- vs intra-AS congestion analysis of Table 3 can run on any topology,
+// and nominates the end hosts eligible to act as beacons and probing
+// destinations (the paper picks the nodes with least out-degree).
+package topogen
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+	"sort"
+
+	"lia/internal/graph"
+	"lia/internal/topology"
+)
+
+// Network is a generated (or discovered) topology.
+type Network struct {
+	Name  string
+	G     *graph.Digraph
+	Hosts []int // end hosts eligible as beacons / destinations
+	AS    []int // node -> AS number
+}
+
+// InterAS reports whether a directed edge crosses an AS boundary.
+func (n *Network) InterAS(edgeID int) bool {
+	e := n.G.Edge(edgeID)
+	return n.AS[e.From] != n.AS[e.To]
+}
+
+// Tree generates a rooted random tree with the given number of nodes and a
+// maximum branching ratio (the paper uses 1000 nodes, branching ≤ 10).
+// Node 0 is the root (the beacon); the leaves are the probing destinations.
+// Edges are directed root-ward and leaf-ward so either direction can be
+// probed.
+func Tree(rng *rand.Rand, nodes, maxBranch int) *Network {
+	if nodes < 2 {
+		panic("topogen: Tree needs at least 2 nodes")
+	}
+	if maxBranch < 2 {
+		panic("topogen: Tree needs branching ≥ 2")
+	}
+	g := graph.New(nodes)
+	children := make([]int, nodes)
+	eligible := []int{0}
+	for v := 1; v < nodes; v++ {
+		// Pick a random eligible parent (branching not yet saturated).
+		i := rng.IntN(len(eligible))
+		p := eligible[i]
+		g.AddBidirectional(p, v, 1)
+		children[p]++
+		if children[p] >= maxBranch {
+			eligible[i] = eligible[len(eligible)-1]
+			eligible = eligible[:len(eligible)-1]
+		}
+		eligible = append(eligible, v)
+	}
+	var leaves []int
+	for v := 1; v < nodes; v++ {
+		if children[v] == 0 {
+			leaves = append(leaves, v)
+		}
+	}
+	return &Network{
+		Name:  "tree",
+		G:     g,
+		Hosts: leaves,
+		AS:    contiguousAS(nodes, 1+nodes/200),
+	}
+}
+
+// Waxman generates a Waxman random graph: nodes placed uniformly in the unit
+// square, edge probability alpha·exp(−d/(beta·L)). A random spanning tree
+// guarantees connectivity (BRITE does the same). Typical parameters:
+// alpha=0.15, beta=0.2.
+func Waxman(rng *rand.Rand, nodes int, alpha, beta float64) *Network {
+	if nodes < 2 {
+		panic("topogen: Waxman needs at least 2 nodes")
+	}
+	pts := make([]pt, nodes)
+	for i := range pts {
+		pts[i] = pt{rng.Float64(), rng.Float64()}
+	}
+	g := graph.New(nodes)
+	// Spanning tree over a random permutation for connectivity.
+	perm := rng.Perm(nodes)
+	for i := 1; i < nodes; i++ {
+		a, b := perm[i], perm[rng.IntN(i)]
+		g.AddBidirectional(a, b, 1)
+	}
+	l := math.Sqrt2 // max distance in unit square
+	for i := 0; i < nodes; i++ {
+		for j := i + 1; j < nodes; j++ {
+			if g.HasEdgeBetween(i, j) {
+				continue
+			}
+			d := math.Hypot(pts[i].x-pts[j].x, pts[i].y-pts[j].y)
+			if rng.Float64() < alpha*math.Exp(-d/(beta*l)) {
+				g.AddBidirectional(i, j, 1)
+			}
+		}
+	}
+	return &Network{
+		Name:  "waxman",
+		G:     g,
+		Hosts: lowestDegreeHosts(g, nodes/4),
+		AS:    gridAS(ptsX(pts), ptsY(pts), 4),
+	}
+}
+
+type pt struct{ x, y float64 }
+
+func ptsX(p []pt) []float64 {
+	xs := make([]float64, len(p))
+	for i := range p {
+		xs[i] = p[i].x
+	}
+	return xs
+}
+
+func ptsY(p []pt) []float64 {
+	ys := make([]float64, len(p))
+	for i := range p {
+		ys[i] = p[i].y
+	}
+	return ys
+}
+
+// BarabasiAlbert generates a preferential-attachment graph: each new node
+// attaches m edges to existing nodes with probability proportional to their
+// degree, yielding the power-law degree distribution of Internet ASes.
+func BarabasiAlbert(rng *rand.Rand, nodes, m int) *Network {
+	if m < 1 || nodes <= m {
+		panic(fmt.Sprintf("topogen: BarabasiAlbert needs nodes > m ≥ 1, got %d, %d", nodes, m))
+	}
+	g := graph.New(nodes)
+	// Attachment pool: node IDs repeated once per incident edge.
+	var pool []int
+	// Seed: a path over the first m+1 nodes.
+	for v := 1; v <= m; v++ {
+		g.AddBidirectional(v-1, v, 1)
+		pool = append(pool, v-1, v)
+	}
+	for v := m + 1; v < nodes; v++ {
+		chosen := make(map[int]bool)
+		for len(chosen) < m {
+			t := pool[rng.IntN(len(pool))]
+			if t != v {
+				chosen[t] = true
+			}
+		}
+		for t := range chosen {
+			g.AddBidirectional(v, t, 1)
+			pool = append(pool, v, t)
+		}
+	}
+	return &Network{
+		Name:  "barabasi-albert",
+		G:     g,
+		Hosts: lowestDegreeHosts(g, nodes/4),
+		AS:    attachmentAS(nodes, 1+nodes/100),
+	}
+}
+
+// HierarchicalTopDown builds a two-level BRITE-style hierarchy from the top
+// down: an AS-level Waxman graph first, then a router-level Waxman graph
+// inside each AS, with border routers realizing the AS-level edges.
+func HierarchicalTopDown(rng *rand.Rand, asCount, routersPerAS int) *Network {
+	if asCount < 2 || routersPerAS < 2 {
+		panic("topogen: HierarchicalTopDown needs ≥2 ASes and ≥2 routers/AS")
+	}
+	nodes := asCount * routersPerAS
+	g := graph.New(nodes)
+	asOf := make([]int, nodes)
+	routerOf := func(as, r int) int { return as*routersPerAS + r }
+	// Intra-AS: random connected sub-graph per AS.
+	for a := 0; a < asCount; a++ {
+		for r := 1; r < routersPerAS; r++ {
+			g.AddBidirectional(routerOf(a, r), routerOf(a, rng.IntN(r)), 1)
+		}
+		extra := routersPerAS / 3
+		for e := 0; e < extra; e++ {
+			x, y := rng.IntN(routersPerAS), rng.IntN(routersPerAS)
+			if x != y && !g.HasEdgeBetween(routerOf(a, x), routerOf(a, y)) {
+				g.AddBidirectional(routerOf(a, x), routerOf(a, y), 1)
+			}
+		}
+		for r := 0; r < routersPerAS; r++ {
+			asOf[routerOf(a, r)] = a
+		}
+	}
+	// AS-level: spanning tree + extra Waxman-like edges, realized by random
+	// border routers.
+	for a := 1; a < asCount; a++ {
+		b := rng.IntN(a)
+		g.AddBidirectional(routerOf(a, rng.IntN(routersPerAS)), routerOf(b, rng.IntN(routersPerAS)), 2)
+	}
+	for e := 0; e < asCount; e++ {
+		a, b := rng.IntN(asCount), rng.IntN(asCount)
+		if a != b {
+			g.AddBidirectional(routerOf(a, rng.IntN(routersPerAS)), routerOf(b, rng.IntN(routersPerAS)), 2)
+		}
+	}
+	return &Network{
+		Name:  "hierarchical-td",
+		G:     g,
+		Hosts: lowestDegreeHosts(g, nodes/4),
+		AS:    asOf,
+	}
+}
+
+// HierarchicalBottomUp builds the hierarchy bottom-up, the other BRITE mode:
+// a flat router-level Barabási–Albert graph is generated first and routers
+// are then clustered into ASes by breadth-first growth around random seeds,
+// so AS shapes follow the organic router-level structure.
+func HierarchicalBottomUp(rng *rand.Rand, nodes, asCount int) *Network {
+	if asCount < 1 || nodes < asCount {
+		panic("topogen: HierarchicalBottomUp needs nodes ≥ asCount ≥ 1")
+	}
+	base := BarabasiAlbert(rng, nodes, 2)
+	g := base.G
+	asOf := make([]int, nodes)
+	for i := range asOf {
+		asOf[i] = -1
+	}
+	// Multi-source BFS from random seeds.
+	queues := make([][]int, asCount)
+	for a := 0; a < asCount; a++ {
+		for {
+			s := rng.IntN(nodes)
+			if asOf[s] == -1 {
+				asOf[s] = a
+				queues[a] = []int{s}
+				break
+			}
+		}
+	}
+	remaining := nodes - asCount
+	for remaining > 0 {
+		progressed := false
+		for a := 0; a < asCount && remaining > 0; a++ {
+			if len(queues[a]) == 0 {
+				continue
+			}
+			u := queues[a][0]
+			queues[a] = queues[a][1:]
+			for _, eid := range g.OutEdges(u) {
+				v := g.Edge(eid).To
+				if asOf[v] == -1 {
+					asOf[v] = a
+					queues[a] = append(queues[a], v)
+					remaining--
+					progressed = true
+				}
+			}
+			queues[a] = append(queues[a], u) // allow further growth
+			progressed = progressed || len(queues[a]) > 0
+		}
+		if !progressed {
+			// Disconnected leftovers (should not happen: BA is connected).
+			for v := range asOf {
+				if asOf[v] == -1 {
+					asOf[v] = rng.IntN(asCount)
+					remaining--
+				}
+			}
+		}
+	}
+	return &Network{
+		Name:  "hierarchical-bu",
+		G:     g,
+		Hosts: base.Hosts,
+		AS:    asOf,
+	}
+}
+
+// PlanetLabLike synthesizes a research-network topology in the spirit of the
+// measured PlanetLab graph: university sites (each an AS with a gateway and
+// a couple of hosts) hanging off a well-connected national-backbone core.
+func PlanetLabLike(rng *rand.Rand, sites, hostsPerSite int) *Network {
+	if sites < 2 || hostsPerSite < 1 {
+		panic("topogen: PlanetLabLike needs ≥2 sites, ≥1 host/site")
+	}
+	coreN := sites/5 + 3
+	nodes := coreN + sites*(1+hostsPerSite)
+	g := graph.New(nodes)
+	asOf := make([]int, nodes)
+	// Backbone core (AS 0): ring + chords, well meshed like NRENs.
+	for c := 0; c < coreN; c++ {
+		g.AddBidirectional(c, (c+1)%coreN, 1)
+		asOf[c] = 0
+	}
+	for c := 0; c < coreN; c++ {
+		t := rng.IntN(coreN)
+		if t != c && !g.HasEdgeBetween(c, t) {
+			g.AddBidirectional(c, t, 1)
+		}
+	}
+	var hosts []int
+	for s := 0; s < sites; s++ {
+		gw := coreN + s*(1+hostsPerSite)
+		asOf[gw] = s + 1
+		// Each gateway multi-homes to 1–2 core routers.
+		g.AddBidirectional(gw, rng.IntN(coreN), 1)
+		if rng.Float64() < 0.3 {
+			g.AddBidirectional(gw, rng.IntN(coreN), 1)
+		}
+		for h := 0; h < hostsPerSite; h++ {
+			v := gw + 1 + h
+			asOf[v] = s + 1
+			g.AddBidirectional(gw, v, 1)
+			hosts = append(hosts, v)
+		}
+	}
+	return &Network{Name: "planetlab", G: g, Hosts: hosts, AS: asOf}
+}
+
+// DIMESLike synthesizes a commercial-Internet topology in the spirit of the
+// DIMES measurements: a small clique of tier-1 providers, tier-2 ISPs
+// multi-homed beneath them, and access trees reaching end hosts.
+func DIMESLike(rng *rand.Rand, tier1, tier2, accessPerTier2 int) *Network {
+	if tier1 < 2 || tier2 < 2 || accessPerTier2 < 1 {
+		panic("topogen: DIMESLike needs ≥2 tier-1, ≥2 tier-2, ≥1 access")
+	}
+	// Per tier-2 AS: 1 router + accessPerTier2 aggregation routers with one
+	// host each (2 nodes) + accessPerTier2 directly-attached hosts.
+	perTier2 := 1 + 3*accessPerTier2
+	nodes := tier1 + tier2*perTier2
+	g := graph.New(nodes)
+	asOf := make([]int, nodes)
+	// Tier-1 full mesh (each its own AS).
+	for a := 0; a < tier1; a++ {
+		asOf[a] = a
+		for b := a + 1; b < tier1; b++ {
+			g.AddBidirectional(a, b, 1)
+		}
+	}
+	var hosts []int
+	idx := tier1
+	for t := 0; t < tier2; t++ {
+		asn := tier1 + t
+		router := idx
+		idx++
+		asOf[router] = asn
+		// Multi-home to 1–3 tier-1s.
+		homes := 1 + rng.IntN(3)
+		seen := make(map[int]bool)
+		for len(seen) < homes {
+			u := rng.IntN(tier1)
+			if !seen[u] {
+				seen[u] = true
+				g.AddBidirectional(router, u, 1)
+			}
+		}
+		// Occasional tier-2 peering.
+		if t > 0 && rng.Float64() < 0.25 {
+			peer := tier1 + rng.IntN(t)*perTier2
+			g.AddBidirectional(router, peer, 1)
+		}
+		// Access trees: aggregation router + two hosts each.
+		for aN := 0; aN < accessPerTier2; aN++ {
+			agg := idx
+			idx++
+			asOf[agg] = asn
+			g.AddBidirectional(router, agg, 1)
+			h := idx
+			idx++
+			asOf[h] = asn
+			g.AddBidirectional(agg, h, 1)
+			hosts = append(hosts, h)
+		}
+		for aN := 0; aN < accessPerTier2; aN++ {
+			h := idx
+			idx++
+			asOf[h] = asn
+			g.AddBidirectional(router, h, 1)
+			hosts = append(hosts, h)
+		}
+	}
+	return &Network{Name: "dimes", G: g, Hosts: hosts, AS: asOf}
+}
+
+// lowestDegreeHosts returns the count nodes with the smallest out-degree
+// ("in the simulated topologies, end-hosts are nodes with the least
+// out-degree").
+func lowestDegreeHosts(g *graph.Digraph, count int) []int {
+	if count < 1 {
+		count = 1
+	}
+	type nd struct{ node, deg int }
+	all := make([]nd, g.NumNodes())
+	for v := 0; v < g.NumNodes(); v++ {
+		all[v] = nd{v, g.OutDegree(v)}
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].deg != all[j].deg {
+			return all[i].deg < all[j].deg
+		}
+		return all[i].node < all[j].node
+	})
+	if count > len(all) {
+		count = len(all)
+	}
+	hosts := make([]int, count)
+	for i := 0; i < count; i++ {
+		hosts[i] = all[i].node
+	}
+	sort.Ints(hosts)
+	return hosts
+}
+
+func contiguousAS(nodes, asCount int) []int {
+	as := make([]int, nodes)
+	if asCount < 1 {
+		asCount = 1
+	}
+	per := (nodes + asCount - 1) / asCount
+	for i := range as {
+		as[i] = i / per
+	}
+	return as
+}
+
+func attachmentAS(nodes, asCount int) []int { return contiguousAS(nodes, asCount) }
+
+func gridAS(xs, ys []float64, side int) []int {
+	as := make([]int, len(xs))
+	for i := range xs {
+		cx := int(xs[i] * float64(side))
+		cy := int(ys[i] * float64(side))
+		if cx >= side {
+			cx = side - 1
+		}
+		if cy >= side {
+			cy = side - 1
+		}
+		as[i] = cy*side + cx
+	}
+	return as
+}
+
+// Routes computes the probing paths from every beacon to every destination
+// (excluding self-pairs) along deterministic shortest-path trees, which makes
+// routing destination-consistent per beacon (each beacon's paths form a tree,
+// as required below Assumption T.2).
+func Routes(net *Network, beacons, dests []int) []topology.Path {
+	var paths []topology.Path
+	for _, b := range beacons {
+		tree := net.G.ShortestPathTree(b)
+		for _, d := range dests {
+			if d == b {
+				continue
+			}
+			links := tree.PathTo(d, net.G)
+			if links == nil {
+				continue // unreachable
+			}
+			paths = append(paths, topology.Path{Beacon: b, Dst: d, Links: links})
+		}
+	}
+	return paths
+}
+
+// SelectHosts draws n distinct hosts from the network's eligible host set.
+func SelectHosts(rng *rand.Rand, net *Network, n int) []int {
+	if n > len(net.Hosts) {
+		n = len(net.Hosts)
+	}
+	perm := rng.Perm(len(net.Hosts))
+	out := make([]int, n)
+	for i := 0; i < n; i++ {
+		out[i] = net.Hosts[perm[i]]
+	}
+	sort.Ints(out)
+	return out
+}

@@ -1,0 +1,197 @@
+package topogen
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"lia/internal/topology"
+)
+
+func TestTreeStructure(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 1))
+	net := Tree(rng, 100, 5)
+	// A tree on n nodes has n−1 undirected edges = 2(n−1) directed.
+	if got := net.G.NumEdges(); got != 2*99 {
+		t.Fatalf("tree has %d directed edges, want %d", got, 2*99)
+	}
+	if !net.G.Connected() {
+		t.Fatal("tree disconnected")
+	}
+	// Branching bound: out-degree ≤ maxBranch+1 (children + parent).
+	for v := 0; v < net.G.NumNodes(); v++ {
+		if d := net.G.OutDegree(v); d > 6 {
+			t.Fatalf("node %d has out-degree %d, exceeds branching bound", v, d)
+		}
+	}
+	if len(net.Hosts) == 0 {
+		t.Fatal("tree has no leaves")
+	}
+	for _, h := range net.Hosts {
+		if h == 0 {
+			t.Fatal("root listed as a leaf host")
+		}
+	}
+}
+
+func TestGeneratorsConnectedAndHosted(t *testing.T) {
+	rng := rand.New(rand.NewPCG(2, 2))
+	nets := []*Network{
+		Waxman(rng, 120, 0.15, 0.2),
+		BarabasiAlbert(rng, 120, 2),
+		HierarchicalTopDown(rng, 5, 15),
+		HierarchicalBottomUp(rng, 120, 5),
+		PlanetLabLike(rng, 15, 2),
+		DIMESLike(rng, 4, 10, 3),
+	}
+	for _, net := range nets {
+		if !net.G.Connected() {
+			t.Errorf("%s: disconnected", net.Name)
+		}
+		if len(net.Hosts) < 4 {
+			t.Errorf("%s: only %d hosts", net.Name, len(net.Hosts))
+		}
+		if len(net.AS) != net.G.NumNodes() {
+			t.Errorf("%s: AS labels for %d of %d nodes", net.Name, len(net.AS), net.G.NumNodes())
+		}
+	}
+}
+
+func TestBarabasiAlbertSkew(t *testing.T) {
+	// Preferential attachment must produce hubs: max degree far above the
+	// minimum (which is m for late attachers).
+	rng := rand.New(rand.NewPCG(3, 3))
+	net := BarabasiAlbert(rng, 400, 2)
+	maxDeg := 0
+	for v := 0; v < net.G.NumNodes(); v++ {
+		if d := net.G.OutDegree(v); d > maxDeg {
+			maxDeg = d
+		}
+	}
+	if maxDeg < 15 {
+		t.Errorf("max degree %d too small for a scale-free graph", maxDeg)
+	}
+}
+
+func TestHierarchiesHaveInterAS(t *testing.T) {
+	rng := rand.New(rand.NewPCG(4, 4))
+	for _, net := range []*Network{
+		HierarchicalTopDown(rng, 5, 12),
+		PlanetLabLike(rng, 12, 2),
+		DIMESLike(rng, 4, 8, 2),
+	} {
+		inter := 0
+		for e := 0; e < net.G.NumEdges(); e++ {
+			if net.InterAS(e) {
+				inter++
+			}
+		}
+		if inter == 0 {
+			t.Errorf("%s: no inter-AS links", net.Name)
+		}
+		if inter == net.G.NumEdges() {
+			t.Errorf("%s: every link inter-AS", net.Name)
+		}
+	}
+}
+
+func TestRoutesFormPerBeaconTrees(t *testing.T) {
+	// The paths from one beacon must form a tree: any two paths share a
+	// prefix and then diverge for good (no fluttering within a beacon).
+	rng := rand.New(rand.NewPCG(5, 5))
+	net := Waxman(rng, 100, 0.2, 0.25)
+	hosts := SelectHosts(rng, net, 6)
+	for _, b := range hosts {
+		paths := Routes(net, []int{b}, hosts)
+		if pairs := topology.FindFluttering(paths); len(pairs) != 0 {
+			t.Fatalf("beacon %d: fluttering within its own tree: %v", b, pairs)
+		}
+	}
+}
+
+func TestRoutesEndpoints(t *testing.T) {
+	rng := rand.New(rand.NewPCG(6, 6))
+	net := Tree(rng, 60, 4)
+	paths := Routes(net, []int{0}, net.Hosts)
+	if len(paths) != len(net.Hosts) {
+		t.Fatalf("%d paths for %d destinations", len(paths), len(net.Hosts))
+	}
+	for _, p := range paths {
+		if p.Beacon != 0 {
+			t.Fatal("wrong beacon")
+		}
+		// Walk the links and confirm they chain from beacon to destination.
+		at := p.Beacon
+		for _, eid := range p.Links {
+			e := net.G.Edge(eid)
+			if e.From != at {
+				t.Fatalf("path to %d: edge %d starts at %d, expected %d", p.Dst, eid, e.From, at)
+			}
+			at = e.To
+		}
+		if at != p.Dst {
+			t.Fatalf("path ends at %d, want %d", at, p.Dst)
+		}
+	}
+}
+
+func TestSelectHosts(t *testing.T) {
+	rng := rand.New(rand.NewPCG(7, 7))
+	net := Waxman(rng, 80, 0.2, 0.25)
+	hosts := SelectHosts(rng, net, 5)
+	if len(hosts) != 5 {
+		t.Fatalf("selected %d hosts", len(hosts))
+	}
+	seen := map[int]bool{}
+	eligible := map[int]bool{}
+	for _, h := range net.Hosts {
+		eligible[h] = true
+	}
+	for _, h := range hosts {
+		if seen[h] {
+			t.Fatal("duplicate host")
+		}
+		seen[h] = true
+		if !eligible[h] {
+			t.Fatalf("host %d not in eligible set", h)
+		}
+	}
+	// Asking for more than available caps at the eligible set.
+	all := SelectHosts(rng, net, 10000)
+	if len(all) != len(net.Hosts) {
+		t.Fatalf("overselect returned %d of %d", len(all), len(net.Hosts))
+	}
+}
+
+func TestGeneratorsDeterministicPerSeed(t *testing.T) {
+	a := Tree(rand.New(rand.NewPCG(9, 9)), 50, 4)
+	b := Tree(rand.New(rand.NewPCG(9, 9)), 50, 4)
+	if a.G.NumEdges() != b.G.NumEdges() {
+		t.Fatal("same seed produced different trees")
+	}
+	for e := 0; e < a.G.NumEdges(); e++ {
+		if a.G.Edge(e) != b.G.Edge(e) {
+			t.Fatal("same seed produced different edges")
+		}
+	}
+}
+
+func TestGeneratorPanics(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 1))
+	for _, fn := range []func(){
+		func() { Tree(rng, 1, 5) },
+		func() { Tree(rng, 10, 1) },
+		func() { Waxman(rng, 1, 0.1, 0.1) },
+		func() { BarabasiAlbert(rng, 2, 2) },
+		func() { HierarchicalTopDown(rng, 1, 5) },
+		func() { DIMESLike(rng, 1, 2, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic for invalid generator parameters")
+				}
+			}()
+			fn()
+		}()
+	}
+}

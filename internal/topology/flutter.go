@@ -1,0 +1,122 @@
+package topology
+
+import "sort"
+
+// FlutterPair identifies two paths violating Assumption T.2: they meet at a
+// link, diverge, and meet again at a later link without sharing the links in
+// between.
+type FlutterPair struct {
+	I, J int // path indices, I < J
+}
+
+// FindFluttering returns all path pairs that violate Assumption T.2
+// ("no route fluttering"). Two paths violate it when the set of links they
+// share is not a contiguous segment of both paths.
+//
+// The check is performed on physical links (before alias reduction), which
+// is what traceroute-derived paths expose.
+func FindFluttering(paths []Path) []FlutterPair {
+	// Inverted index to enumerate only pairs that share at least one link.
+	pathsOf := make(map[int][]int)
+	for i, p := range paths {
+		for _, l := range p.Links {
+			pathsOf[l] = append(pathsOf[l], i)
+		}
+	}
+	cand := make(map[[2]int]bool)
+	for _, ps := range pathsOf {
+		for x := 0; x < len(ps); x++ {
+			for y := x + 1; y < len(ps); y++ {
+				cand[[2]int{ps[x], ps[y]}] = true
+			}
+		}
+	}
+	var out []FlutterPair
+	for pair := range cand {
+		if pathsFlutter(paths[pair[0]], paths[pair[1]]) {
+			out = append(out, FlutterPair{I: pair[0], J: pair[1]})
+		}
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].I != out[b].I {
+			return out[a].I < out[b].I
+		}
+		return out[a].J < out[b].J
+	})
+	return out
+}
+
+// pathsFlutter reports whether the shared links of a and b fail to form a
+// contiguous common segment in both paths.
+func pathsFlutter(a, b Path) bool {
+	inB := make(map[int]int, len(b.Links)) // link -> position in b
+	for pos, l := range b.Links {
+		inB[l] = pos
+	}
+	// Positions in a (ascending) of shared links, with their positions in b.
+	var posA, posB []int
+	for pa, l := range a.Links {
+		if pb, ok := inB[l]; ok {
+			posA = append(posA, pa)
+			posB = append(posB, pb)
+		}
+	}
+	if len(posA) < 2 {
+		return false
+	}
+	// Contiguity in a: shared positions must be consecutive.
+	for i := 1; i < len(posA); i++ {
+		if posA[i] != posA[i-1]+1 {
+			return true
+		}
+	}
+	// Contiguity and identical order in b.
+	for i := 1; i < len(posB); i++ {
+		if posB[i] != posB[i-1]+1 {
+			return true
+		}
+	}
+	return false
+}
+
+// RemoveFluttering drops the minimum-index path of every fluttering pair
+// until no violation remains, mirroring the paper's treatment ("we keep only
+// the measurements on one path and ignore the others"). It returns the
+// retained paths and the indices (into the original slice) of removed paths.
+func RemoveFluttering(paths []Path) (kept []Path, removed []int) {
+	drop := make(map[int]bool)
+	for {
+		var active []Path
+		var activeIdx []int
+		for i, p := range paths {
+			if !drop[i] {
+				active = append(active, p)
+				activeIdx = append(activeIdx, i)
+			}
+		}
+		pairs := FindFluttering(active)
+		if len(pairs) == 0 {
+			for i := range paths {
+				if drop[i] {
+					removed = append(removed, i)
+				}
+			}
+			sort.Ints(removed)
+			return active, removed
+		}
+		// Drop the path appearing in the most violations (greedy), breaking
+		// ties toward the larger index so earlier-measured paths survive.
+		count := make(map[int]int)
+		for _, pr := range pairs {
+			count[activeIdx[pr.I]]++
+			count[activeIdx[pr.J]]++
+		}
+		worst, worstN := -1, -1
+		for idx, n := range count {
+			if n > worstN || (n == worstN && idx > worst) {
+				worst, worstN = idx, n
+			}
+		}
+		drop[worst] = true
+	}
+}

@@ -1,0 +1,231 @@
+// Package topology turns raw end-to-end paths into the reduced routing
+// matrix R the tomography algorithms operate on: it performs the alias
+// reduction of Section 3.1 (merging links that no end-to-end measurement can
+// distinguish), drops uncovered links, and validates / repairs the
+// no-route-fluttering assumption T.2.
+package topology
+
+import (
+	"fmt"
+	"sort"
+
+	"lia/internal/linalg"
+)
+
+// Path is one end-to-end measurement path: an ordered sequence of physical
+// (directed) link IDs from a beacon host to a destination host.
+type Path struct {
+	Beacon int   // beacon node ID
+	Dst    int   // destination node ID
+	Links  []int // physical link IDs, in traversal order
+}
+
+// RoutingMatrix is the reduced routing matrix R of the paper: np rows
+// (paths) by nc columns (covered virtual links). After reduction every
+// column is distinct and non-zero.
+type RoutingMatrix struct {
+	paths []Path
+
+	// rows[i] holds the sorted virtual-link indices traversed by path i.
+	rows [][]int
+	// ordered[i] holds the virtual-link indices of path i in traversal order.
+	ordered [][]int
+	// cols[k] holds the sorted path indices traversing virtual link k.
+	cols [][]int
+	// members[k] lists the physical link IDs merged into virtual link k.
+	members [][]int
+	// virtualOf maps a physical link ID to its virtual link index.
+	virtualOf map[int]int
+}
+
+// Build constructs the reduced routing matrix from a set of paths:
+//
+//  1. links that appear in exactly the same set of paths are merged into one
+//     virtual link ("alias reduction": such links — in particular chains of
+//     links without branching points — cannot be distinguished by any
+//     end-to-end measurement);
+//  2. links covered by no path are dropped.
+//
+// Paths with no links (beacon == destination) are rejected.
+func Build(paths []Path) (*RoutingMatrix, error) {
+	if len(paths) == 0 {
+		return nil, fmt.Errorf("topology: no paths")
+	}
+	for i, p := range paths {
+		if len(p.Links) == 0 {
+			return nil, fmt.Errorf("topology: path %d (%d→%d) has no links", i, p.Beacon, p.Dst)
+		}
+	}
+	// Signature of a physical link = the sorted set of paths through it.
+	pathsOf := make(map[int][]int) // physical link -> path indices
+	for i, p := range paths {
+		seen := make(map[int]bool, len(p.Links))
+		for _, l := range p.Links {
+			if seen[l] {
+				return nil, fmt.Errorf("topology: path %d traverses link %d twice (routing loop)", i, l)
+			}
+			seen[l] = true
+			pathsOf[l] = append(pathsOf[l], i)
+		}
+	}
+	// Group physical links by identical path sets.
+	bySig := make(map[string][]int)
+	for link, ps := range pathsOf {
+		bySig[sigOf(ps)] = append(bySig[sigOf(ps)], link)
+	}
+	sigs := make([]string, 0, len(bySig))
+	for s := range bySig {
+		sigs = append(sigs, s)
+	}
+	sort.Strings(sigs) // deterministic virtual-link numbering
+	rm := &RoutingMatrix{
+		paths:     paths,
+		rows:      make([][]int, len(paths)),
+		ordered:   make([][]int, len(paths)),
+		cols:      make([][]int, 0, len(sigs)),
+		members:   make([][]int, 0, len(sigs)),
+		virtualOf: make(map[int]int),
+	}
+	for _, s := range sigs {
+		links := bySig[s]
+		sort.Ints(links)
+		k := len(rm.members)
+		rm.members = append(rm.members, links)
+		rm.cols = append(rm.cols, append([]int(nil), pathsOf[links[0]]...))
+		for _, l := range links {
+			rm.virtualOf[l] = k
+		}
+	}
+	for i, p := range paths {
+		seen := make(map[int]bool)
+		for _, l := range p.Links {
+			k := rm.virtualOf[l]
+			if !seen[k] {
+				seen[k] = true
+				rm.ordered[i] = append(rm.ordered[i], k)
+			}
+		}
+		rm.rows[i] = append([]int(nil), rm.ordered[i]...)
+		sort.Ints(rm.rows[i])
+	}
+	return rm, nil
+}
+
+func sigOf(ps []int) string {
+	b := make([]byte, 0, len(ps)*4)
+	for _, p := range ps {
+		b = append(b, byte(p), byte(p>>8), byte(p>>16), byte(p>>24))
+	}
+	return string(b)
+}
+
+// NumPaths returns np, the number of rows of R.
+func (rm *RoutingMatrix) NumPaths() int { return len(rm.rows) }
+
+// NumLinks returns nc, the number of covered virtual links (columns of R).
+func (rm *RoutingMatrix) NumLinks() int { return len(rm.members) }
+
+// Path returns the original path for row i.
+func (rm *RoutingMatrix) Path(i int) Path { return rm.paths[i] }
+
+// Row returns the sorted virtual-link indices of path i. Shared slice; do
+// not modify.
+func (rm *RoutingMatrix) Row(i int) []int { return rm.rows[i] }
+
+// OrderedRow returns the virtual links of path i in traversal order.
+// Shared slice; do not modify.
+func (rm *RoutingMatrix) OrderedRow(i int) []int { return rm.ordered[i] }
+
+// PathsThrough returns the sorted path indices traversing virtual link k.
+// Shared slice; do not modify.
+func (rm *RoutingMatrix) PathsThrough(k int) []int { return rm.cols[k] }
+
+// Members returns the physical link IDs merged into virtual link k.
+func (rm *RoutingMatrix) Members(k int) []int { return rm.members[k] }
+
+// VirtualOf returns the virtual link index of a physical link and whether
+// the link is covered at all.
+func (rm *RoutingMatrix) VirtualOf(physical int) (int, bool) {
+	k, ok := rm.virtualOf[physical]
+	return k, ok
+}
+
+// Dense materializes R as a dense 0/1 matrix.
+func (rm *RoutingMatrix) Dense() *linalg.Dense {
+	d := linalg.NewDense(rm.NumPaths(), rm.NumLinks())
+	for i, row := range rm.rows {
+		for _, k := range row {
+			d.Set(i, k, 1)
+		}
+	}
+	return d
+}
+
+// DenseColumns materializes the sub-matrix of R restricted to the given
+// virtual-link columns (in the given order).
+func (rm *RoutingMatrix) DenseColumns(cols []int) *linalg.Dense {
+	pos := make(map[int]int, len(cols))
+	for j, k := range cols {
+		pos[k] = j
+	}
+	d := linalg.NewDense(rm.NumPaths(), len(cols))
+	for i, row := range rm.rows {
+		for _, k := range row {
+			if j, ok := pos[k]; ok {
+				d.Set(i, j, 1)
+			}
+		}
+	}
+	return d
+}
+
+// Rank returns the numerical rank of R.
+func (rm *RoutingMatrix) Rank() int {
+	return linalg.Rank(rm.Dense())
+}
+
+// IntersectRows returns the sorted intersection of the virtual-link sets of
+// paths i and j, appended to dst (which may be nil).
+func (rm *RoutingMatrix) IntersectRows(i, j int, dst []int) []int {
+	a, b := rm.rows[i], rm.rows[j]
+	x, y := 0, 0
+	for x < len(a) && y < len(b) {
+		switch {
+		case a[x] < b[y]:
+			x++
+		case a[x] > b[y]:
+			y++
+		default:
+			dst = append(dst, a[x])
+			x++
+			y++
+		}
+	}
+	return dst
+}
+
+// LossOnPath aggregates per-physical-link transmission rates into
+// per-virtual-link transmission rates (product over members) and returns the
+// end-to-end transmission rate of path i.
+func (rm *RoutingMatrix) LossOnPath(i int, linkTransmission func(physical int) float64) float64 {
+	t := 1.0
+	for _, l := range rm.paths[i].Links {
+		t *= linkTransmission(l)
+	}
+	return t
+}
+
+// VirtualRates folds per-physical-link mean loss rates into per-virtual-link
+// loss rates: the loss rate of a virtual link is the complement of the
+// product of its members' transmission rates.
+func (rm *RoutingMatrix) VirtualRates(physicalLoss map[int]float64) []float64 {
+	out := make([]float64, rm.NumLinks())
+	for k, mem := range rm.members {
+		t := 1.0
+		for _, l := range mem {
+			t *= 1 - physicalLoss[l]
+		}
+		out[k] = 1 - t
+	}
+	return out
+}

@@ -1,0 +1,257 @@
+package topology
+
+import (
+	"reflect"
+	"testing"
+)
+
+// figure1Paths builds the single-beacon example of Figure 1 of the paper:
+// B1 → D1, D2, D3 over links e1..e5 (IDs 1..5).
+//
+//	B1 --e1--> a --e2--> D1
+//	            a --e3--> b --e4--> D2
+//	                       b --e5--> D3
+func figure1Paths() []Path {
+	return []Path{
+		{Beacon: 0, Dst: 2, Links: []int{1, 2}},
+		{Beacon: 0, Dst: 4, Links: []int{1, 3, 4}},
+		{Beacon: 0, Dst: 5, Links: []int{1, 3, 5}},
+	}
+}
+
+func TestBuildFigure1(t *testing.T) {
+	rm, err := Build(figure1Paths())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rm.NumPaths(); got != 3 {
+		t.Fatalf("NumPaths = %d, want 3", got)
+	}
+	// All five links are distinguishable (distinct path sets).
+	if got := rm.NumLinks(); got != 5 {
+		t.Fatalf("NumLinks = %d, want 5", got)
+	}
+	// R must be rank deficient: rank 3 < 5 columns (the paper's point that
+	// first moments cannot identify link loss rates).
+	if got := rm.Rank(); got != 3 {
+		t.Fatalf("rank(R) = %d, want 3", got)
+	}
+}
+
+func TestBuildAliasReduction(t *testing.T) {
+	// A chain B → x → y → D probed by one path: all three links are
+	// indistinguishable and must merge into one virtual link.
+	paths := []Path{{Beacon: 0, Dst: 3, Links: []int{10, 11, 12}}}
+	rm, err := Build(paths)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rm.NumLinks(); got != 1 {
+		t.Fatalf("NumLinks = %d, want 1 after alias reduction", got)
+	}
+	if got := rm.Members(0); !reflect.DeepEqual(got, []int{10, 11, 12}) {
+		t.Fatalf("Members(0) = %v, want [10 11 12]", got)
+	}
+	if k, ok := rm.VirtualOf(11); !ok || k != 0 {
+		t.Fatalf("VirtualOf(11) = %d,%v want 0,true", k, ok)
+	}
+	if _, ok := rm.VirtualOf(99); ok {
+		t.Fatal("VirtualOf(99) should report uncovered")
+	}
+}
+
+func TestBuildMergesNonConsecutiveIndistinguishable(t *testing.T) {
+	// Links 1 and 3 appear in exactly the same (single) path, separated by
+	// link 2 which also appears in a second path: 1 and 3 merge, 2 stays
+	// separate.
+	paths := []Path{
+		{Beacon: 0, Dst: 9, Links: []int{1, 2, 3}},
+		{Beacon: 8, Dst: 9, Links: []int{4, 2}},
+	}
+	rm, err := Build(paths)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rm.NumLinks(); got != 3 {
+		t.Fatalf("NumLinks = %d, want 3 (merge {1,3}, keep {2}, {4})", got)
+	}
+	k1, _ := rm.VirtualOf(1)
+	k3, _ := rm.VirtualOf(3)
+	k2, _ := rm.VirtualOf(2)
+	if k1 != k3 {
+		t.Fatalf("links 1 and 3 should share a virtual link, got %d and %d", k1, k3)
+	}
+	if k2 == k1 {
+		t.Fatal("link 2 should not merge with links 1/3")
+	}
+}
+
+func TestBuildRejectsEmptyAndLoopedPaths(t *testing.T) {
+	if _, err := Build(nil); err == nil {
+		t.Error("Build(nil) should fail")
+	}
+	if _, err := Build([]Path{{Beacon: 0, Dst: 1}}); err == nil {
+		t.Error("Build with empty link list should fail")
+	}
+	if _, err := Build([]Path{{Beacon: 0, Dst: 1, Links: []int{5, 6, 5}}}); err == nil {
+		t.Error("Build with a routing loop should fail")
+	}
+}
+
+func TestRowsColumnsConsistent(t *testing.T) {
+	rm, err := Build(figure1Paths())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Row/column cross-consistency: k ∈ Row(i) ⇔ i ∈ PathsThrough(k).
+	for i := 0; i < rm.NumPaths(); i++ {
+		for _, k := range rm.Row(i) {
+			found := false
+			for _, p := range rm.PathsThrough(k) {
+				if p == i {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("link %d lists paths %v, missing %d", k, rm.PathsThrough(k), i)
+			}
+		}
+	}
+	for k := 0; k < rm.NumLinks(); k++ {
+		for _, p := range rm.PathsThrough(k) {
+			found := false
+			for _, kk := range rm.Row(p) {
+				if kk == k {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("path %d row %v missing link %d", p, rm.Row(p), k)
+			}
+		}
+	}
+}
+
+func TestIntersectRows(t *testing.T) {
+	rm, err := Build(figure1Paths())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paths 1 and 2 share links e1 and e3.
+	got := rm.IntersectRows(1, 2, nil)
+	if len(got) != 2 {
+		t.Fatalf("IntersectRows(1,2) = %v, want 2 shared virtual links", got)
+	}
+	// Self intersection = own row.
+	self := rm.IntersectRows(0, 0, nil)
+	if !reflect.DeepEqual(self, rm.Row(0)) {
+		t.Fatalf("self-intersection %v != row %v", self, rm.Row(0))
+	}
+}
+
+func TestDenseMatchesRows(t *testing.T) {
+	rm, err := Build(figure1Paths())
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := rm.Dense()
+	for i := 0; i < rm.NumPaths(); i++ {
+		rowSum := 0.0
+		for k := 0; k < rm.NumLinks(); k++ {
+			rowSum += d.At(i, k)
+		}
+		if int(rowSum) != len(rm.Row(i)) {
+			t.Fatalf("dense row %d sum %v != |row| %d", i, rowSum, len(rm.Row(i)))
+		}
+	}
+}
+
+func TestDenseColumnsSubset(t *testing.T) {
+	rm, err := Build(figure1Paths())
+	if err != nil {
+		t.Fatal(err)
+	}
+	all := rm.Dense()
+	cols := []int{2, 0}
+	sub := rm.DenseColumns(cols)
+	for i := 0; i < rm.NumPaths(); i++ {
+		for j, k := range cols {
+			if sub.At(i, j) != all.At(i, k) {
+				t.Fatalf("DenseColumns mismatch at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestVirtualRates(t *testing.T) {
+	paths := []Path{{Beacon: 0, Dst: 3, Links: []int{10, 11}}}
+	rm, err := Build(paths)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rates := rm.VirtualRates(map[int]float64{10: 0.1, 11: 0.2})
+	// Merged virtual link loss = 1 − 0.9·0.8 = 0.28.
+	if len(rates) != 1 || rates[0] < 0.2799 || rates[0] > 0.2801 {
+		t.Fatalf("VirtualRates = %v, want [0.28]", rates)
+	}
+}
+
+func TestFindFlutteringDetects(t *testing.T) {
+	// P0 and P1 share links 1 and 3 but not the link in between: the
+	// classic route-fluttering violation of T.2.
+	paths := []Path{
+		{Beacon: 0, Dst: 9, Links: []int{1, 2, 3}},
+		{Beacon: 7, Dst: 9, Links: []int{0, 1, 4, 3}},
+	}
+	got := FindFluttering(paths)
+	if len(got) != 1 || got[0].I != 0 || got[0].J != 1 {
+		t.Fatalf("FindFluttering = %v, want [{0 1}]", got)
+	}
+}
+
+func TestFindFlutteringAcceptsTreeAndSegments(t *testing.T) {
+	// Shared contiguous segment (links 1,2) then divergence: legal.
+	paths := []Path{
+		{Beacon: 0, Dst: 5, Links: []int{1, 2, 3}},
+		{Beacon: 0, Dst: 6, Links: []int{1, 2, 4}},
+		{Beacon: 9, Dst: 6, Links: []int{8, 2, 4}},
+	}
+	if got := FindFluttering(paths); len(got) != 0 {
+		t.Fatalf("FindFluttering = %v, want none", got)
+	}
+}
+
+func TestFindFlutteringReversedSegment(t *testing.T) {
+	// Shared links appear in opposite order: contiguous in positions but a
+	// direction flip, which must be flagged.
+	paths := []Path{
+		{Beacon: 0, Dst: 5, Links: []int{1, 2}},
+		{Beacon: 3, Dst: 6, Links: []int{2, 1}},
+	}
+	if got := FindFluttering(paths); len(got) != 1 {
+		t.Fatalf("FindFluttering = %v, want one violation", got)
+	}
+}
+
+func TestRemoveFluttering(t *testing.T) {
+	paths := []Path{
+		{Beacon: 0, Dst: 9, Links: []int{1, 2, 3}},
+		{Beacon: 7, Dst: 9, Links: []int{0, 1, 4, 3}},
+		{Beacon: 5, Dst: 6, Links: []int{7}},
+	}
+	kept, removed := RemoveFluttering(paths)
+	if len(kept) != 2 || len(removed) != 1 {
+		t.Fatalf("kept %d removed %v, want 2 kept 1 removed", len(kept), removed)
+	}
+	if got := FindFluttering(kept); len(got) != 0 {
+		t.Fatalf("still fluttering after removal: %v", got)
+	}
+}
+
+func TestRemoveFlutteringNoViolations(t *testing.T) {
+	paths := figure1Paths()
+	kept, removed := RemoveFluttering(paths)
+	if len(kept) != len(paths) || len(removed) != 0 {
+		t.Fatalf("expected no removals, got removed=%v", removed)
+	}
+}
