@@ -408,3 +408,81 @@ func BenchmarkCovarianceAccumulate(b *testing.B) {
 		acc.Add(y)
 	}
 }
+
+// --- Parallel Phase-1 pipeline benches ---------------------------------------
+
+// benchCov accumulates the learning snapshots of the planetlab-like workload
+// into covariance moments, the input of EstimateVariances.
+func benchCov(b *testing.B, w *experiments.Workload, series []experiments.SnapshotRecord) *stats.CovAccumulator {
+	b.Helper()
+	acc := stats.NewCovAccumulator(w.RM.NumPaths())
+	for t := 0; t < 50; t++ {
+		acc.Add(series[t].Snap.LogRates())
+	}
+	return acc
+}
+
+// BenchmarkEstimateVariances measures Phase 1 proper (the Σ* = A·v solve)
+// for both solver methods, serial vs sharded. Workers=0 sizes the pool to
+// GOMAXPROCS; compare the serial and parallel rows, and run with -cpu to
+// scale the pool.
+func BenchmarkEstimateVariances(b *testing.B) {
+	w, series := benchWorkload(b)
+	acc := benchCov(b, w, series)
+	w.RM.PrecomputePairSupports() // one-time index build is not timed here
+	for _, cfg := range []struct {
+		name string
+		opts core.VarianceOptions
+	}{
+		{"normal/serial", core.VarianceOptions{Method: core.VarianceNormalEquations, Workers: 1}},
+		{"normal/parallel", core.VarianceOptions{Method: core.VarianceNormalEquations, Workers: 0}},
+		{"dense/serial", core.VarianceOptions{Method: core.VarianceDenseQR, Workers: 1}},
+		{"dense/parallel", core.VarianceOptions{Method: core.VarianceDenseQR, Workers: 0}},
+	} {
+		b.Run(cfg.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := core.EstimateVariances(w.RM, acc, cfg.opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkVisitPairs measures the steady-state augmented-row enumeration —
+// an index walk over the cached pair supports.
+func BenchmarkVisitPairs(b *testing.B) {
+	w, _ := benchWorkload(b)
+	w.RM.PrecomputePairSupports() // one-time index build is not timed here
+	b.ReportAllocs()
+	b.ResetTimer()
+	links := 0
+	for i := 0; i < b.N; i++ {
+		core.VisitPairs(w.RM, func(pi, pj int, support []int) {
+			links += len(support)
+		})
+	}
+	_ = links
+}
+
+// BenchmarkPairIndexBuild measures the one-time cost of constructing the
+// cached pair-support index on a fresh routing matrix.
+func BenchmarkPairIndexBuild(b *testing.B) {
+	w, _ := benchWorkload(b)
+	paths := make([]topology.Path, w.RM.NumPaths())
+	for i := range paths {
+		paths[i] = w.RM.Path(i)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		rm, err := topology.Build(paths)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		rm.PrecomputePairSupports()
+	}
+}

@@ -36,6 +36,7 @@ func main() {
 		fidelity = flag.String("fidelity", "exact", "snapshot fidelity: exact, packet-shared, packet-per-path")
 		strategy = flag.String("strategy", "paper", "phase-2 elimination: paper or greedy")
 		variant  = flag.String("variance", "auto", "phase-1 solver: auto, dense, normal")
+		workers  = flag.Int("workers", 0, "phase-1 accumulation goroutines (0 = GOMAXPROCS, 1 = serial)")
 	)
 	flag.Parse()
 
@@ -99,6 +100,7 @@ func main() {
 	default:
 		fatalf("unknown -variance %q", *variant)
 	}
+	cfg.Variance.Workers = *workers
 
 	which := strings.ToLower(*exp)
 	run := func(name string) {

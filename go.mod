@@ -1,0 +1,3 @@
+module lia
+
+go 1.24

@@ -24,17 +24,19 @@ type PairVisitor func(i, j int, support []int)
 
 // VisitPairs enumerates every row of the augmented matrix A in the packed
 // upper-triangular order used throughout this package ((0,0), (0,1), …,
-// (0,np−1), (1,1), …). The support slice is reused between calls; copy it if
-// it must be retained.
+// (0,np−1), (1,1), …). Supports come from the routing matrix's cached
+// pair-support index: they are stable views that may be retained but must
+// not be modified.
 func VisitPairs(rm *topology.RoutingMatrix, visit PairVisitor) {
-	np := rm.NumPaths()
-	buf := make([]int, 0, 64)
-	for i := 0; i < np; i++ {
-		for j := i; j < np; j++ {
-			buf = rm.IntersectRows(i, j, buf[:0])
-			visit(i, j, buf)
-		}
-	}
+	VisitPairsRange(rm, 0, rm.NumPairs(), visit)
+}
+
+// VisitPairsRange enumerates the augmented rows with packed pair indices in
+// [from, to). Disjoint ranges can be walked concurrently; the sharded
+// Phase-1 accumulators rely on this to partition the O(np²) equation stream
+// across goroutines.
+func VisitPairsRange(rm *topology.RoutingMatrix, from, to int, visit PairVisitor) {
+	rm.VisitPairSupports(from, to, visit)
 }
 
 // AugmentedDense materializes the full augmented matrix A of Definition 1:
@@ -95,6 +97,20 @@ func (gr *Gram) RemoveEquation(support []int, sigma float64) {
 		}
 	}
 	gr.n--
+}
+
+// Merge folds another accumulator over the same link set into this one.
+// It mirrors the reduction rule of the sharded Phase-1 pipeline (whose
+// production fold lives inline in accumulateGram): G entries are small
+// integer counts, so their merge is exact in floating point regardless of
+// order, while the right-hand side is order-sensitive — callers that need
+// determinism must merge partial Grams in a fixed order.
+func (gr *Gram) Merge(other *Gram) {
+	gr.g.AddMat(other.g)
+	for k, v := range other.rhs {
+		gr.rhs[k] += v
+	}
+	gr.n += other.n
 }
 
 // Equations returns the number of equations currently folded in.

@@ -48,21 +48,17 @@ func NewIncrementalLearner(rm *topology.RoutingMatrix, cov *stats.CovAccumulator
 		il.active[i] = true
 	}
 	np := rm.NumPaths()
-	buf := make([]int, 0, 64)
-	for i := 0; i < np; i++ {
-		for j := i; j < np; j++ {
-			buf = rm.IntersectRows(i, j, buf[:0])
-			if len(buf) == 0 {
-				continue
-			}
-			s, keep := opts.adjust(cov.Cov(i, j))
-			if !keep {
-				continue
-			}
-			il.gram.AddEquation(buf, s)
-			il.sigma[pairIndex(i, j, np)] = s
+	VisitPairs(rm, func(i, j int, support []int) {
+		if len(support) == 0 {
+			return
 		}
-	}
+		s, keep := opts.adjust(cov.Cov(i, j))
+		if !keep {
+			return
+		}
+		il.gram.AddEquation(support, s)
+		il.sigma[pairIndex(i, j, np)] = s
+	})
 	return il, nil
 }
 
@@ -124,7 +120,6 @@ func (il *IncrementalLearner) ReactivatePath(i int, cov *stats.CovAccumulator) e
 // one other *active* path (including the self pair), with a non-empty
 // support.
 func (il *IncrementalLearner) forEachPairOf(i int, visit func(a, b int, support []int)) {
-	buf := make([]int, 0, 64)
 	for j := 0; j < il.rm.NumPaths(); j++ {
 		if j != i && !il.active[j] {
 			continue
@@ -133,11 +128,11 @@ func (il *IncrementalLearner) forEachPairOf(i int, visit func(a, b int, support 
 		if b < a {
 			a, b = b, a
 		}
-		buf = il.rm.IntersectRows(a, b, buf[:0])
-		if len(buf) == 0 {
+		support := il.rm.PairSupport(a, b)
+		if len(support) == 0 {
 			continue
 		}
-		visit(a, b, buf)
+		visit(a, b, support)
 	}
 }
 
@@ -180,27 +175,16 @@ func (il *IncrementalLearner) CoveredLinks() []bool {
 // deployments.
 func (il *IncrementalLearner) RebuildCheck(cov *stats.CovAccumulator) (float64, error) {
 	fresh := NewGram(il.rm.NumLinks())
-	np := il.rm.NumPaths()
-	buf := make([]int, 0, 64)
-	for i := 0; i < np; i++ {
-		if !il.active[i] {
-			continue
+	VisitPairs(il.rm, func(i, j int, support []int) {
+		if !il.active[i] || !il.active[j] || len(support) == 0 {
+			return
 		}
-		for j := i; j < np; j++ {
-			if !il.active[j] {
-				continue
-			}
-			buf = il.rm.IntersectRows(i, j, buf[:0])
-			if len(buf) == 0 {
-				continue
-			}
-			s, keep := il.opts.adjust(cov.Cov(i, j))
-			if !keep {
-				continue
-			}
-			fresh.AddEquation(buf, s)
+		s, keep := il.opts.adjust(cov.Cov(i, j))
+		if !keep {
+			return
 		}
-	}
+		fresh.AddEquation(support, s)
+	})
 	var maxDev float64
 	nc := il.rm.NumLinks()
 	for a := 0; a < nc; a++ {

@@ -3,8 +3,10 @@ package core
 import (
 	"errors"
 	"fmt"
+	"runtime"
 
 	"lia/internal/linalg"
+	"lia/internal/par"
 	"lia/internal/stats"
 	"lia/internal/topology"
 )
@@ -80,6 +82,19 @@ type VarianceOptions struct {
 	// path may incur before Auto switches to normal equations
 	// (default 2e8, ≈ a few hundred ms).
 	DenseBudget int
+	// Workers bounds the goroutines used by the sharded Phase-1 accumulation
+	// over the O(np²) equation stream. 0 sizes the pool to GOMAXPROCS (with
+	// an inline fallback below a work threshold); values ≤ 1 walk the shards
+	// inline without goroutines; any value > 1 engages the pool regardless
+	// of the threshold, though the pool is always capped at the shard count
+	// (a single-shard system runs inline no matter what). Every setting
+	// produces bit-identical results — the shard structure, not the worker
+	// count, fixes the reduction order. One exception to the serial
+	// contract: the first Phase-1 pass on a routing matrix triggers the
+	// lazy pair-support index build in topology, which always fans out over
+	// GOMAXPROCS (its layout, and thus every result, is
+	// schedule-independent).
+	Workers int
 }
 
 // adjust applies the negative-covariance policy to one measured covariance,
@@ -139,21 +154,45 @@ func EstimateVariances(rm *topology.RoutingMatrix, cov *stats.CovAccumulator, op
 	}
 }
 
+// pairsPerShard fixes the shard granularity of the parallel Phase-1 passes.
+// Shard boundaries depend only on the pair count — never on the worker count
+// — so the floating-point reduction order, and therefore the result, is
+// bit-identical across GOMAXPROCS settings and repeated runs.
+const pairsPerShard = 1024
+
+// minParallelPairs is the work threshold below which auto-sized runs
+// (Workers == 0) stay serial: goroutine startup dominates tiny systems.
+const minParallelPairs = 4 * pairsPerShard
+
+// rhsWindowShards is how many shards stage their right-hand sides at once
+// before an in-order fold into the result; it bounds rhs staging memory at
+// rhsWindowShards·nc floats independent of system size while leaving
+// plenty of shards in flight for any sensible worker count.
+const rhsWindowShards = 64
+
+// shardWorkers decides the pool size for a stream of npairs equations:
+// 1 means "run the shard loop inline, no goroutines". The shard structure —
+// and therefore the result — is the same either way; the pool only changes
+// who walks the shards.
+func (o VarianceOptions) shardWorkers(npairs int) int {
+	w := o.Workers
+	if w != 0 {
+		if w < 1 {
+			w = 1 // explicit serial request (negative values included)
+		}
+	} else if w = runtime.GOMAXPROCS(0); npairs < minParallelPairs {
+		w = 1
+	}
+	shards := (npairs + pairsPerShard - 1) / pairsPerShard
+	if w > shards && shards > 0 {
+		w = shards
+	}
+	return w
+}
+
 func estimateDense(rm *topology.RoutingMatrix, cov *stats.CovAccumulator, opts VarianceOptions) ([]float64, error) {
 	nc := rm.NumLinks()
-	var rows [][]int
-	var rhs []float64
-	VisitPairs(rm, func(i, j int, support []int) {
-		if len(support) == 0 {
-			return
-		}
-		sigma, keep := opts.adjust(cov.Cov(i, j))
-		if !keep {
-			return
-		}
-		rows = append(rows, append([]int(nil), support...))
-		rhs = append(rhs, sigma)
-	})
+	rows, rhs := collectEquations(rm, cov, opts)
 	if len(rows) < nc {
 		return nil, fmt.Errorf("core: only %d usable covariance equations for %d links: %w",
 			len(rows), nc, linalg.ErrRankDeficient)
@@ -177,21 +216,142 @@ func estimateDense(rm *topology.RoutingMatrix, cov *stats.CovAccumulator, opts V
 	return v, nil
 }
 
+// collectEquations materializes the usable augmented rows (support views into
+// the cached pair index) and their adjusted right-hand sides, in canonical
+// pair order. Above the work threshold the collection fans out over pair
+// shards; shard results are concatenated in shard order, so the row order is
+// identical to the serial walk.
+func collectEquations(rm *topology.RoutingMatrix, cov *stats.CovAccumulator, opts VarianceOptions) ([][]int, []float64) {
+	npairs := rm.NumPairs()
+	if npairs == 0 {
+		return nil, nil
+	}
+	workers := opts.shardWorkers(npairs)
+	shards := (npairs + pairsPerShard - 1) / pairsPerShard
+	shardRows := make([][][]int, shards)
+	shardRHS := make([][]float64, shards)
+	doShard := func(s int) {
+		lo := s * pairsPerShard
+		hi := min(lo+pairsPerShard, npairs)
+		var rows [][]int
+		var rhs []float64
+		VisitPairsRange(rm, lo, hi, func(i, j int, support []int) {
+			if len(support) == 0 {
+				return
+			}
+			sigma, keep := opts.adjust(cov.Cov(i, j))
+			if !keep {
+				return
+			}
+			rows = append(rows, support)
+			rhs = append(rhs, sigma)
+		})
+		shardRows[s], shardRHS[s] = rows, rhs
+	}
+	par.Do(workers, shards, func(_, s int) { doShard(s) })
+	total := 0
+	for _, r := range shardRows {
+		total += len(r)
+	}
+	rows := make([][]int, 0, total)
+	rhs := make([]float64, 0, total)
+	for s := range shardRows {
+		rows = append(rows, shardRows[s]...)
+		rhs = append(rhs, shardRHS[s]...)
+	}
+	return rows, rhs
+}
+
 func estimateNormal(rm *topology.RoutingMatrix, cov *stats.CovAccumulator, opts VarianceOptions) ([]float64, error) {
-	gr := NewGram(rm.NumLinks())
-	VisitPairs(rm, func(i, j int, support []int) {
-		if len(support) == 0 {
-			return
-		}
-		sigma, keep := opts.adjust(cov.Cov(i, j))
-		if !keep {
-			return
-		}
-		gr.AddEquation(support, sigma)
-	})
-	v, err := gr.Solve()
+	v, err := accumulateGram(rm, cov, opts).Solve()
 	if err != nil {
 		return nil, fmt.Errorf("core: normal-equations variance solve: %w", err)
 	}
 	return v, nil
+}
+
+// accumulateGram streams the augmented equations into the normal-equations
+// system AᵀA·v = AᵀΣ*. Above the work threshold the pair stream is cut into
+// fixed-size shards pulled by a worker pool. Two facts make the result
+// bit-deterministic regardless of how shards land on workers:
+//
+//   - each worker folds the support outer-products into a private copy of G,
+//     whose entries are small integer counts — integer sums are exact in
+//     floating point, so the G merge is order-independent;
+//   - the order-sensitive right-hand side is accumulated per shard and
+//     reduced in shard index order, and shard boundaries depend only on the
+//     pair count (pairsPerShard), never on the worker count.
+func accumulateGram(rm *topology.RoutingMatrix, cov *stats.CovAccumulator, opts VarianceOptions) *Gram {
+	nc := rm.NumLinks()
+	npairs := rm.NumPairs()
+	if npairs == 0 {
+		return NewGram(nc)
+	}
+	workers := opts.shardWorkers(npairs)
+	shards := (npairs + pairsPerShard - 1) / pairsPerShard
+	gr := NewGram(nc)
+	// Shards are processed in fixed-size windows: workers fan out within a
+	// window, then the window's right-hand sides fold into the result in
+	// shard order before the next window starts. This bounds the rhs
+	// staging memory at window·nc floats no matter how many pairs the
+	// system has, while keeping the global reduction order — and therefore
+	// the result — exactly the shard index order.
+	window := min(shards, rhsWindowShards)
+	rhsBacking := make([]float64, window*nc)
+	shardN := make([]int, shards)
+	// doShard folds the equations of shard s into the caller's private G
+	// and the shard's staging slot in the current window.
+	doShard := func(g *linalg.Dense, s int, rhs []float64) {
+		lo := s * pairsPerShard
+		hi := min(lo+pairsPerShard, npairs)
+		for i := range rhs {
+			rhs[i] = 0 // slots are reused across windows
+		}
+		n := 0
+		rm.VisitPairSupports(lo, hi, func(i, j int, support []int) {
+			if len(support) == 0 {
+				return
+			}
+			sigma, keep := opts.adjust(cov.Cov(i, j))
+			if !keep {
+				return
+			}
+			n++
+			for _, k := range support {
+				rhs[k] += sigma
+				rowk := g.Row(k)
+				for _, l := range support {
+					rowk[l]++
+				}
+			}
+		})
+		shardN[s] = n
+	}
+	// Workers beyond the first fold into lazily-allocated private G copies,
+	// merged once at the end — exact regardless of order (integer counts).
+	// Worker 0 writes straight into the result to save one nc×nc copy.
+	// par.Do guarantees each worker index is owned by one goroutine.
+	partG := make([]*linalg.Dense, workers)
+	partG[0] = gr.g
+	for base := 0; base < shards; base += window {
+		count := min(window, shards-base)
+		par.Do(workers, count, func(w, i int) {
+			if partG[w] == nil {
+				partG[w] = linalg.NewDense(nc, nc)
+			}
+			doShard(partG[w], base+i, rhsBacking[i*nc:(i+1)*nc])
+		})
+		for i := 0; i < count; i++ {
+			for k, v := range rhsBacking[i*nc : (i+1)*nc] {
+				gr.rhs[k] += v
+			}
+			gr.n += shardN[base+i]
+		}
+	}
+	for _, g := range partG[1:] {
+		if g != nil {
+			gr.g.AddMat(g)
+		}
+	}
+	return gr
 }

@@ -141,3 +141,137 @@ func TestEstimateVariancesErrors(t *testing.T) {
 		t.Fatal("dimension mismatch should fail")
 	}
 }
+
+// randomWorkload builds a randomized tree topology with mixed link variances
+// and enough synthetic snapshots for a stable Phase-1 system.
+func randomWorkload(t *testing.T, seed uint64, hosts int) (*topology.RoutingMatrix, *stats.CovAccumulator) {
+	t.Helper()
+	rng := rand.New(rand.NewPCG(seed, seed^0xABCD))
+	net := topogen.Tree(rng, hosts, 5)
+	paths := topogen.Routes(net, []int{0}, net.Hosts)
+	rm, err := topology.Build(paths)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := make([]float64, rm.NumLinks())
+	for k := range truth {
+		if rng.Float64() < 0.15 {
+			truth[k] = 0.005 + 0.02*rng.Float64()
+		} else {
+			truth[k] = 1e-6 * rng.Float64()
+		}
+	}
+	return rm, syntheticSnapshots(rng, rm, truth, 200)
+}
+
+// TestParallelMatchesSerial asserts the sharded Phase-1 accumulation agrees
+// with the serial walk within 1e-10 on randomized topologies, for both
+// solver methods and every negative-covariance policy.
+func TestParallelMatchesSerial(t *testing.T) {
+	for _, seed := range []uint64{3, 17, 99} {
+		rm, acc := randomWorkload(t, seed, 70)
+		for _, method := range []VarianceMethod{VarianceDenseQR, VarianceNormalEquations} {
+			for _, pol := range []NegativeCovPolicy{ClampNegativeCov, DropNegativeCov, KeepNegativeCov} {
+				serial, err := EstimateVariances(rm, acc, VarianceOptions{Method: method, NegPolicy: pol, Workers: 1})
+				if err != nil {
+					t.Fatalf("seed %d %v/%v serial: %v", seed, method, pol, err)
+				}
+				par, err := EstimateVariances(rm, acc, VarianceOptions{Method: method, NegPolicy: pol, Workers: 8})
+				if err != nil {
+					t.Fatalf("seed %d %v/%v parallel: %v", seed, method, pol, err)
+				}
+				for k := range serial {
+					if math.Abs(serial[k]-par[k]) > 1e-10 {
+						t.Fatalf("seed %d %v/%v link %d: serial %g, parallel %g",
+							seed, method, pol, k, serial[k], par[k])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestParallelDeterministic asserts the sharded accumulation returns
+// bit-identical results for any worker count — including the inline
+// single-worker walk — and across repeated runs: shard boundaries depend
+// only on the pair count, the Gram merge is exact integer arithmetic, and
+// the right-hand side reduces in fixed shard order.
+func TestParallelDeterministic(t *testing.T) {
+	rm, acc := randomWorkload(t, 7, 60)
+	var want []float64
+	for _, workers := range []int{0, 1, 2, 3, 4, 8, 16} {
+		for rep := 0; rep < 3; rep++ {
+			got, err := EstimateVariances(rm, acc,
+				VarianceOptions{Method: VarianceNormalEquations, Workers: workers})
+			if err != nil {
+				t.Fatalf("workers=%d rep=%d: %v", workers, rep, err)
+			}
+			if want == nil {
+				want = got
+				continue
+			}
+			for k := range want {
+				if got[k] != want[k] {
+					t.Fatalf("workers=%d rep=%d link %d: %g != %g (not bitwise deterministic)",
+						workers, rep, k, got[k], want[k])
+				}
+			}
+		}
+	}
+}
+
+// TestGramMergeMatchesSequential exercises the shard-merge API directly:
+// folding disjoint equation ranges into separate Grams and merging must
+// reproduce the single-accumulator system.
+func TestGramMergeMatchesSequential(t *testing.T) {
+	rm, acc := randomWorkload(t, 23, 40)
+	nc := rm.NumLinks()
+	whole := NewGram(nc)
+	VisitPairs(rm, func(i, j int, support []int) {
+		if len(support) > 0 {
+			whole.AddEquation(support, acc.Cov(i, j))
+		}
+	})
+	merged := NewGram(nc)
+	half := rm.NumPairs() / 2
+	for _, rng := range [][2]int{{0, half}, {half, rm.NumPairs()}} {
+		part := NewGram(nc)
+		VisitPairsRange(rm, rng[0], rng[1], func(i, j int, support []int) {
+			if len(support) > 0 {
+				part.AddEquation(support, acc.Cov(i, j))
+			}
+		})
+		merged.Merge(part)
+	}
+	if merged.Equations() != whole.Equations() {
+		t.Fatalf("merged %d equations, want %d", merged.Equations(), whole.Equations())
+	}
+	for a := 0; a < nc; a++ {
+		for b := 0; b < nc; b++ {
+			if merged.Matrix().At(a, b) != whole.Matrix().At(a, b) {
+				t.Fatalf("G[%d,%d]: merged %g, whole %g", a, b,
+					merged.Matrix().At(a, b), whole.Matrix().At(a, b))
+			}
+		}
+		if d := math.Abs(merged.RHS()[a] - whole.RHS()[a]); d > 1e-12 {
+			t.Fatalf("rhs[%d]: merged %g, whole %g", a, merged.RHS()[a], whole.RHS()[a])
+		}
+	}
+}
+
+func TestNegativeWorkersFallsBackToSerial(t *testing.T) {
+	rm, acc := randomWorkload(t, 31, 40)
+	serial, err := EstimateVariances(rm, acc, VarianceOptions{Method: VarianceNormalEquations, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	neg, err := EstimateVariances(rm, acc, VarianceOptions{Method: VarianceNormalEquations, Workers: -3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := range serial {
+		if serial[k] != neg[k] {
+			t.Fatalf("link %d: Workers=-3 gave %g, serial %g", k, neg[k], serial[k])
+		}
+	}
+}

@@ -33,6 +33,9 @@ func NewSinkAddr(bind string) (*Sink, error) {
 	if err != nil {
 		return nil, fmt.Errorf("emunet: sink listen: %w", err)
 	}
+	// Surviving probes arrive in bursts of up to a whole snapshot; size the
+	// socket buffer so counting keeps up (best effort, clamped to rmem_max).
+	_ = conn.SetReadBuffer(4 << 20)
 	s := &Sink{conn: conn, recv: make(map[[2]int]int), done: make(chan struct{})}
 	s.wg.Add(1)
 	go s.serve()

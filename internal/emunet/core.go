@@ -76,6 +76,11 @@ func NewCore(cfg CoreConfig) (*Core, error) {
 	if err != nil {
 		return nil, fmt.Errorf("emunet: core listen: %w", err)
 	}
+	// Beacons probe at full speed in bursts of a whole snapshot, so the
+	// default socket buffer (a few hundred datagrams) silently drops probes
+	// before they ever reach a loss process. Best effort: the kernel clamps
+	// the request to rmem_max.
+	_ = conn.SetReadBuffer(4 << 20)
 	if cfg.PStayBad == 0 {
 		cfg.PStayBad = lossmodel.DefaultPStayBad
 	}

@@ -3,6 +3,7 @@ package emunet
 import (
 	"fmt"
 	"math/rand/v2"
+	"sort"
 	"sync"
 	"time"
 
@@ -24,6 +25,14 @@ type LabConfig struct {
 	RespondProb    float64 // per-router probability of answering TTL probes (default 0.93)
 	MultiIfaceProb float64 // fraction of routers with several interfaces (default 0.16)
 	ResolveProb    float64 // probability sr-ally resolves a router's aliases (default 0.8)
+
+	// SequentialBeacons probes one beacon at a time (in beacon-ID order)
+	// instead of concurrently. Loopback sockets deliver in order and the
+	// loss processes are seeded, so a sequential run is bit-reproducible —
+	// the mode statistical tests need. Concurrent probing (the default)
+	// mirrors independent real hosts, whose interleaving at the shared core
+	// varies from run to run.
+	SequentialBeacons bool
 }
 
 func (c LabConfig) withDefaults() LabConfig {
@@ -199,36 +208,51 @@ func (l *Lab) RunSnapshot() ([]float64, error) {
 	l.rates = append(l.rates, append([]float64(nil), l.scen.Rates()...))
 	l.mu.Unlock()
 
-	// Beacons probe their paths concurrently (one goroutine per beacon, as
-	// each PlanetLab host probed independently), paths sequentially within
-	// a beacon to respect the per-host rate limit.
+	// Beacons probe their paths concurrently by default (one goroutine per
+	// beacon, as each PlanetLab host probed independently), paths
+	// sequentially within a beacon to respect the per-host rate limit.
 	byBeacon := make(map[int][]int)
 	for i, p := range l.paths {
 		byBeacon[p.Beacon] = append(byBeacon[p.Beacon], i)
 	}
-	var wg sync.WaitGroup
-	errs := make(chan error, len(byBeacon))
-	for beacon, pathIDs := range byBeacon {
-		wg.Add(1)
-		go func(b *Beacon, ids []int) {
-			defer wg.Done()
-			for _, id := range ids {
-				if _, err := b.ProbePath(id, snap, l.cfg.Probes, l.cfg.Gap); err != nil {
-					errs <- err
-					return
-				}
+	probeBeacon := func(b *Beacon, ids []int) error {
+		for _, id := range ids {
+			if _, err := b.ProbePath(id, snap, l.cfg.Probes, l.cfg.Gap); err != nil {
+				return err
 			}
-			// Barrier: wait until the core has processed this beacon's
-			// probes, so sink counts are complete before reporting.
-			if err := b.Flush(10 * time.Second); err != nil {
-				errs <- err
-			}
-		}(l.beacons[beacon], pathIDs)
+		}
+		// Barrier: wait until the core has processed this beacon's probes,
+		// so sink counts are complete before reporting.
+		return b.Flush(10 * time.Second)
 	}
-	wg.Wait()
-	close(errs)
-	if err := <-errs; err != nil {
-		return nil, err
+	if l.cfg.SequentialBeacons {
+		beacons := make([]int, 0, len(byBeacon))
+		for beacon := range byBeacon {
+			beacons = append(beacons, beacon)
+		}
+		sort.Ints(beacons)
+		for _, beacon := range beacons {
+			if err := probeBeacon(l.beacons[beacon], byBeacon[beacon]); err != nil {
+				return nil, err
+			}
+		}
+	} else {
+		var wg sync.WaitGroup
+		errs := make(chan error, len(byBeacon))
+		for beacon, pathIDs := range byBeacon {
+			wg.Add(1)
+			go func(b *Beacon, ids []int) {
+				defer wg.Done()
+				if err := probeBeacon(b, ids); err != nil {
+					errs <- err
+				}
+			}(l.beacons[beacon], pathIDs)
+		}
+		wg.Wait()
+		close(errs)
+		if err := <-errs; err != nil {
+			return nil, err
+		}
 	}
 	// Short drain for core→sink forwarding of the last probes.
 	time.Sleep(10 * time.Millisecond)

@@ -14,8 +14,9 @@ var ErrNotPositiveDefinite = errors.New("linalg: matrix is not positive definite
 // definite matrix G = L·Lᵀ. It is used to solve the normal equations
 // AᵀA·v = AᵀΣ* assembled by the scalable variance estimator.
 type Cholesky struct {
-	l *Dense
-	n int
+	l    *Dense
+	n    int
+	work []float64 // reusable solve workspace (len n); lazily allocated
 }
 
 // NewCholesky factorizes the symmetric matrix g (only the lower triangle is
@@ -80,29 +81,45 @@ func NewCholeskyRegularized(g *Dense) (*Cholesky, float64, error) {
 	return nil, 0, fmt.Errorf("linalg: regularized Cholesky failed: %w", err)
 }
 
-// Solve solves G·x = b using the factorization.
+// Solve solves G·x = b using the factorization, returning a new vector.
 func (c *Cholesky) Solve(b []float64) []float64 {
+	x := make([]float64, c.n)
+	c.SolveTo(x, b)
+	return x
+}
+
+// SolveTo solves G·x = b into dst without allocating beyond the
+// factorization's lazily-created scratch workspace. Because that workspace
+// is reused, a Cholesky value must not be shared by concurrent solvers.
+// dst and b may alias.
+func (c *Cholesky) SolveTo(dst, b []float64) {
 	if len(b) != c.n {
 		panic(fmt.Sprintf("linalg: Cholesky.Solve rhs length %d != %d", len(b), c.n))
 	}
+	if len(dst) != c.n {
+		panic(fmt.Sprintf("linalg: Cholesky.SolveTo dst length %d != %d", len(dst), c.n))
+	}
+	if c.work == nil {
+		c.work = make([]float64, c.n)
+	}
 	// Forward substitution L·y = b.
-	y := make([]float64, c.n)
+	y := c.work
 	for i := 0; i < c.n; i++ {
-		s := b[i]
 		row := c.l.Row(i)
-		for k := 0; k < i; k++ {
-			s -= row[k] * y[k]
-		}
-		y[i] = s / row[i]
+		y[i] = (b[i] - DotUnrolled(row[:i], y)) / row[i]
 	}
-	// Back substitution Lᵀ·x = y.
-	x := make([]float64, c.n)
+	// Back substitution Lᵀ·x = y, walking L's rows so memory access stays
+	// sequential: after computing x[i], the partial sums of every remaining
+	// x[k] (k < i) are downdated with row i's entries.
+	for i := range dst {
+		dst[i] = 0
+	}
 	for i := c.n - 1; i >= 0; i-- {
-		s := y[i]
-		for k := i + 1; k < c.n; k++ {
-			s -= c.l.At(k, i) * x[k]
+		row := c.l.Row(i)
+		xi := (y[i] + dst[i]) / row[i]
+		dst[i] = xi
+		for k := 0; k < i; k++ {
+			dst[k] -= row[k] * xi
 		}
-		x[i] = s / c.l.At(i, i)
 	}
-	return x
 }

@@ -90,74 +90,126 @@ func (m *Dense) Clone() *Dense {
 	return c
 }
 
-// MulVec computes y = M·x.
+// MulVec computes y = M·x as a new vector. Hot paths that already own a
+// destination should call MulVecTo instead.
 func (m *Dense) MulVec(x []float64) []float64 {
-	if len(x) != m.cols {
-		panic(fmt.Sprintf("linalg: MulVec length %d != cols %d", len(x), m.cols))
-	}
 	y := make([]float64, m.rows)
-	for i := 0; i < m.rows; i++ {
-		row := m.Row(i)
-		var s float64
-		for j, v := range row {
-			s += v * x[j]
-		}
-		y[i] = s
-	}
+	m.MulVecTo(y, x)
 	return y
 }
 
-// TMulVec computes y = Mᵀ·x.
-func (m *Dense) TMulVec(x []float64) []float64 {
-	if len(x) != m.rows {
-		panic(fmt.Sprintf("linalg: TMulVec length %d != rows %d", len(x), m.rows))
+// MulVecTo computes dst = M·x in place without allocating. dst and x must
+// not alias.
+func (m *Dense) MulVecTo(dst, x []float64) {
+	if len(x) != m.cols {
+		panic(fmt.Sprintf("linalg: MulVecTo length %d != cols %d", len(x), m.cols))
 	}
-	y := make([]float64, m.cols)
+	if len(dst) != m.rows {
+		panic(fmt.Sprintf("linalg: MulVecTo dst length %d != rows %d", len(dst), m.rows))
+	}
 	for i := 0; i < m.rows; i++ {
-		row := m.Row(i)
+		dst[i] = DotUnrolled(m.Row(i), x)
+	}
+}
+
+// TMulVec computes y = Mᵀ·x as a new vector. Hot paths that already own a
+// destination should call TMulVecTo instead.
+func (m *Dense) TMulVec(x []float64) []float64 {
+	y := make([]float64, m.cols)
+	m.TMulVecTo(y, x)
+	return y
+}
+
+// TMulVecTo computes dst = Mᵀ·x in place without allocating — row-major
+// axpy passes, so M is streamed sequentially rather than by column. dst and
+// x must not alias.
+func (m *Dense) TMulVecTo(dst, x []float64) {
+	if len(x) != m.rows {
+		panic(fmt.Sprintf("linalg: TMulVecTo length %d != rows %d", len(x), m.rows))
+	}
+	if len(dst) != m.cols {
+		panic(fmt.Sprintf("linalg: TMulVecTo dst length %d != cols %d", len(dst), m.cols))
+	}
+	for j := range dst {
+		dst[j] = 0
+	}
+	for i := 0; i < m.rows; i++ {
 		xi := x[i]
 		if xi == 0 {
 			continue
 		}
+		row := m.Row(i)
 		for j, v := range row {
-			y[j] += v * xi
+			dst[j] += v * xi
 		}
 	}
-	return y
 }
 
-// Mul computes the product M·B as a new matrix.
+// mulBlock is the k-panel width of the blocked Mul: 128 columns of B
+// (1 KiB per row) keep the streamed panel of B resident in L1/L2 while it is
+// reused across every row of the output.
+const mulBlock = 128
+
+// Mul computes the product M·B as a new matrix, blocked over the inner
+// dimension so the active panel of B stays cache-resident across output rows.
 func (m *Dense) Mul(b *Dense) *Dense {
 	if m.cols != b.rows {
 		panic(fmt.Sprintf("linalg: Mul %d×%d by %d×%d", m.rows, m.cols, b.rows, b.cols))
 	}
 	out := NewDense(m.rows, b.cols)
-	for i := 0; i < m.rows; i++ {
-		arow := m.Row(i)
-		orow := out.Row(i)
-		for k, aik := range arow {
-			if aik == 0 {
-				continue
-			}
-			brow := b.Row(k)
-			for j, bkj := range brow {
-				orow[j] += aik * bkj
+	for kb := 0; kb < m.cols; kb += mulBlock {
+		kend := min(kb+mulBlock, m.cols)
+		for i := 0; i < m.rows; i++ {
+			arow := m.Row(i)
+			orow := out.Row(i)
+			for k := kb; k < kend; k++ {
+				aik := arow[k]
+				if aik == 0 {
+					continue
+				}
+				brow := b.Row(k)
+				for j, bkj := range brow {
+					orow[j] += aik * bkj
+				}
 			}
 		}
 	}
 	return out
 }
 
-// T returns the transpose as a new matrix.
+// transBlock is the square tile edge of the blocked transpose; 32×32
+// float64s (8 KiB) fit L1 while both the read and write sides stay on a
+// bounded set of cache lines.
+const transBlock = 32
+
+// T returns the transpose as a new matrix, copied tile by tile so that the
+// strided writes stay within one cache-tile at a time.
 func (m *Dense) T() *Dense {
 	t := NewDense(m.cols, m.rows)
-	for i := 0; i < m.rows; i++ {
-		row := m.Row(i)
-		for j, v := range row {
-			t.data[j*t.cols+i] = v
+	for ib := 0; ib < m.rows; ib += transBlock {
+		iend := min(ib+transBlock, m.rows)
+		for jb := 0; jb < m.cols; jb += transBlock {
+			jend := min(jb+transBlock, m.cols)
+			for i := ib; i < iend; i++ {
+				row := m.data[i*m.cols : (i+1)*m.cols]
+				for j := jb; j < jend; j++ {
+					t.data[j*t.cols+i] = row[j]
+				}
+			}
 		}
 	}
 	return t
+}
+
+// AddMat adds b elementwise: m += b. It is the merge step of the sharded
+// Gram accumulation.
+func (m *Dense) AddMat(b *Dense) {
+	if m.rows != b.rows || m.cols != b.cols {
+		panic(fmt.Sprintf("linalg: AddMat %d×%d += %d×%d", m.rows, m.cols, b.rows, b.cols))
+	}
+	for i, v := range b.data {
+		m.data[i] += v
+	}
 }
 
 // MaxAbs returns the largest absolute entry (0 for an empty matrix).
@@ -227,9 +279,26 @@ func Dot(x, y []float64) float64 {
 	if len(x) != len(y) {
 		panic(fmt.Sprintf("linalg: Dot length mismatch %d != %d", len(x), len(y)))
 	}
-	var s float64
-	for i, v := range x {
-		s += v * y[i]
+	return DotUnrolled(x, y)
+}
+
+// DotUnrolled is the 4-way unrolled inner-product kernel behind Dot and
+// MulVecTo: four independent partial sums break the loop-carried dependence
+// on one accumulator so the FMA units stay busy. len(y) must be ≥ len(x);
+// extra entries of y are ignored.
+func DotUnrolled(x, y []float64) float64 {
+	n := len(x)
+	_ = y[:n] // one bounds check for the whole loop
+	var s0, s1, s2, s3 float64
+	i := 0
+	for ; i+4 <= n; i += 4 {
+		s0 += x[i] * y[i]
+		s1 += x[i+1] * y[i+1]
+		s2 += x[i+2] * y[i+2]
+		s3 += x[i+3] * y[i+3]
 	}
-	return s
+	for ; i < n; i++ {
+		s0 += x[i] * y[i]
+	}
+	return (s0 + s1) + (s2 + s3)
 }

@@ -36,6 +36,7 @@ func NewPivotedQR(a *Dense) *PivotedQR {
 		norms[j] = s
 		exact[j] = s
 	}
+	w := make([]float64, n) // reflector-application scratch, shared across steps
 	steps := min(m, n)
 	for k := 0; k < steps; k++ {
 		// Pick the remaining column with the largest updated norm.
@@ -52,7 +53,7 @@ func NewPivotedQR(a *Dense) *PivotedQR {
 			f.perm[k], f.perm[best] = f.perm[best], f.perm[k]
 		}
 		f.tau[k] = houseColumn(f.qr, k, k)
-		applyHouseLeft(f.qr, k, k, f.tau[k], k+1)
+		applyHouseLeft(f.qr, k, k, f.tau[k], k+1, w)
 		// Downdate norms; recompute when cancellation bites (LAPACK dgeqpf).
 		for j := k + 1; j < n; j++ {
 			r := f.qr.At(k, j)

@@ -18,6 +18,7 @@ type QR struct {
 	qr   *Dense    // packed factors: R in the upper triangle, reflectors below
 	tau  []float64 // Householder scalar coefficients
 	m, n int
+	work []float64 // reusable solve workspace (len m); lazily allocated
 }
 
 // NewQR computes the Householder QR factorization of a. The input matrix is
@@ -28,9 +29,10 @@ func NewQR(a *Dense) *QR {
 		panic(fmt.Sprintf("linalg: QR requires rows ≥ cols, got %d×%d", m, n))
 	}
 	f := &QR{qr: a.Clone(), tau: make([]float64, n), m: m, n: n}
+	w := make([]float64, n) // reflector-application scratch, shared across steps
 	for k := 0; k < n; k++ {
 		f.tau[k] = houseColumn(f.qr, k, k)
-		applyHouseLeft(f.qr, k, k, f.tau[k], k+1)
+		applyHouseLeft(f.qr, k, k, f.tau[k], k+1, w)
 	}
 	return f
 }
@@ -66,22 +68,41 @@ func houseColumn(a *Dense, row, col int) float64 {
 }
 
 // applyHouseLeft applies the reflector stored in column col (with pivot at
-// row) to columns [fromCol, n) of a: A ← (I − τ·v·vᵀ)·A.
-func applyHouseLeft(a *Dense, row, col int, tau float64, fromCol int) {
+// row) to columns [fromCol, n) of a: A ← (I − τ·v·vᵀ)·A. It runs as two
+// row-major sweeps through the scratch vector w (len ≥ n): w ← τ·(vᵀ·A),
+// then A ← A − v·w. Streaming whole rows instead of walking columns keeps
+// the trailing submatrix on sequential cache lines and needs one bounds
+// check per row rather than one per element.
+func applyHouseLeft(a *Dense, row, col int, tau float64, fromCol int, w []float64) {
 	if tau == 0 {
 		return
 	}
 	m, n := a.Dims()
-	for j := fromCol; j < n; j++ {
-		// w = vᵀ·a[:,j] with v[0] = 1.
-		w := a.At(row, j)
-		for i := row + 1; i < m; i++ {
-			w += a.At(i, col) * a.At(i, j)
+	w = w[:n]
+	prow := a.Row(row)
+	copy(w[fromCol:], prow[fromCol:])
+	for i := row + 1; i < m; i++ {
+		ri := a.Row(i)
+		vi := ri[col]
+		if vi == 0 {
+			continue
 		}
-		w *= tau
-		a.Add(row, j, -w)
-		for i := row + 1; i < m; i++ {
-			a.Add(i, j, -w*a.At(i, col))
+		for j := fromCol; j < n; j++ {
+			w[j] += vi * ri[j]
+		}
+	}
+	for j := fromCol; j < n; j++ {
+		w[j] *= tau
+		prow[j] -= w[j]
+	}
+	for i := row + 1; i < m; i++ {
+		ri := a.Row(i)
+		vi := ri[col]
+		if vi == 0 {
+			continue
+		}
+		for j := fromCol; j < n; j++ {
+			ri[j] -= vi * w[j]
 		}
 	}
 }
@@ -129,11 +150,16 @@ func (f *QR) RCond() float64 {
 
 // Solve returns the least-squares solution x minimizing ‖A·x − b‖₂.
 // It returns ErrRankDeficient when R has a (numerically) zero diagonal entry.
+// The factorization's scratch workspace is reused across calls, so a QR
+// value must not be shared by concurrent solvers.
 func (f *QR) Solve(b []float64) ([]float64, error) {
 	if len(b) != f.m {
 		panic(fmt.Sprintf("linalg: QR.Solve rhs length %d != rows %d", len(b), f.m))
 	}
-	y := make([]float64, f.m)
+	if f.work == nil {
+		f.work = make([]float64, f.m)
+	}
+	y := f.work
 	copy(y, b)
 	f.applyQT(y)
 	// Back substitution on the n×n upper triangle.

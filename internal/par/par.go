@@ -1,0 +1,48 @@
+// Package par provides the one work-distribution primitive shared by the
+// parallel Phase-1 stages (pair-index build, sharded Gram accumulation,
+// sharded equation collection): a fixed item space pulled by a bounded pool
+// through an atomic counter. Determinism is the caller's concern — items
+// must write disjoint state, and any order-sensitive reduction must happen
+// after Do returns, keyed by item index.
+package par
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Do runs fn(worker, item) for every item in [0, items), distributing items
+// dynamically over min(workers, items) goroutines. Each worker index is
+// owned by exactly one goroutine, so fn may keep per-worker state indexed by
+// its first argument without synchronization. workers ≤ 1 runs every item
+// inline on worker 0. Do returns when all items have been processed.
+func Do(workers, items int, fn func(worker, item int)) {
+	if items <= 0 {
+		return
+	}
+	if workers > items {
+		workers = items
+	}
+	if workers <= 1 {
+		for i := 0; i < items; i++ {
+			fn(0, i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= items {
+					return
+				}
+				fn(w, i)
+			}
+		}(w)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,45 @@
+package par
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestDoCoversEveryItemOnce(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 7, 64} {
+		for _, items := range []int{0, 1, 5, 1000} {
+			counts := make([]atomic.Int32, items)
+			Do(workers, items, func(_, i int) { counts[i].Add(1) })
+			for i := range counts {
+				if got := counts[i].Load(); got != 1 {
+					t.Fatalf("workers=%d items=%d: item %d ran %d times", workers, items, i, got)
+				}
+			}
+		}
+	}
+}
+
+func TestDoWorkerOwnership(t *testing.T) {
+	// A worker index must never be shared: per-worker tallies written
+	// without synchronization have to survive the race detector.
+	const workers, items = 8, 500
+	tallies := make([][]int, workers)
+	Do(workers, items, func(w, i int) {
+		tallies[w] = append(tallies[w], i)
+	})
+	total := 0
+	for _, tl := range tallies {
+		total += len(tl)
+	}
+	if total != items {
+		t.Fatalf("workers processed %d items, want %d", total, items)
+	}
+}
+
+func TestDoInlineUsesWorkerZero(t *testing.T) {
+	Do(1, 10, func(w, _ int) {
+		if w != 0 {
+			t.Fatalf("inline run used worker %d", w)
+		}
+	})
+}

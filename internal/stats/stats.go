@@ -19,6 +19,7 @@ type CovAccumulator struct {
 	dim   int
 	mean  []float64
 	comom []float64 // packed upper triangle of co-moment sums
+	delta []float64 // scratch for Add: pre-update deviations, reused per call
 }
 
 // NewCovAccumulator creates an accumulator for dim-dimensional vectors.
@@ -27,6 +28,7 @@ func NewCovAccumulator(dim int) *CovAccumulator {
 		dim:   dim,
 		mean:  make([]float64, dim),
 		comom: make([]float64, dim*(dim+1)/2),
+		delta: make([]float64, dim),
 	}
 }
 
@@ -42,8 +44,10 @@ func (c *CovAccumulator) Add(y []float64) {
 	}
 	c.n++
 	// delta before mean update, delta2 after: comom += delta_i * delta2_j.
+	// The scratch buffer keeps the snapshot fold allocation-free — it sits
+	// on the Phase-1 ingest path, called once per snapshot.
 	inv := 1 / float64(c.n)
-	delta := make([]float64, c.dim)
+	delta := c.delta
 	for i, v := range y {
 		delta[i] = v - c.mean[i]
 	}

@@ -206,3 +206,15 @@ func TestMeanVariance(t *testing.T) {
 		t.Error("edge cases wrong")
 	}
 }
+
+func TestCovAccumulatorAddZeroAlloc(t *testing.T) {
+	// Add sits on the Phase-1 snapshot ingest path: it must not allocate.
+	acc := NewCovAccumulator(64)
+	y := make([]float64, 64)
+	for i := range y {
+		y[i] = float64(i%7) - 3
+	}
+	if n := testing.AllocsPerRun(100, func() { acc.Add(y) }); n != 0 {
+		t.Errorf("CovAccumulator.Add allocates %v times per run", n)
+	}
+}

@@ -154,7 +154,15 @@ func BarabasiAlbert(rng *rand.Rand, nodes, m int) *Network {
 				chosen[t] = true
 			}
 		}
+		// Attach in sorted order: ranging over the map directly would make
+		// edge numbering — and every downstream experiment — vary from run
+		// to run even under a fixed seed.
+		targets := make([]int, 0, len(chosen))
 		for t := range chosen {
+			targets = append(targets, t)
+		}
+		sort.Ints(targets)
+		for _, t := range targets {
 			g.AddBidirectional(v, t, 1)
 			pool = append(pool, v, t)
 		}

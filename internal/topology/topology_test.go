@@ -1,7 +1,9 @@
 package topology
 
 import (
+	"math/rand/v2"
 	"reflect"
+	"sync"
 	"testing"
 )
 
@@ -253,5 +255,126 @@ func TestRemoveFlutteringNoViolations(t *testing.T) {
 	kept, removed := RemoveFluttering(paths)
 	if len(kept) != len(paths) || len(removed) != 0 {
 		t.Fatalf("expected no removals, got removed=%v", removed)
+	}
+}
+
+// randomPaths builds a random single-beacon tree-ish path set for exercising
+// the pair-support index: path p walks a shared prefix of links plus a
+// private suffix, so intersections of every size occur.
+func randomPaths(rng *rand.Rand, np int) []Path {
+	paths := make([]Path, np)
+	for p := 0; p < np; p++ {
+		prefix := rng.IntN(6)
+		links := make([]int, 0, prefix+3)
+		for l := 1; l <= prefix; l++ {
+			links = append(links, l) // shared prefix links 1..prefix
+		}
+		links = append(links, 100+p) // private leaf link
+		paths[p] = Path{Beacon: 0, Dst: p + 1, Links: links}
+	}
+	return paths
+}
+
+func TestPairSupportMatchesIntersectRows(t *testing.T) {
+	rng := rand.New(rand.NewPCG(41, 42))
+	rm, err := Build(randomPaths(rng, 40))
+	if err != nil {
+		t.Fatal(err)
+	}
+	np := rm.NumPaths()
+	if want := np * (np + 1) / 2; rm.NumPairs() != want {
+		t.Fatalf("NumPairs = %d, want %d", rm.NumPairs(), want)
+	}
+	for i := 0; i < np; i++ {
+		for j := i; j < np; j++ {
+			want := rm.IntersectRows(i, j, nil)
+			got := rm.PairSupport(i, j)
+			if len(got) == 0 && len(want) == 0 {
+				continue
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("PairSupport(%d,%d) = %v, want %v", i, j, got, want)
+			}
+			if sw := rm.PairSupport(j, i); len(sw) > 0 && !reflect.DeepEqual(sw, want) {
+				t.Fatalf("PairSupport(%d,%d) (swapped) = %v, want %v", j, i, sw, want)
+			}
+		}
+	}
+}
+
+func TestVisitPairSupportsRanges(t *testing.T) {
+	rng := rand.New(rand.NewPCG(43, 44))
+	rm, err := Build(randomPaths(rng, 23))
+	if err != nil {
+		t.Fatal(err)
+	}
+	type pair struct{ i, j int }
+	var fullPairs []pair
+	var fullSupports [][]int
+	rm.VisitPairSupports(0, rm.NumPairs(), func(i, j int, support []int) {
+		fullPairs = append(fullPairs, pair{i, j})
+		fullSupports = append(fullSupports, support)
+	})
+	if len(fullPairs) != rm.NumPairs() {
+		t.Fatalf("full walk visited %d pairs, want %d", len(fullPairs), rm.NumPairs())
+	}
+	// The canonical order must agree with PairIndexOf.
+	for p, pr := range fullPairs {
+		if rm.PairIndexOf(pr.i, pr.j) != p {
+			t.Fatalf("pair (%d,%d) visited at position %d, PairIndexOf says %d",
+				pr.i, pr.j, p, rm.PairIndexOf(pr.i, pr.j))
+		}
+	}
+	// Any chunked partition must reproduce the full walk exactly.
+	for _, chunk := range []int{1, 7, 64, rm.NumPairs()} {
+		var pos int
+		for lo := 0; lo < rm.NumPairs(); lo += chunk {
+			hi := lo + chunk
+			if hi > rm.NumPairs() {
+				hi = rm.NumPairs()
+			}
+			rm.VisitPairSupports(lo, hi, func(i, j int, support []int) {
+				if fullPairs[pos] != (pair{i, j}) {
+					t.Fatalf("chunk %d: position %d visited (%d,%d), want (%d,%d)",
+						chunk, pos, i, j, fullPairs[pos].i, fullPairs[pos].j)
+				}
+				if !reflect.DeepEqual(support, fullSupports[pos]) {
+					t.Fatalf("chunk %d: pair (%d,%d) support %v, want %v",
+						chunk, i, j, support, fullSupports[pos])
+				}
+				pos++
+			})
+		}
+		if pos != rm.NumPairs() {
+			t.Fatalf("chunk %d: visited %d pairs, want %d", chunk, pos, rm.NumPairs())
+		}
+	}
+}
+
+func TestPairSupportConcurrentFirstUse(t *testing.T) {
+	// The lazy index build must be safe when the first accesses race.
+	rng := rand.New(rand.NewPCG(45, 46))
+	rm, err := Build(randomPaths(rng, 30))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := rm.IntersectRows(0, rm.NumPaths()-1, nil)
+	var wg sync.WaitGroup
+	got := make([][]int, 8)
+	for w := range got {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			got[w] = rm.PairSupport(0, rm.NumPaths()-1)
+		}(w)
+	}
+	wg.Wait()
+	for w := range got {
+		if len(want) == 0 && len(got[w]) == 0 {
+			continue
+		}
+		if !reflect.DeepEqual(got[w], want) {
+			t.Fatalf("goroutine %d saw support %v, want %v", w, got[w], want)
+		}
 	}
 }
