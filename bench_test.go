@@ -194,7 +194,7 @@ func BenchmarkAugmentedBuild(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		gr := core.NewGram(w.RM.NumLinks())
-		core.VisitPairs(w.RM, func(pi, pj int, support []int) {
+		core.VisitPairs(w.RM, func(pi, pj int, support []int32) {
 			if len(support) > 0 {
 				gr.AddEquation(support, 0)
 			}
@@ -459,7 +459,7 @@ func BenchmarkVisitPairs(b *testing.B) {
 	b.ResetTimer()
 	links := 0
 	for i := 0; i < b.N; i++ {
-		core.VisitPairs(w.RM, func(pi, pj int, support []int) {
+		core.VisitPairs(w.RM, func(pi, pj int, support []int32) {
 			links += len(support)
 		})
 	}

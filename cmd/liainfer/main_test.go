@@ -1,0 +1,96 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestGoldenStream drives the binary end to end through the file-based
+// SnapshotSource: topology document + newline-delimited measurement stream
+// (mixing bare-array and collector-format lines), compared byte-for-byte
+// against the committed golden output. The whole pipeline is deterministic,
+// so any drift in topology reduction, Phase 1, Phase 2, or the output
+// schema shows up here.
+func TestGoldenStream(t *testing.T) {
+	var out, errb bytes.Buffer
+	err := run([]string{
+		"-topo", filepath.Join("testdata", "topology.json"),
+		"-stream", filepath.Join("testdata", "snapshots.ndjson"),
+		"-json",
+	}, strings.NewReader(""), &out, &errb)
+	if err != nil {
+		t.Fatalf("run: %v (stderr: %s)", err, errb.String())
+	}
+	compareGolden(t, out.Bytes())
+}
+
+// TestGoldenClassic feeds the same campaign through the classic one-document
+// mode; the result must be identical to the streaming mode's.
+func TestGoldenClassic(t *testing.T) {
+	var out, errb bytes.Buffer
+	err := run([]string{
+		"-in", filepath.Join("testdata", "measurements.json"),
+		"-json",
+	}, strings.NewReader(""), &out, &errb)
+	if err != nil {
+		t.Fatalf("run: %v (stderr: %s)", err, errb.String())
+	}
+	compareGolden(t, out.Bytes())
+}
+
+// TestGoldenStdin exercises the default stdin path.
+func TestGoldenStdin(t *testing.T) {
+	doc, err := os.ReadFile(filepath.Join("testdata", "measurements.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out, errb bytes.Buffer
+	if err := run([]string{"-json"}, bytes.NewReader(doc), &out, &errb); err != nil {
+		t.Fatalf("run: %v (stderr: %s)", err, errb.String())
+	}
+	compareGolden(t, out.Bytes())
+}
+
+func compareGolden(t *testing.T, got []byte) {
+	t.Helper()
+	want, err := os.ReadFile(filepath.Join("testdata", "golden.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(got, want) {
+		return
+	}
+	// Byte mismatch: decode both for a readable diagnosis before failing.
+	var g, w Output
+	if err := json.Unmarshal(got, &g); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, got)
+	}
+	if err := json.Unmarshal(want, &w); err != nil {
+		t.Fatalf("golden file is not valid JSON: %v", err)
+	}
+	t.Fatalf("output drifted from golden: got kept=%d removed=%d threshold=%g %d links, want kept=%d removed=%d threshold=%g %d links\nfull output:\n%s",
+		g.Kept, g.Removed, g.Threshold, len(g.Links), w.Kept, w.Removed, w.Threshold, len(w.Links), got)
+}
+
+// TestRunErrors pins the argument-validation paths.
+func TestRunErrors(t *testing.T) {
+	var out, errb bytes.Buffer
+	if err := run([]string{"-stream", "x.ndjson"}, strings.NewReader(""), &out, &errb); err == nil {
+		t.Fatal("-stream without -topo must fail")
+	}
+	if err := run([]string{"-topo", "x.json"}, strings.NewReader(""), &out, &errb); err == nil {
+		t.Fatal("-topo without -stream must fail (not fall through to stdin)")
+	}
+	if err := run([]string{"-strategy", "bogus", "-in", filepath.Join("testdata", "measurements.json")},
+		strings.NewReader(""), &out, &errb); err == nil {
+		t.Fatal("unknown strategy must fail")
+	}
+	if err := run([]string{}, strings.NewReader(`{"probes":10,"paths":[{"beacon":0,"dst":1,"links":[1]}],"snapshots":[[1.0]]}`),
+		&out, &errb); err == nil || !strings.Contains(err.Error(), "at least 3 snapshots") {
+		t.Fatalf("single-snapshot input error = %v", err)
+	}
+}

@@ -16,7 +16,7 @@ import (
 	"os"
 	"strings"
 
-	"lia/internal/core"
+	"lia"
 	"lia/internal/experiments"
 	"lia/internal/lossmodel"
 )
@@ -84,19 +84,19 @@ func main() {
 	}
 	switch strings.ToLower(*strategy) {
 	case "paper":
-		cfg.Strategy = core.EliminatePaperSequential
+		cfg.Strategy = lia.StrategyPaperSequential
 	case "greedy":
-		cfg.Strategy = core.EliminateGreedyBasis
+		cfg.Strategy = lia.StrategyGreedyBasis
 	default:
 		fatalf("unknown -strategy %q", *strategy)
 	}
 	switch strings.ToLower(*variant) {
 	case "auto":
-		cfg.Variance.Method = core.VarianceAuto
+		cfg.Variance.Method = lia.VarianceAuto
 	case "dense":
-		cfg.Variance.Method = core.VarianceDenseQR
+		cfg.Variance.Method = lia.VarianceDenseQR
 	case "normal":
-		cfg.Variance.Method = core.VarianceNormalEquations
+		cfg.Variance.Method = lia.VarianceNormalEquations
 	default:
 		fatalf("unknown -variance %q", *variant)
 	}

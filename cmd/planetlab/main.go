@@ -11,16 +11,16 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
-	"math"
 	"math/rand/v2"
 	"os"
 	"time"
 
+	"lia"
 	"lia/internal/asmap"
-	"lia/internal/core"
 	"lia/internal/emunet"
 	"lia/internal/experiments"
 	"lia/internal/lossmodel"
@@ -73,7 +73,7 @@ func main() {
 		log.Fatalf("planetlab: discovered topology: %v", err)
 	}
 	log.Printf("planetlab: discovery in %v: %d paths, %d virtual links, identifiable=%v (%d fluttering dropped)",
-		time.Since(t0).Round(time.Millisecond), rm.NumPaths(), rm.NumLinks(), core.Identifiable(rm), len(flut))
+		time.Since(t0).Round(time.Millisecond), rm.NumPaths(), rm.NumLinks(), lia.Identifiable(rm), len(flut))
 
 	// Probing campaign: m learning snapshots + 1 to infer.
 	t0 = time.Now()
@@ -95,12 +95,17 @@ func main() {
 	fig9.Fprint(os.Stdout)
 	fmt.Println()
 
-	// Full inference for Table 3 and duration analysis.
-	l := core.New(rm, core.Options{})
-	for s := 0; s < *m; s++ {
-		l.AddSnapshot(logRates(fracs[s], *probes))
+	// Full inference for Table 3 and duration analysis, through the public
+	// engine fed by the emunet trace adapter.
+	ctx := context.Background()
+	eng, err := lia.NewEngine(rm)
+	if err != nil {
+		log.Fatalf("planetlab: %v", err)
 	}
-	res, err := l.Infer(logRates(fracs[*m], *probes))
+	if _, err := eng.Consume(ctx, lia.NewTraceSource(fracs[:*m], *probes)); err != nil {
+		log.Fatalf("planetlab: ingest: %v", err)
+	}
+	res, err := eng.Infer(ctx, lia.LogRates(fracs[*m], *probes))
 	if err != nil {
 		log.Fatalf("planetlab: inference: %v", err)
 	}
@@ -132,11 +137,14 @@ func main() {
 	tracker := asmap.NewDurationTracker(rm.NumLinks())
 	warm := *m / 2
 	for t := warm; t <= *m; t++ {
-		lw := core.New(rm, core.Options{})
-		for s := t - warm; s < t; s++ {
-			lw.AddSnapshot(logRates(fracs[s], *probes))
+		lw, err := lia.NewEngine(rm)
+		if err != nil {
+			log.Fatalf("planetlab: durations: %v", err)
 		}
-		r, err := lw.Infer(logRates(fracs[t], *probes))
+		if _, err := lw.Consume(ctx, lia.NewTraceSource(fracs[t-warm:t], *probes)); err != nil {
+			log.Fatalf("planetlab: durations: %v", err)
+		}
+		r, err := lw.Infer(ctx, lia.LogRates(fracs[t], *probes))
 		if err != nil {
 			log.Fatalf("planetlab: durations: %v", err)
 		}
@@ -187,15 +195,4 @@ func classifyDiscovered(lab *emunet.Lab, rm *topology.RoutingMatrix, paths []top
 		}
 	}
 	return out
-}
-
-func logRates(frac []float64, probes int) []float64 {
-	y := make([]float64, len(frac))
-	for i, f := range frac {
-		if f <= 0 {
-			f = 0.5 / float64(probes)
-		}
-		y[i] = math.Log(f)
-	}
-	return y
 }

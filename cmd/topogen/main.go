@@ -9,7 +9,7 @@ import (
 	"math/rand/v2"
 	"os"
 
-	"lia/internal/core"
+	"lia"
 	"lia/internal/experiments"
 	"lia/internal/topology"
 )
@@ -36,7 +36,7 @@ func main() {
 	fmt.Printf("paths (np):    %d\n", w.RM.NumPaths())
 	fmt.Printf("covered links (nc, after alias reduction): %d\n", w.RM.NumLinks())
 	fmt.Printf("rank(R):       %d (first moments %s)\n", w.RM.Rank(), deficiency(w.RM.Rank(), w.RM.NumLinks()))
-	ar := core.AugmentedRank(w.RM)
+	ar := lia.AugmentedRank(w.RM)
 	fmt.Printf("rank(A):       %d (second moments %s — Theorem 1)\n", ar, deficiency(ar, w.RM.NumLinks()))
 	fmt.Printf("fluttering path pairs remaining: %d\n", len(flutter))
 }

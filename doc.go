@@ -1,0 +1,41 @@
+// Package lia is the public face of this reproduction of "Network loss
+// inference with second order statistics of end-to-end flows" (Nguyen &
+// Thiran, IMC 2007): a concurrency-safe inference engine that localises
+// lossy (or high-delay) links from nothing but end-to-end path
+// measurements.
+//
+// The API maps onto the paper as follows:
+//
+//   - NewTopology performs the alias reduction of §3.1, turning raw
+//     end-to-end Paths into the reduced routing matrix R; RemoveFluttering
+//     repairs the no-route-fluttering assumption T.2, and Identifiable /
+//     AugmentedRank check the second-order identifiability of Lemma 2 and
+//     Theorem 1.
+//   - Engine.Ingest and IngestBatch fold learning snapshots into the
+//     running second-order moments of §5.1 (eq. 7); Phase 1 — solving
+//     Σ* = A·v for the per-link variances (Lemma 1) — runs lazily when an
+//     inference needs it.
+//   - Engine.Infer is Phase 2 (§5.2): order links by learned variance,
+//     eliminate the least-variant columns until R* has full column rank,
+//     and solve the reduced first-order system for the newest snapshot.
+//     Together they are the LIA algorithm of §5.3.
+//   - Engine.Watch wraps the incremental-update machinery of §5.1 ("only
+//     the rows corresponding to the changes need to be updated"): paths can
+//     be deactivated and reactivated as beacons come and go, touching O(np)
+//     equations instead of rebuilding the O(np²) system.
+//   - WithObservation(ObserveLinear) switches the snapshot semantics to
+//     additive path metrics — the §8 delay-tomography extension.
+//
+// An Engine is safe for concurrent use: snapshot ingestion serialises on a
+// short critical section (one Welford fold), while Infer runs lock-free in
+// the steady state against an atomically-swapped cache of the Phase-1
+// variances and elimination order, keyed by an ingestion epoch. Many
+// goroutines can infer while others ingest.
+//
+// Measurement collection is decoupled from inference through the
+// SnapshotSource interface: NewSimSource streams synthetic campaigns from
+// the packet-level simulator, NewTraceSource adapts recorded received
+// fractions (e.g. the emulated overlay's traces), and NewFileSource /
+// OpenFileSource read newline-delimited measurement files such as the
+// collector's output stream.
+package lia

@@ -1,0 +1,220 @@
+package lia
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+
+	"lia/internal/core"
+	"lia/internal/stats"
+)
+
+// Engine is a concurrency-safe inference session over one routing matrix.
+//
+// Learning snapshots stream in through Ingest / IngestBatch / Consume;
+// inferences run through Infer. Internally the engine keys a cached
+// Phase-1 state (link variances and the Phase-2 elimination order) by an
+// ingestion epoch — the number of snapshots folded in. Infer loads the
+// cache with two atomic reads; only the first inference after new learning
+// data recomputes it, and concurrent inferences behind that rebuild
+// single-flight on one recompute. Ingestion itself serialises on a short
+// lock around the streaming moment fold, never on a solve: the rebuild
+// clones the moment accumulator under the lock and solves on the clone.
+//
+// Construct with NewEngine; the zero value is not usable.
+type Engine struct {
+	rm   *RoutingMatrix
+	opts core.Options
+
+	mu    sync.Mutex // guards acc
+	acc   *stats.CovAccumulator
+	epoch atomic.Uint64 // snapshots folded in; published by Ingest
+
+	rebuildMu sync.Mutex // single-flights state rebuilds
+	state     atomic.Pointer[phaseState]
+}
+
+// phaseState is one immutable Phase-1 result: everything Phase 2 needs that
+// depends only on the learning data.
+type phaseState struct {
+	epoch         uint64 // ingestion epoch the state was computed at
+	vars          []float64
+	kept, removed []int
+}
+
+// NewEngine creates an engine over the reduced routing matrix.
+func NewEngine(rm *RoutingMatrix, options ...Option) (*Engine, error) {
+	if rm == nil {
+		return nil, errors.New("lia: nil routing matrix")
+	}
+	var s settings
+	for _, o := range options {
+		o(&s)
+	}
+	return &Engine{rm: rm, opts: s.opts, acc: stats.NewCovAccumulator(rm.NumPaths())}, nil
+}
+
+// RoutingMatrix returns the matrix the engine operates on.
+func (e *Engine) RoutingMatrix() *RoutingMatrix { return e.rm }
+
+// Snapshots returns the number of learning snapshots ingested so far.
+func (e *Engine) Snapshots() int { return int(e.epoch.Load()) }
+
+// Threshold returns the effective congestion threshold tl: the value given
+// to WithThreshold (honored verbatim, including 0), or DefaultThreshold.
+func (e *Engine) Threshold() float64 { return e.opts.EffectiveThreshold() }
+
+// Ingest folds one learning snapshot of per-path observations into the
+// second-order moments (§5.1, eq. 7). Safe for concurrent use with other
+// Ingest and Infer calls.
+func (e *Engine) Ingest(y []float64) error {
+	if err := checkDim(e.rm, y); err != nil {
+		return err
+	}
+	e.mu.Lock()
+	e.acc.Add(y)
+	e.epoch.Store(uint64(e.acc.Count()))
+	e.mu.Unlock()
+	return nil
+}
+
+// IngestBatch folds a batch of learning snapshots under one lock
+// acquisition. All vectors are validated before any is folded, so a
+// dimension error leaves the moments untouched.
+func (e *Engine) IngestBatch(ys [][]float64) error {
+	for _, y := range ys {
+		if err := checkDim(e.rm, y); err != nil {
+			return err
+		}
+	}
+	e.mu.Lock()
+	for _, y := range ys {
+		e.acc.Add(y)
+	}
+	e.epoch.Store(uint64(e.acc.Count()))
+	e.mu.Unlock()
+	return nil
+}
+
+// Consume pulls snapshots from a source until it is exhausted (io.EOF) or
+// the context is cancelled, ingesting each. It returns the number of
+// snapshots ingested.
+func (e *Engine) Consume(ctx context.Context, src SnapshotSource) (int, error) {
+	n := 0
+	for {
+		snap, err := src.Next(ctx)
+		if err != nil {
+			if errors.Is(err, io.EOF) {
+				return n, nil
+			}
+			return n, err
+		}
+		if err := e.Ingest(snap.Y); err != nil {
+			return n, err
+		}
+		n++
+	}
+}
+
+// currentState returns the Phase-1 state for the latest ingestion epoch,
+// recomputing it if learning data arrived since the last rebuild. Callers
+// racing a rebuild single-flight behind one solver.
+func (e *Engine) currentState(ctx context.Context) (*phaseState, error) {
+	if st := e.state.Load(); st != nil && st.epoch == e.epoch.Load() {
+		return st, nil
+	}
+	e.rebuildMu.Lock()
+	defer e.rebuildMu.Unlock()
+	if st := e.state.Load(); st != nil && st.epoch == e.epoch.Load() {
+		return st, nil // a racing caller rebuilt while we waited
+	}
+	e.mu.Lock()
+	cov := e.acc.Clone()
+	e.mu.Unlock()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	vars, err := core.EstimateVariances(e.rm, cov, e.opts.Variance)
+	if err != nil {
+		return nil, fmt.Errorf("lia: phase 1: %w", err)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	kept, removed := core.EliminateWorkers(e.rm, vars, e.opts.Strategy, e.opts.Variance.Workers)
+	st := &phaseState{epoch: uint64(cov.Count()), vars: vars, kept: kept, removed: removed}
+	e.state.Store(st)
+	return st, nil
+}
+
+// Variances returns the Phase-1 estimates of the per-link variances at the
+// current ingestion epoch. Entries may be slightly negative under sampling
+// noise. The slice is the caller's to keep.
+func (e *Engine) Variances(ctx context.Context) ([]float64, error) {
+	st, err := e.currentState(ctx)
+	if err != nil {
+		return nil, err
+	}
+	return append([]float64(nil), st.vars...), nil
+}
+
+// Infer runs Phase 2 on one snapshot of per-path observations: solve the
+// reduced full-column-rank system Y = R*·X* ordered by the learned
+// variances, and report per-link metrics (loss rates under
+// ObserveLogTransmission, the clamped linear metric under ObserveLinear;
+// eliminated links report 0).
+//
+// Infer is safe for heavy concurrent use: the Phase-1 state is cached
+// across calls and shared lock-free; each call then performs one
+// independent least-squares solve. The returned Result is exclusively the
+// caller's.
+func (e *Engine) Infer(ctx context.Context, y []float64) (*Result, error) {
+	if err := checkDim(e.rm, y); err != nil {
+		return nil, err
+	}
+	st, err := e.currentState(ctx)
+	if err != nil {
+		return nil, err
+	}
+	x, err := core.SolveReduced(e.rm, st.kept, y)
+	if err != nil {
+		return nil, fmt.Errorf("lia: phase 2: %w", err)
+	}
+	// Copy the cached slices: Results outlive state swaps and callers may
+	// modify them.
+	return core.AssembleResult(
+		e.rm, e.opts.Observation,
+		append([]float64(nil), st.vars...),
+		append([]int(nil), st.kept...),
+		append([]int(nil), st.removed...),
+		x,
+	), nil
+}
+
+// InferCongested runs Infer and classifies every virtual link against the
+// engine's congestion threshold (see Threshold).
+func (e *Engine) InferCongested(ctx context.Context, y []float64) ([]bool, *Result, error) {
+	res, err := e.Infer(ctx, y)
+	if err != nil {
+		return nil, nil, err
+	}
+	return res.Congested(e.Threshold()), res, nil
+}
+
+// CheckIdentifiable verifies that the link variances are identifiable on
+// this engine's routing matrix (Theorem 1), returning an error wrapping
+// ErrUnidentifiable if the augmented matrix is rank deficient. The check is
+// not implied by NewEngine — it costs a rank computation — but running it
+// once per topology turns silent minimum-norm fallbacks into a diagnosis.
+func (e *Engine) CheckIdentifiable() error {
+	if err := e.rm.PrecomputePairSupports(); err != nil {
+		return fmt.Errorf("lia: %w", err)
+	}
+	if r, nc := core.AugmentedRank(e.rm), e.rm.NumLinks(); r < nc {
+		return fmt.Errorf("lia: rank(A) = %d < %d links: %w", r, nc, ErrUnidentifiable)
+	}
+	return nil
+}

@@ -1,0 +1,274 @@
+package lia_test
+
+import (
+	"context"
+	"errors"
+	"math"
+	"testing"
+
+	"lia"
+)
+
+func TestSentinelErrors(t *testing.T) {
+	ctx := context.Background()
+	rm, err := lia.NewTopology(apiTreePaths(2, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := lia.NewEngine(rm)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Wrong-length snapshots are rejected with ErrDimensionMismatch.
+	bad := make([]float64, rm.NumPaths()+1)
+	if err := eng.Ingest(bad); !errors.Is(err, lia.ErrDimensionMismatch) {
+		t.Fatalf("Ingest dim error = %v, want ErrDimensionMismatch", err)
+	}
+	if err := eng.IngestBatch([][]float64{make([]float64, rm.NumPaths()), bad}); !errors.Is(err, lia.ErrDimensionMismatch) {
+		t.Fatalf("IngestBatch dim error = %v, want ErrDimensionMismatch", err)
+	}
+	if eng.Snapshots() != 0 {
+		t.Fatalf("failed IngestBatch folded %d snapshots, want 0", eng.Snapshots())
+	}
+	if _, err := eng.Infer(ctx, bad); !errors.Is(err, lia.ErrDimensionMismatch) {
+		t.Fatalf("Infer dim error = %v, want ErrDimensionMismatch", err)
+	}
+
+	// Inference before two learning snapshots: ErrTooFewSnapshots.
+	y := make([]float64, rm.NumPaths())
+	if _, err := eng.Infer(ctx, y); !errors.Is(err, lia.ErrTooFewSnapshots) {
+		t.Fatalf("Infer with 0 snapshots = %v, want ErrTooFewSnapshots", err)
+	}
+	if err := eng.Ingest(y); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Variances(ctx); !errors.Is(err, lia.ErrTooFewSnapshots) {
+		t.Fatalf("Variances with 1 snapshot = %v, want ErrTooFewSnapshots", err)
+	}
+
+	// Watch has the same requirement.
+	if _, err := eng.Watch(); !errors.Is(err, lia.ErrTooFewSnapshots) {
+		t.Fatalf("Watch with 1 snapshot = %v, want ErrTooFewSnapshots", err)
+	}
+}
+
+func TestSentinelUnidentifiable(t *testing.T) {
+	// Two paths sharing a link, with anti-correlated observations: the
+	// single cross-pair covariance equation comes out negative, and the
+	// paper's drop rule discards it — leaving 2 equations for 3 virtual
+	// links. The engine must diagnose this as ErrUnidentifiable.
+	ctx := context.Background()
+	rm, err := lia.NewTopology([]lia.Path{
+		{Beacon: 0, Dst: 1, Links: []int{1, 2}},
+		{Beacon: 0, Dst: 2, Links: []int{1, 3}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := lia.NewEngine(rm, lia.WithNegCovPolicy(lia.NegDrop))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 6; i++ {
+		y := []float64{-0.01, -0.02}
+		if i%2 == 0 {
+			y = []float64{-0.02, -0.01}
+		}
+		if err := eng.Ingest(y); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := eng.Infer(ctx, []float64{-0.01, -0.01}); !errors.Is(err, lia.ErrUnidentifiable) {
+		t.Fatalf("Infer on dropped-equation system = %v, want ErrUnidentifiable", err)
+	}
+	// The default clamp policy keeps the equation and stays solvable.
+	clamped, err := lia.NewEngine(rm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 6; i++ {
+		y := []float64{-0.01, -0.02}
+		if i%2 == 0 {
+			y = []float64{-0.02, -0.01}
+		}
+		if err := clamped.Ingest(y); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := clamped.Infer(ctx, []float64{-0.01, -0.01}); err != nil {
+		t.Fatalf("clamp policy should stay identifiable, got %v", err)
+	}
+}
+
+func TestThresholdOption(t *testing.T) {
+	rm, err := lia.NewTopology(apiTreePaths(2, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	def, _ := lia.NewEngine(rm)
+	if got := def.Threshold(); got != lia.DefaultThreshold {
+		t.Fatalf("default threshold = %g, want %g", got, lia.DefaultThreshold)
+	}
+	custom, _ := lia.NewEngine(rm, lia.WithThreshold(0.01))
+	if got := custom.Threshold(); got != 0.01 {
+		t.Fatalf("threshold = %g, want 0.01", got)
+	}
+	// An explicit zero is honored, not silently replaced by the default.
+	zero, _ := lia.NewEngine(rm, lia.WithThreshold(0))
+	if got := zero.Threshold(); got != 0 {
+		t.Fatalf("explicit zero threshold = %g, want 0", got)
+	}
+}
+
+func TestThresholdZeroClassifies(t *testing.T) {
+	// With tl = 0, InferCongested must flag every link with any inferred
+	// loss — the behaviour the old threshold() default silently prevented.
+	ctx := context.Background()
+	rm, err := lia.NewTopology(apiTreePaths(2, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := lia.NewEngine(rm, lia.WithThreshold(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := lia.NewSimSource(rm, lia.SimConfig{Probes: 500, Seed: 21, CongestedFraction: 0.3})
+	if _, err := eng.Consume(ctx, lia.Limit(src, 30)); err != nil {
+		t.Fatal(err)
+	}
+	probe, err := src.Next(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	congested, res, err := eng.InferCongested(ctx, probe.Y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, c := range congested {
+		if want := res.LossRates[k] > 0; c != want {
+			t.Fatalf("link %d: congested=%v with loss %g under tl=0", k, c, res.LossRates[k])
+		}
+	}
+}
+
+func TestWatcherDeactivateReactivate(t *testing.T) {
+	ctx := context.Background()
+	rm, err := lia.NewTopology(apiTreePaths(2, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := lia.NewEngine(rm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := lia.NewSimSource(rm, lia.SimConfig{Probes: 800, Seed: 17, CongestedFraction: 0.2})
+	if _, err := eng.Consume(ctx, lia.Limit(src, 30)); err != nil {
+		t.Fatal(err)
+	}
+
+	w, err := eng.Watch()
+	if err != nil {
+		t.Fatal(err)
+	}
+	before, err := w.Variances()
+	if err != nil {
+		t.Fatal(err)
+	}
+	eqBefore := w.Equations()
+
+	if err := w.Deactivate(0); err != nil {
+		t.Fatal(err)
+	}
+	if w.Active(0) {
+		t.Fatal("path 0 still active after Deactivate")
+	}
+	if err := w.Deactivate(0); err == nil {
+		t.Fatal("double Deactivate must fail")
+	}
+	if w.Equations() >= eqBefore {
+		t.Fatalf("equations did not shrink: %d -> %d", eqBefore, w.Equations())
+	}
+	covered := w.Covered()
+	if len(covered) != rm.NumLinks() {
+		t.Fatalf("Covered length %d, want %d", len(covered), rm.NumLinks())
+	}
+	if _, err := w.Variances(); err != nil {
+		t.Fatalf("variances over deactivated system: %v", err)
+	}
+
+	if err := w.Reactivate(0); err != nil {
+		t.Fatal(err)
+	}
+	if w.Equations() != eqBefore {
+		t.Fatalf("equations after reactivate = %d, want %d", w.Equations(), eqBefore)
+	}
+	after, err := w.Variances()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := range before {
+		if d := math.Abs(after[k] - before[k]); d > 1e-9*(1+math.Abs(before[k])) {
+			t.Fatalf("link %d variance drifted across deactivate/reactivate: %g vs %g", k, before[k], after[k])
+		}
+	}
+
+	// Refresh re-syncs to the engine's newer moments, preserving the
+	// active set.
+	if err := w.Deactivate(1); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := src.Next(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Ingest(snap.Y); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Refresh(); err != nil {
+		t.Fatal(err)
+	}
+	if w.Active(1) {
+		t.Fatal("Refresh must preserve the deactivated set")
+	}
+	if _, err := w.Variances(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEngineWorkerCountsAgree(t *testing.T) {
+	// The Workers option must never change a bit of the answer.
+	ctx := context.Background()
+	rm, err := lia.NewTopology(apiTreePaths(3, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ref *lia.Result
+	for _, workers := range []int{1, 2, 7} {
+		eng, err := lia.NewEngine(rm, lia.WithWorkers(workers))
+		if err != nil {
+			t.Fatal(err)
+		}
+		src := lia.NewSimSource(rm, lia.SimConfig{Probes: 600, Seed: 9, CongestedFraction: 0.2})
+		if _, err := eng.Consume(ctx, lia.Limit(src, 25)); err != nil {
+			t.Fatal(err)
+		}
+		probe, err := src.Next(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := eng.Infer(ctx, probe.Y)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ref == nil {
+			ref = res
+			continue
+		}
+		for k := range ref.LossRates {
+			if ref.LossRates[k] != res.LossRates[k] || ref.Variances[k] != res.Variances[k] {
+				t.Fatalf("workers=%d diverges from workers=1 at link %d", workers, k)
+			}
+		}
+	}
+}

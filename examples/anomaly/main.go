@@ -12,13 +12,13 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand/v2"
 
-	"lia/internal/core"
+	"lia"
 	"lia/internal/netsim"
-	"lia/internal/stats"
 	"lia/internal/topogen"
 	"lia/internal/topology"
 )
@@ -29,10 +29,11 @@ func main() {
 	hosts := topogen.SelectHosts(rng, network, 8)
 	paths := topogen.Routes(network, hosts, hosts)
 	paths, _ = topology.RemoveFluttering(paths)
-	rm, err := topology.Build(paths)
+	rm, err := lia.NewTopology(paths)
 	if err != nil {
 		log.Fatal(err)
 	}
+	ctx := context.Background()
 	sim := netsim.New(rm, netsim.Config{Probes: 1000, Seed: 5})
 
 	quiet := make([]float64, rm.NumLinks()) // all links healthy
@@ -45,11 +46,16 @@ func main() {
 
 	// Baseline variance profile over a healthy window.
 	const window = 40
-	base := stats.NewCovAccumulator(rm.NumPaths())
-	for s := 0; s < window; s++ {
-		base.Add(sim.Run(drawQuiet()).LogRates())
+	base, err := lia.NewEngine(rm)
+	if err != nil {
+		log.Fatal(err)
 	}
-	baseVars, err := core.EstimateVariances(rm, base, core.VarianceOptions{})
+	for s := 0; s < window; s++ {
+		if err := base.Ingest(sim.Run(drawQuiet()).LogRates()); err != nil {
+			log.Fatal(err)
+		}
+	}
+	baseVars, err := base.Variances(ctx)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -57,15 +63,20 @@ func main() {
 	// Fault injection: one link starts flapping between healthy and lossy.
 	victim := rm.NumLinks() / 2
 	fmt.Printf("injecting intermittent loss on virtual link %d (members %v)\n\n", victim, rm.Members(victim))
-	faulty := stats.NewCovAccumulator(rm.NumPaths())
+	live, err := lia.NewEngine(rm)
+	if err != nil {
+		log.Fatal(err)
+	}
 	for s := 0; s < window; s++ {
 		rates := drawQuiet()
 		if s%2 == 0 {
 			rates[victim] = 0.05 + 0.1*rng.Float64()
 		}
-		faulty.Add(sim.Run(rates).LogRates())
+		if err := live.Ingest(sim.Run(rates).LogRates()); err != nil {
+			log.Fatal(err)
+		}
 	}
-	liveVars, err := core.EstimateVariances(rm, faulty, core.VarianceOptions{})
+	liveVars, err := live.Variances(ctx)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -11,12 +11,13 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math"
 	"math/rand/v2"
 
-	"lia/internal/core"
+	"lia"
 	"lia/internal/topogen"
 	"lia/internal/topology"
 )
@@ -27,7 +28,7 @@ func main() {
 	hosts := topogen.SelectHosts(rng, network, 8)
 	paths := topogen.Routes(network, hosts, hosts)
 	paths, _ = topology.RemoveFluttering(paths)
-	rm, err := topology.Build(paths)
+	rm, err := lia.NewTopology(paths)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -60,13 +61,19 @@ func main() {
 		return y
 	}
 
-	lia := core.New(rm, core.Options{Observation: core.ObserveLinear})
+	ctx := context.Background()
+	eng, err := lia.NewEngine(rm, lia.WithObservation(lia.ObserveLinear))
+	if err != nil {
+		log.Fatal(err)
+	}
 	const m = 60
 	for s := 0; s < m; s++ {
-		lia.AddSnapshot(pathDelay(drawDelays(), 0.05))
+		if err := eng.Ingest(pathDelay(drawDelays(), 0.05)); err != nil {
+			log.Fatal(err)
+		}
 	}
 	truth := drawDelays()
-	res, err := lia.Infer(pathDelay(truth, 0.05))
+	res, err := eng.Infer(ctx, pathDelay(truth, 0.05))
 	if err != nil {
 		log.Fatal(err)
 	}

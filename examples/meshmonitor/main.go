@@ -5,26 +5,28 @@
 //
 // Every monitoring round the scenario moves (congested links re-draw their
 // levels), the monitor ingests the new snapshot, refreshes its variance
-// estimates over a sliding interest window, and reports which links it
-// would page an operator about — compared against ground truth.
+// estimates, and reports which links it would page an operator about —
+// compared against the simulator's ground truth, which the SnapshotSource
+// carries alongside each observation.
 //
 //	go run ./examples/meshmonitor
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand/v2"
 
-	"lia/internal/core"
+	"lia"
 	"lia/internal/lossmodel"
-	"lia/internal/netsim"
 	"lia/internal/stats"
 	"lia/internal/topogen"
 	"lia/internal/topology"
 )
 
 func main() {
+	ctx := context.Background()
 	rng := rand.New(rand.NewPCG(2024, 0))
 
 	// A Waxman mesh monitored from 10 low-degree end hosts (all pairs).
@@ -32,44 +34,46 @@ func main() {
 	hosts := topogen.SelectHosts(rng, network, 10)
 	paths := topogen.Routes(network, hosts, hosts)
 	paths, flut := topology.RemoveFluttering(paths)
-	rm, err := topology.Build(paths)
+	rm, err := lia.NewTopology(paths)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("monitoring %d paths over %d virtual links from %d beacons (%d fluttering paths dropped)\n\n",
 		rm.NumPaths(), rm.NumLinks(), len(hosts), len(flut))
 
-	scen := lossmodel.NewScenario(lossmodel.Config{
-		Model:    lossmodel.LLRD1,
-		Fraction: 0.08,
-		Episodic: 0.5, // congestion comes and goes between rounds
-	}, rng, rm.NumLinks())
-	sim := netsim.New(rm, netsim.Config{Probes: 1000, Seed: 99})
+	// Congestion comes and goes between rounds (episodic LLRD1 workload).
+	src := lia.NewSimSource(rm, lia.SimConfig{
+		Probes:            1000,
+		Seed:              99,
+		CongestedFraction: 0.08,
+		Episodic:          0.5,
+	})
 
-	lia := core.New(rm, core.Options{})
+	eng, err := lia.NewEngine(rm)
+	if err != nil {
+		log.Fatal(err)
+	}
 	const warmup = 40
-	for s := 0; s < warmup; s++ {
-		if s > 0 {
-			scen.Advance()
-		}
-		lia.AddSnapshot(sim.Run(scen.Rates()).LogRates())
+	if _, err := eng.Consume(ctx, lia.Limit(src, warmup)); err != nil {
+		log.Fatal(err)
 	}
 
-	gate := core.VarGateAt(lossmodel.Threshold, 1000)
+	gate := lia.VarGateAt(lossmodel.Threshold, 1000)
 	fmt.Println("round  alarms  hits  misses  false")
 	var totDR, totFPR float64
 	const rounds = 8
 	for round := 0; round < rounds; round++ {
-		scen.Advance()
-		truthRates := append([]float64(nil), scen.Rates()...)
-		snap := sim.Run(truthRates)
-		res, err := lia.Infer(snap.LogRates())
+		snap, err := src.Next(ctx)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := eng.Infer(ctx, snap.Y)
 		if err != nil {
 			log.Fatal(err)
 		}
 		alarms := res.CongestedGated(lossmodel.Threshold, gate)
 		truth := make([]bool, rm.NumLinks())
-		for k, q := range truthRates {
+		for k, q := range snap.Truth {
 			truth[k] = q > lossmodel.Threshold
 		}
 		det := stats.Detect(truth, alarms)
@@ -84,7 +88,9 @@ func main() {
 		totDR += det.DR
 		totFPR += det.FPR
 		// The monitor keeps learning from what it just measured.
-		lia.AddSnapshot(snap.LogRates())
+		if err := eng.Ingest(snap.Y); err != nil {
+			log.Fatal(err)
+		}
 	}
 	fmt.Printf("\nmean detection rate %.1f%%, mean false positive rate %.1f%%\n",
 		100*totDR/rounds, 100*totFPR/rounds)

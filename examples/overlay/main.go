@@ -10,12 +10,13 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math"
 	"math/rand/v2"
 
-	"lia/internal/core"
+	"lia"
 	"lia/internal/emunet"
 	"lia/internal/lossmodel"
 	"lia/internal/topogen"
@@ -47,12 +48,12 @@ func main() {
 		log.Fatal(err)
 	}
 	discovered, _ = topology.RemoveFluttering(discovered)
-	rm, err := topology.Build(discovered)
+	rm, err := lia.NewTopology(discovered)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("traceroute discovered %d paths / %d virtual links; identifiable=%v\n\n",
-		rm.NumPaths(), rm.NumLinks(), core.Identifiable(rm))
+		rm.NumPaths(), rm.NumLinks(), lia.Identifiable(rm))
 
 	// Measurement campaign: m learning snapshots plus one to diagnose.
 	const m = 15
@@ -63,11 +64,17 @@ func main() {
 	}
 	fracs := lab.History()
 
-	lia := core.New(rm, core.Options{})
-	for s := 0; s < m; s++ {
-		lia.AddSnapshot(toLog(fracs[s], 400))
+	// The emulated overlay's recorded fractions stream into the engine
+	// through the trace adapter.
+	ctx := context.Background()
+	eng, err := lia.NewEngine(rm)
+	if err != nil {
+		log.Fatal(err)
 	}
-	res, err := lia.Infer(toLog(fracs[m], 400))
+	if _, err := eng.Consume(ctx, lia.NewTraceSource(fracs[:m], 400)); err != nil {
+		log.Fatal(err)
+	}
+	res, err := eng.Infer(ctx, lia.LogRates(fracs[m], 400))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -97,15 +104,4 @@ func main() {
 		}
 	}
 	fmt.Printf("\nworst |measured − explained| over all paths: %.4f\n", worst)
-}
-
-func toLog(frac []float64, probes int) []float64 {
-	y := make([]float64, len(frac))
-	for i, f := range frac {
-		if f <= 0 {
-			f = 0.5 / float64(probes)
-		}
-		y[i] = math.Log(f)
-	}
-	return y
 }

@@ -1,75 +1,76 @@
-// Quickstart: the smallest end-to-end use of the library.
+// Quickstart: the smallest end-to-end use of the library, entirely through
+// the public lia package.
 //
-// It builds a random probing tree, simulates a measurement campaign with the
-// paper's LLRD1/Gilbert loss workload, learns the link variances from m
-// snapshots (Phase 1), infers the per-link loss rates of a fresh snapshot
-// (Phase 2), and prints inferred-vs-true rates for every congested link.
+// It builds a random probing tree, streams a simulated measurement campaign
+// (the paper's LLRD1/Gilbert loss workload) into the engine through a
+// SnapshotSource, learns the link variances from m snapshots (Phase 1),
+// infers the per-link loss rates of a fresh snapshot (Phase 2), and prints
+// inferred-vs-true rates for every congested link.
 //
 //	go run ./examples/quickstart
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand/v2"
 
-	"lia/internal/core"
+	"lia"
 	"lia/internal/lossmodel"
-	"lia/internal/netsim"
 	"lia/internal/topogen"
-	"lia/internal/topology"
 )
 
 func main() {
+	ctx := context.Background()
 	rng := rand.New(rand.NewPCG(42, 0))
 
 	// 1. A 300-node random tree: the beacon at the root probes every leaf.
 	network := topogen.Tree(rng, 300, 10)
 	paths := topogen.Routes(network, []int{0}, network.Hosts)
-	rm, err := topology.Build(paths)
+	rm, err := lia.NewTopology(paths)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("topology: %d paths × %d virtual links, rank(R)=%d — first moments alone cannot identify the links\n",
 		rm.NumPaths(), rm.NumLinks(), rm.Rank())
-	fmt.Printf("identifiable via second moments (Theorem 1): %v\n\n", core.Identifiable(rm))
+	fmt.Printf("identifiable via second moments (Theorem 1): %v\n\n", lia.Identifiable(rm))
 
-	// 2. Ground truth: 10% of links congested (LLRD1), Gilbert burst losses.
-	scen := lossmodel.NewScenario(lossmodel.Config{
-		Model:    lossmodel.LLRD1,
-		Fraction: 0.10,
-	}, rng, rm.NumLinks())
-	sim := netsim.New(rm, netsim.Config{Probes: 1000, Seed: 7})
+	// 2. A simulated measurement campaign: 10% of links congested (LLRD1),
+	// Gilbert burst losses, S = 1000 probes per snapshot.
+	src := lia.NewSimSource(rm, lia.SimConfig{Probes: 1000, Seed: 7})
 
 	// 3. Phase 1: learn link variances from m = 50 snapshots.
-	lia := core.New(rm, core.Options{})
+	eng, err := lia.NewEngine(rm)
+	if err != nil {
+		log.Fatal(err)
+	}
 	const m = 50
-	for s := 0; s < m; s++ {
-		if s > 0 {
-			scen.Advance()
-		}
-		lia.AddSnapshot(sim.Run(scen.Rates()).LogRates())
+	if _, err := eng.Consume(ctx, lia.Limit(src, m)); err != nil {
+		log.Fatal(err)
 	}
 
-	// 4. Phase 2: infer the next snapshot's loss rates.
-	scen.Advance()
-	truth := append([]float64(nil), scen.Rates()...)
-	snap := sim.Run(truth)
-	res, err := lia.Infer(snap.LogRates())
+	// 4. Phase 2: infer the next snapshot's loss rates. The simulator-backed
+	// source carries the ground truth alongside the observations.
+	probe, err := src.Next(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := eng.Infer(ctx, probe.Y)
 	if err != nil {
 		log.Fatal(err)
 	}
 
 	fmt.Printf("eliminated %d near-lossless links, solved %d (R* has full column rank)\n\n",
 		len(res.Removed), len(res.Kept))
-	fmt.Println("link   true rate  realized  inferred  variance")
+	fmt.Println("link   true rate  inferred  variance")
 	misses := 0
-	for k, q := range truth {
+	for k, q := range probe.Truth {
 		if q <= lossmodel.Threshold {
 			continue
 		}
-		fmt.Printf("%4d    %.4f    %.4f    %.4f   %.2e\n",
-			k, q, snap.LinkRealized[k], res.LossRates[k], res.Variances[k])
+		fmt.Printf("%4d    %.4f    %.4f   %.2e\n",
+			k, q, res.LossRates[k], res.Variances[k])
 		if res.LossRates[k] <= lossmodel.Threshold {
 			misses++
 		}

@@ -19,8 +19,9 @@ import (
 
 // PairVisitor receives one augmented-matrix equation: the path pair (i ≤ j)
 // and the support of row Ri∗ ⊗ Rj∗, i.e. the virtual links common to both
-// paths. Pairs with empty intersections are visited with an empty support.
-type PairVisitor func(i, j int, support []int)
+// paths, as int32-packed link indices (the topology pair index's native
+// width). Pairs with empty intersections are visited with an empty support.
+type PairVisitor func(i, j int, support []int32)
 
 // VisitPairs enumerates every row of the augmented matrix A in the packed
 // upper-triangular order used throughout this package ((0,0), (0,1), …,
@@ -47,9 +48,9 @@ func AugmentedDense(rm *topology.RoutingMatrix) *linalg.Dense {
 	np, nc := rm.NumPaths(), rm.NumLinks()
 	a := linalg.NewDense(np*(np+1)/2, nc)
 	row := 0
-	VisitPairs(rm, func(i, j int, support []int) {
+	VisitPairs(rm, func(i, j int, support []int32) {
 		for _, k := range support {
-			a.Set(row, k, 1)
+			a.Set(row, int(k), 1)
 		}
 		row++
 	})
@@ -74,10 +75,10 @@ func NewGram(nc int) *Gram {
 
 // AddEquation folds one augmented row: support ⊗ support into G and
 // sigma·support into the right-hand side.
-func (gr *Gram) AddEquation(support []int, sigma float64) {
+func (gr *Gram) AddEquation(support []int32, sigma float64) {
 	for _, k := range support {
 		gr.rhs[k] += sigma
-		rowk := gr.g.Row(k)
+		rowk := gr.g.Row(int(k))
 		for _, l := range support {
 			rowk[l]++
 		}
@@ -88,10 +89,10 @@ func (gr *Gram) AddEquation(support []int, sigma float64) {
 // RemoveEquation cancels a previously added equation (used for incremental
 // updates when paths appear or disappear, Section 5.1's "only the rows
 // corresponding to the changes need to be updated").
-func (gr *Gram) RemoveEquation(support []int, sigma float64) {
+func (gr *Gram) RemoveEquation(support []int32, sigma float64) {
 	for _, k := range support {
 		gr.rhs[k] -= sigma
-		rowk := gr.g.Row(k)
+		rowk := gr.g.Row(int(k))
 		for _, l := range support {
 			rowk[l]--
 		}
@@ -137,7 +138,7 @@ func (gr *Gram) Solve() ([]float64, error) {
 // matrix: rank(A) = rank(AᵀA).
 func AugmentedRank(rm *topology.RoutingMatrix) int {
 	gr := NewGram(rm.NumLinks())
-	VisitPairs(rm, func(i, j int, support []int) {
+	VisitPairs(rm, func(i, j int, support []int32) {
 		if len(support) > 0 {
 			gr.AddEquation(support, 0)
 		}

@@ -142,12 +142,12 @@ func TestTheorem1OnRandomMeshes(t *testing.T) {
 
 func TestGramAddRemoveEquation(t *testing.T) {
 	gr := NewGram(3)
-	gr.AddEquation([]int{0, 2}, 1.5)
-	gr.AddEquation([]int{1}, 0.5)
+	gr.AddEquation([]int32{0, 2}, 1.5)
+	gr.AddEquation([]int32{1}, 0.5)
 	if gr.Equations() != 2 {
 		t.Fatalf("Equations = %d, want 2", gr.Equations())
 	}
-	gr.RemoveEquation([]int{1}, 0.5)
+	gr.RemoveEquation([]int32{1}, 0.5)
 	if gr.Equations() != 1 {
 		t.Fatalf("Equations = %d, want 1 after removal", gr.Equations())
 	}
@@ -163,7 +163,7 @@ func TestVisitPairsCountsAndOrder(t *testing.T) {
 	rm := figure1(t)
 	count := 0
 	var lastI, lastJ = -1, -1
-	VisitPairs(rm, func(i, j int, support []int) {
+	VisitPairs(rm, func(i, j int, support []int32) {
 		if i > j {
 			t.Fatalf("VisitPairs emitted i=%d > j=%d", i, j)
 		}

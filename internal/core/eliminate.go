@@ -41,6 +41,14 @@ func (e Elimination) String() string {
 // preferring to keep high-variance (congested) links. It returns the kept
 // and removed virtual-link indices; kept is sorted ascending.
 func Eliminate(rm *topology.RoutingMatrix, variances []float64, strategy Elimination) (kept, removed []int) {
+	return EliminateWorkers(rm, variances, strategy, 1)
+}
+
+// EliminateWorkers is Eliminate with the rank tests of the paper-sequential
+// strategy running the pivoted-QR factorization over a worker pool (0 sizes
+// it to GOMAXPROCS, ≤ 1 runs serial). The factorization's column updates are
+// independent, so results are bitwise-identical across worker counts.
+func EliminateWorkers(rm *topology.RoutingMatrix, variances []float64, strategy Elimination, workers int) (kept, removed []int) {
 	nc := rm.NumLinks()
 	if len(variances) != nc {
 		panic(fmt.Sprintf("core: %d variances for %d links", len(variances), nc))
@@ -49,7 +57,7 @@ func Eliminate(rm *topology.RoutingMatrix, variances []float64, strategy Elimina
 	case EliminateGreedyBasis:
 		kept = greedyBasis(rm, variances)
 	default:
-		kept = sequentialSuffix(rm, variances)
+		kept = sequentialSuffix(rm, variances, workers)
 	}
 	keptSet := make(map[int]bool, len(kept))
 	for _, k := range kept {
@@ -84,7 +92,7 @@ func ascendingByVariance(variances []float64) []int {
 // (nc−t) largest variances are linearly independent — exactly the state the
 // paper's remove-smallest loop terminates in — via binary search (suffix
 // independence is monotone in t).
-func sequentialSuffix(rm *topology.RoutingMatrix, variances []float64) []int {
+func sequentialSuffix(rm *topology.RoutingMatrix, variances []float64, workers int) []int {
 	nc := rm.NumLinks()
 	order := ascendingByVariance(variances)
 	suffixIndependent := func(t int) bool {
@@ -96,7 +104,7 @@ func sequentialSuffix(rm *topology.RoutingMatrix, variances []float64) []int {
 			return false
 		}
 		sub := rm.DenseColumns(cols)
-		return linalg.Rank(sub) == len(cols)
+		return linalg.RankWorkers(sub, workers) == len(cols)
 	}
 	// Lower bound: at least nc − rank(R) columns must go.
 	lo := nc - rm.Rank()
@@ -165,7 +173,8 @@ func greedyBasis(rm *topology.RoutingMatrix, variances []float64) []int {
 // per-link log transmission rates for the kept columns (aligned with kept).
 func SolveReduced(rm *topology.RoutingMatrix, kept []int, y []float64) ([]float64, error) {
 	if len(y) != rm.NumPaths() {
-		return nil, fmt.Errorf("core: snapshot of %d paths, routing matrix has %d", len(y), rm.NumPaths())
+		return nil, fmt.Errorf("core: snapshot of %d paths, routing matrix has %d: %w",
+			len(y), rm.NumPaths(), ErrDimensionMismatch)
 	}
 	sub := rm.DenseColumns(kept)
 	x, err := linalg.SolveLeastSquares(sub, y)

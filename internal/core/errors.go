@@ -1,0 +1,22 @@
+package core
+
+import "errors"
+
+// Typed sentinel errors for the failure modes callers are expected to branch
+// on with errors.Is. The public root package re-exports these values, so the
+// engine room and the facade agree on identity.
+var (
+	// ErrTooFewSnapshots is returned when variance estimation is attempted
+	// with fewer than two learning snapshots.
+	ErrTooFewSnapshots = errors.New("core: need at least 2 snapshots to estimate covariances")
+
+	// ErrDimensionMismatch is returned when a snapshot or covariance
+	// accumulator does not match the routing matrix's path count.
+	ErrDimensionMismatch = errors.New("core: dimension mismatch")
+
+	// ErrUnidentifiable is returned when the link variances cannot be
+	// resolved from the available covariance equations — the augmented
+	// matrix A lost full column rank (route fluttering violating T.2, or
+	// equations discarded by DropNegativeCov).
+	ErrUnidentifiable = errors.New("core: link variances not identifiable from the available covariance equations")
+)

@@ -35,7 +35,11 @@ func NewIncrementalLearner(rm *topology.RoutingMatrix, cov *stats.CovAccumulator
 		return nil, ErrTooFewSnapshots
 	}
 	if cov.Dim() != rm.NumPaths() {
-		return nil, fmt.Errorf("core: covariance over %d paths, routing matrix has %d", cov.Dim(), rm.NumPaths())
+		return nil, fmt.Errorf("core: covariance over %d paths, routing matrix has %d: %w",
+			cov.Dim(), rm.NumPaths(), ErrDimensionMismatch)
+	}
+	if err := rm.PrecomputePairSupports(); err != nil {
+		return nil, fmt.Errorf("core: incremental system: %w", err)
 	}
 	il := &IncrementalLearner{
 		rm:     rm,
@@ -48,7 +52,7 @@ func NewIncrementalLearner(rm *topology.RoutingMatrix, cov *stats.CovAccumulator
 		il.active[i] = true
 	}
 	np := rm.NumPaths()
-	VisitPairs(rm, func(i, j int, support []int) {
+	VisitPairs(rm, func(i, j int, support []int32) {
 		if len(support) == 0 {
 			return
 		}
@@ -81,7 +85,7 @@ func (il *IncrementalLearner) DeactivatePath(i int) error {
 	if !il.active[i] {
 		return fmt.Errorf("core: path %d already inactive", i)
 	}
-	il.forEachPairOf(i, func(a, b int, support []int) {
+	il.forEachPairOf(i, func(a, b int, support []int32) {
 		key := pairIndex(a, b, il.rm.NumPaths())
 		if s, ok := il.sigma[key]; ok {
 			il.gram.RemoveEquation(support, s)
@@ -102,10 +106,11 @@ func (il *IncrementalLearner) ReactivatePath(i int, cov *stats.CovAccumulator) e
 		return fmt.Errorf("core: path %d already active", i)
 	}
 	if cov.Dim() != il.rm.NumPaths() {
-		return fmt.Errorf("core: covariance over %d paths, routing matrix has %d", cov.Dim(), il.rm.NumPaths())
+		return fmt.Errorf("core: covariance over %d paths, routing matrix has %d: %w",
+			cov.Dim(), il.rm.NumPaths(), ErrDimensionMismatch)
 	}
 	il.active[i] = true
-	il.forEachPairOf(i, func(a, b int, support []int) {
+	il.forEachPairOf(i, func(a, b int, support []int32) {
 		s, keep := il.opts.adjust(cov.Cov(a, b))
 		if !keep {
 			return
@@ -119,7 +124,7 @@ func (il *IncrementalLearner) ReactivatePath(i int, cov *stats.CovAccumulator) e
 // forEachPairOf visits every pair (a ≤ b) that involves path i and at least
 // one other *active* path (including the self pair), with a non-empty
 // support.
-func (il *IncrementalLearner) forEachPairOf(i int, visit func(a, b int, support []int)) {
+func (il *IncrementalLearner) forEachPairOf(i int, visit func(a, b int, support []int32)) {
 	for j := 0; j < il.rm.NumPaths(); j++ {
 		if j != i && !il.active[j] {
 			continue
@@ -175,7 +180,7 @@ func (il *IncrementalLearner) CoveredLinks() []bool {
 // deployments.
 func (il *IncrementalLearner) RebuildCheck(cov *stats.CovAccumulator) (float64, error) {
 	fresh := NewGram(il.rm.NumLinks())
-	VisitPairs(il.rm, func(i, j int, support []int) {
+	VisitPairs(il.rm, func(i, j int, support []int32) {
 		if !il.active[i] || !il.active[j] || len(support) == 0 {
 			return
 		}

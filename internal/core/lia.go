@@ -33,11 +33,20 @@ type Options struct {
 	Strategy Elimination
 	// Observation selects the snapshot semantics (default log transmission).
 	Observation Observation
-	// Threshold tl used by Result.Congested (default CongestionThreshold).
-	Threshold float64
+	// Threshold tl used by Result.Congested. When ThresholdSet is false,
+	// values ≤ 0 fall back to CongestionThreshold; with ThresholdSet the
+	// value is honored verbatim, so an explicit tl = 0 (flag every link with
+	// any inferred loss) is expressible.
+	Threshold    float64
+	ThresholdSet bool
 }
 
-func (o Options) threshold() float64 {
+// EffectiveThreshold resolves the congestion threshold tl these options
+// select, applying the default only when no threshold was set explicitly.
+func (o Options) EffectiveThreshold() float64 {
+	if o.ThresholdSet {
+		return o.Threshold
+	}
 	if o.Threshold <= 0 {
 		return CongestionThreshold
 	}
@@ -155,23 +164,30 @@ func (l *LIA) Infer(y []float64) (*Result, error) {
 		return nil, fmt.Errorf("core: phase 1: %w", err)
 	}
 	if l.keptCache == nil {
-		l.keptCache, l.remCache = Eliminate(l.rm, vars, l.opts.Strategy)
+		l.keptCache, l.remCache = EliminateWorkers(l.rm, vars, l.opts.Strategy, l.opts.Variance.Workers)
 	}
 	kept, removed := l.keptCache, l.remCache
 	x, err := SolveReduced(l.rm, kept, y)
 	if err != nil {
 		return nil, fmt.Errorf("core: phase 2: %w", err)
 	}
+	return AssembleResult(l.rm, l.opts.Observation, vars, kept, removed, x), nil
+}
+
+// AssembleResult maps the reduced-system solution x (aligned with kept) back
+// to full per-link vectors under the given observation semantics. The input
+// slices are stored in the Result, not copied.
+func AssembleResult(rm *topology.RoutingMatrix, obs Observation, vars []float64, kept, removed []int, x []float64) *Result {
 	res := &Result{
-		LossRates: make([]float64, l.rm.NumLinks()),
-		LogRates:  make([]float64, l.rm.NumLinks()),
+		LossRates: make([]float64, rm.NumLinks()),
+		LogRates:  make([]float64, rm.NumLinks()),
 		Kept:      kept,
 		Removed:   removed,
 		Variances: vars,
 	}
 	for idx, k := range kept {
 		res.LogRates[k] = x[idx]
-		switch l.opts.Observation {
+		switch obs {
 		case ObserveLinear:
 			v := x[idx]
 			if v < 0 {
@@ -190,7 +206,7 @@ func (l *LIA) Infer(y []float64) (*Result, error) {
 			res.LossRates[k] = loss
 		}
 	}
-	return res, nil
+	return res
 }
 
 // InferCongested is a convenience wrapper returning the congestion
@@ -200,5 +216,5 @@ func (l *LIA) InferCongested(y []float64) ([]bool, *Result, error) {
 	if err != nil {
 		return nil, nil, err
 	}
-	return res.Congested(l.opts.threshold()), res, nil
+	return res.Congested(l.opts.EffectiveThreshold()), res, nil
 }

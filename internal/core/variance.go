@@ -120,10 +120,6 @@ func (o VarianceOptions) budget() int {
 	return o.DenseBudget
 }
 
-// ErrTooFewSnapshots is returned when variance estimation is attempted with
-// fewer than two snapshots.
-var ErrTooFewSnapshots = errors.New("core: need at least 2 snapshots to estimate covariances")
-
 // EstimateVariances solves Σ* = A·v for the per-link variances from the
 // accumulated path covariance moments. The returned slice has one entry per
 // virtual link of rm. Entries may come out slightly negative under sampling
@@ -134,7 +130,13 @@ func EstimateVariances(rm *topology.RoutingMatrix, cov *stats.CovAccumulator, op
 		return nil, ErrTooFewSnapshots
 	}
 	if cov.Dim() != rm.NumPaths() {
-		return nil, fmt.Errorf("core: covariance over %d paths, routing matrix has %d", cov.Dim(), rm.NumPaths())
+		return nil, fmt.Errorf("core: covariance over %d paths, routing matrix has %d: %w",
+			cov.Dim(), rm.NumPaths(), ErrDimensionMismatch)
+	}
+	// Surface a pair-index capacity failure as an error before any
+	// estimator walks the index (whose accessors panic instead).
+	if err := rm.PrecomputePairSupports(); err != nil {
+		return nil, fmt.Errorf("core: phase-1 equations: %w", err)
 	}
 	method := opts.Method
 	if method == VarianceAuto {
@@ -195,12 +197,12 @@ func estimateDense(rm *topology.RoutingMatrix, cov *stats.CovAccumulator, opts V
 	rows, rhs := collectEquations(rm, cov, opts)
 	if len(rows) < nc {
 		return nil, fmt.Errorf("core: only %d usable covariance equations for %d links: %w",
-			len(rows), nc, linalg.ErrRankDeficient)
+			len(rows), nc, ErrUnidentifiable)
 	}
 	a := linalg.NewDense(len(rows), nc)
 	for r, support := range rows {
 		for _, k := range support {
-			a.Set(r, k, 1)
+			a.Set(r, int(k), 1)
 		}
 	}
 	v, err := linalg.SolveLeastSquares(a, rhs)
@@ -221,21 +223,21 @@ func estimateDense(rm *topology.RoutingMatrix, cov *stats.CovAccumulator, opts V
 // pair order. Above the work threshold the collection fans out over pair
 // shards; shard results are concatenated in shard order, so the row order is
 // identical to the serial walk.
-func collectEquations(rm *topology.RoutingMatrix, cov *stats.CovAccumulator, opts VarianceOptions) ([][]int, []float64) {
+func collectEquations(rm *topology.RoutingMatrix, cov *stats.CovAccumulator, opts VarianceOptions) ([][]int32, []float64) {
 	npairs := rm.NumPairs()
 	if npairs == 0 {
 		return nil, nil
 	}
 	workers := opts.shardWorkers(npairs)
 	shards := (npairs + pairsPerShard - 1) / pairsPerShard
-	shardRows := make([][][]int, shards)
+	shardRows := make([][][]int32, shards)
 	shardRHS := make([][]float64, shards)
 	doShard := func(s int) {
 		lo := s * pairsPerShard
 		hi := min(lo+pairsPerShard, npairs)
-		var rows [][]int
+		var rows [][]int32
 		var rhs []float64
-		VisitPairsRange(rm, lo, hi, func(i, j int, support []int) {
+		VisitPairsRange(rm, lo, hi, func(i, j int, support []int32) {
 			if len(support) == 0 {
 				return
 			}
@@ -253,7 +255,7 @@ func collectEquations(rm *topology.RoutingMatrix, cov *stats.CovAccumulator, opt
 	for _, r := range shardRows {
 		total += len(r)
 	}
-	rows := make([][]int, 0, total)
+	rows := make([][]int32, 0, total)
 	rhs := make([]float64, 0, total)
 	for s := range shardRows {
 		rows = append(rows, shardRows[s]...)
@@ -265,7 +267,7 @@ func collectEquations(rm *topology.RoutingMatrix, cov *stats.CovAccumulator, opt
 func estimateNormal(rm *topology.RoutingMatrix, cov *stats.CovAccumulator, opts VarianceOptions) ([]float64, error) {
 	v, err := accumulateGram(rm, cov, opts).Solve()
 	if err != nil {
-		return nil, fmt.Errorf("core: normal-equations variance solve: %w", err)
+		return nil, fmt.Errorf("core: normal-equations variance solve: %w: %w", ErrUnidentifiable, err)
 	}
 	return v, nil
 }
@@ -308,7 +310,7 @@ func accumulateGram(rm *topology.RoutingMatrix, cov *stats.CovAccumulator, opts 
 			rhs[i] = 0 // slots are reused across windows
 		}
 		n := 0
-		rm.VisitPairSupports(lo, hi, func(i, j int, support []int) {
+		rm.VisitPairSupports(lo, hi, func(i, j int, support []int32) {
 			if len(support) == 0 {
 				return
 			}
@@ -319,7 +321,7 @@ func accumulateGram(rm *topology.RoutingMatrix, cov *stats.CovAccumulator, opts 
 			n++
 			for _, k := range support {
 				rhs[k] += sigma
-				rowk := g.Row(k)
+				rowk := g.Row(int(k))
 				for _, l := range support {
 					rowk[l]++
 				}

@@ -227,7 +227,7 @@ func TestGramMergeMatchesSequential(t *testing.T) {
 	rm, acc := randomWorkload(t, 23, 40)
 	nc := rm.NumLinks()
 	whole := NewGram(nc)
-	VisitPairs(rm, func(i, j int, support []int) {
+	VisitPairs(rm, func(i, j int, support []int32) {
 		if len(support) > 0 {
 			whole.AddEquation(support, acc.Cov(i, j))
 		}
@@ -236,7 +236,7 @@ func TestGramMergeMatchesSequential(t *testing.T) {
 	half := rm.NumPairs() / 2
 	for _, rng := range [][2]int{{0, half}, {half, rm.NumPairs()}} {
 		part := NewGram(nc)
-		VisitPairsRange(rm, rng[0], rng[1], func(i, j int, support []int) {
+		VisitPairsRange(rm, rng[0], rng[1], func(i, j int, support []int32) {
 			if len(support) > 0 {
 				part.AddEquation(support, acc.Cov(i, j))
 			}

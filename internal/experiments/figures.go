@@ -313,13 +313,15 @@ func RunningTimes(cfg Config, name string) (*Table, error) {
 	// into the A-build number would conflate a per-topology cost with the
 	// steady-state Gram fold (which the benchmarks measure index-warm).
 	ti := time.Now()
-	w.RM.PrecomputePairSupports()
+	if err := w.RM.PrecomputePairSupports(); err != nil {
+		return nil, err
+	}
 	indexMS := time.Since(ti).Seconds() * 1000
 
 	t0 := time.Now()
 	buildGram := func() {
 		gr := core.NewGram(w.RM.NumLinks())
-		core.VisitPairs(w.RM, func(i, j int, support []int) {
+		core.VisitPairs(w.RM, func(i, j int, support []int32) {
 			if len(support) > 0 {
 				gr.AddEquation(support, 0)
 			}

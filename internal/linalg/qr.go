@@ -68,30 +68,40 @@ func houseColumn(a *Dense, row, col int) float64 {
 }
 
 // applyHouseLeft applies the reflector stored in column col (with pivot at
-// row) to columns [fromCol, n) of a: A ← (I − τ·v·vᵀ)·A. It runs as two
-// row-major sweeps through the scratch vector w (len ≥ n): w ← τ·(vᵀ·A),
-// then A ← A − v·w. Streaming whole rows instead of walking columns keeps
-// the trailing submatrix on sequential cache lines and needs one bounds
-// check per row rather than one per element.
+// row) to columns [fromCol, n) of a: A ← (I − τ·v·vᵀ)·A.
 func applyHouseLeft(a *Dense, row, col int, tau float64, fromCol int, w []float64) {
-	if tau == 0 {
+	_, n := a.Dims()
+	applyHouseLeftCols(a, row, col, tau, fromCol, n, w)
+}
+
+// applyHouseLeftCols applies the reflector to the column range [lo, hi)
+// only. It runs as two row-major sweeps through the scratch vector w
+// (len ≥ hi): w ← τ·(vᵀ·A), then A ← A − v·w. Streaming whole rows instead
+// of walking columns keeps the trailing submatrix on sequential cache lines
+// and needs one bounds check per row rather than one per element. Because
+// every write lands inside [lo, hi), disjoint ranges can be updated
+// concurrently — the parallel pivoted QR partitions the trailing matrix
+// this way — and each column's arithmetic is independent of the ranging,
+// so chunked application is bitwise-identical to one full sweep.
+func applyHouseLeftCols(a *Dense, row, col int, tau float64, lo, hi int, w []float64) {
+	if tau == 0 || lo >= hi {
 		return
 	}
-	m, n := a.Dims()
-	w = w[:n]
+	m, _ := a.Dims()
+	w = w[:hi]
 	prow := a.Row(row)
-	copy(w[fromCol:], prow[fromCol:])
+	copy(w[lo:], prow[lo:hi])
 	for i := row + 1; i < m; i++ {
 		ri := a.Row(i)
 		vi := ri[col]
 		if vi == 0 {
 			continue
 		}
-		for j := fromCol; j < n; j++ {
+		for j := lo; j < hi; j++ {
 			w[j] += vi * ri[j]
 		}
 	}
-	for j := fromCol; j < n; j++ {
+	for j := lo; j < hi; j++ {
 		w[j] *= tau
 		prow[j] -= w[j]
 	}
@@ -101,7 +111,7 @@ func applyHouseLeft(a *Dense, row, col int, tau float64, fromCol int, w []float6
 		if vi == 0 {
 			continue
 		}
-		for j := fromCol; j < n; j++ {
+		for j := lo; j < hi; j++ {
 			ri[j] -= vi * w[j]
 		}
 	}

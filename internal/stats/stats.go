@@ -66,6 +66,20 @@ func (c *CovAccumulator) Add(y []float64) {
 // Count returns the number of snapshots folded in.
 func (c *CovAccumulator) Count() int { return c.n }
 
+// Clone returns an independent copy of the accumulator. The concurrent
+// inference engine clones the moments under its ingest lock and runs the
+// (much longer) variance estimation on the copy, so snapshot folds never
+// stall behind a Phase-1 solve.
+func (c *CovAccumulator) Clone() *CovAccumulator {
+	return &CovAccumulator{
+		n:     c.n,
+		dim:   c.dim,
+		mean:  append([]float64(nil), c.mean...),
+		comom: append([]float64(nil), c.comom...),
+		delta: make([]float64, c.dim),
+	}
+}
+
 // Mean returns the per-coordinate sample means.
 func (c *CovAccumulator) Mean() []float64 {
 	out := make([]float64, c.dim)

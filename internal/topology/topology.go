@@ -6,7 +6,9 @@
 package topology
 
 import (
+	"errors"
 	"fmt"
+	"math"
 	"runtime"
 	"sort"
 	"sync"
@@ -41,9 +43,11 @@ type RoutingMatrix struct {
 	virtualOf map[int]int
 
 	// pairOnce guards the lazy construction of pairs, the packed pair-support
-	// index shared by every Phase-1 pass over the augmented matrix.
+	// index shared by every Phase-1 pass over the augmented matrix. pairsErr
+	// records a capacity failure of the build (see ErrPairIndexOverflow).
 	pairOnce sync.Once
 	pairs    *pairIndex
+	pairsErr error
 }
 
 // pairIndex is a CSR-style packed index of path-pair → shared virtual links:
@@ -53,10 +57,26 @@ type RoutingMatrix struct {
 // index walk instead of np(np+1)/2 repeated sorted-set intersections, and its
 // contiguous layout is what the sharded Phase-1 accumulators partition across
 // goroutines.
+//
+// Both arrays are int32-packed: virtual-link indices always fit (nc is
+// memory-bounded far below 2³¹) and the offsets are guarded against overflow
+// at build time, halving the index footprint on multi-thousand-path
+// topologies where off alone holds np(np+1)/2+1 entries.
 type pairIndex struct {
-	off []int // len NumPairs()+1; monotone offsets into idx
-	idx []int // concatenated sorted supports
+	off []int32 // len NumPairs()+1; monotone offsets into idx
+	idx []int32 // concatenated sorted supports (virtual-link indices)
 }
+
+// maxPairIndexEntries bounds the total packed support length so offsets fit
+// in int32. A package variable (not a constant) so the overflow guard is
+// testable without materializing a 2³¹-entry index.
+var maxPairIndexEntries = int64(math.MaxInt32)
+
+// ErrPairIndexOverflow is returned (via PrecomputePairSupports, and from
+// every estimator that consumes the index) when a topology's packed
+// pair-support index would exceed the int32-packed capacity. Such path sets
+// must be sharded across routing matrices.
+var ErrPairIndexOverflow = errors.New("topology: pair-support index exceeds int32-packed capacity; shard the path set across routing matrices")
 
 // Build constructs the reduced routing matrix from a set of paths:
 //
@@ -242,9 +262,10 @@ func (rm *RoutingMatrix) PairIndexOf(i, j int) int {
 }
 
 // PairSupport returns the sorted virtual links shared by paths i and j from
-// the cached pair-support index. The slice is a view into the index — valid
-// for the lifetime of the routing matrix, but it must not be modified.
-func (rm *RoutingMatrix) PairSupport(i, j int) []int {
+// the cached pair-support index, as int32-packed link indices. The slice is
+// a view into the index — valid for the lifetime of the routing matrix, but
+// it must not be modified.
+func (rm *RoutingMatrix) PairSupport(i, j int) []int32 {
 	if j < i {
 		i, j = j, i
 	}
@@ -258,7 +279,7 @@ func (rm *RoutingMatrix) PairSupport(i, j int) []int {
 // cached index (stable, read-only). Disjoint ranges touch disjoint state, so
 // concurrent calls on different ranges are safe — this is the primitive the
 // sharded Phase-1 accumulators partition across goroutines.
-func (rm *RoutingMatrix) VisitPairSupports(from, to int, visit func(i, j int, support []int)) {
+func (rm *RoutingMatrix) VisitPairSupports(from, to int, visit func(i, j int, support []int32)) {
 	npairs := rm.NumPairs()
 	if from < 0 || to > npairs || from > to {
 		panic(fmt.Sprintf("topology: pair range [%d,%d) out of [0,%d)", from, to, npairs))
@@ -284,18 +305,26 @@ func (rm *RoutingMatrix) VisitPairSupports(from, to int, visit func(i, j int, su
 	}
 }
 
-// pairSupports returns the pair-support index, building it on first use.
+// pairSupports returns the pair-support index, building it on first use. It
+// panics on a capacity failure — estimators gate on PrecomputePairSupports
+// first so the error surfaces as a value on every public path.
 func (rm *RoutingMatrix) pairSupports() *pairIndex {
 	rm.pairOnce.Do(rm.buildPairIndex)
+	if rm.pairsErr != nil {
+		panic(rm.pairsErr)
+	}
 	return rm.pairs
 }
 
 // PrecomputePairSupports forces construction of the cached pair-support
-// index now instead of on first use. Idempotent and safe for concurrent
-// callers. Timed sections and benchmarks call it up front so the one-time
-// index build does not silently inflate the first measured pass.
-func (rm *RoutingMatrix) PrecomputePairSupports() {
-	rm.pairSupports()
+// index now instead of on first use, reporting a capacity failure
+// (ErrPairIndexOverflow) as an error. Idempotent and safe for concurrent
+// callers. Estimators call it before walking the index so oversized
+// topologies fail as errors, and timed sections call it up front so the
+// one-time build does not silently inflate the first measured pass.
+func (rm *RoutingMatrix) PrecomputePairSupports() error {
+	rm.pairOnce.Do(rm.buildPairIndex)
+	return rm.pairsErr
 }
 
 // buildPairIndex computes every pairwise row intersection once. Rows are
@@ -305,26 +334,54 @@ func (rm *RoutingMatrix) PrecomputePairSupports() {
 func (rm *RoutingMatrix) buildPairIndex() {
 	np := rm.NumPaths()
 	npairs := rm.NumPairs()
-	off := make([]int, npairs+1)
-	rowData := make([][]int, np)
+	off := make([]int32, npairs+1)
+	rowData := make([][]int32, np)
 	par.Do(runtime.GOMAXPROCS(0), np, func(_, i int) {
 		base := rm.PairIndexOf(i, i)
-		buf := make([]int, 0, (np-i)*2)
+		buf := make([]int32, 0, (np-i)*2)
 		for j := i; j < np; j++ {
 			start := len(buf)
-			buf = rm.IntersectRows(i, j, buf)
-			off[base+(j-i)+1] = len(buf) - start
+			buf = intersectRows32(rm.rows[i], rm.rows[j], buf)
+			// Per-pair support length is at most the shorter row, far below
+			// 2³¹; only the running prefix sum below can overflow.
+			off[base+(j-i)+1] = int32(len(buf) - start)
 		}
 		rowData[i] = buf
 	})
+	var total int64
 	for p := 0; p < npairs; p++ {
-		off[p+1] += off[p]
+		total += int64(off[p+1])
+		if total > maxPairIndexEntries {
+			rm.pairsErr = fmt.Errorf("%w (needs %d+ entries, capacity %d)",
+				ErrPairIndexOverflow, total, maxPairIndexEntries)
+			return
+		}
+		off[p+1] = int32(total)
 	}
-	idx := make([]int, off[npairs])
+	idx := make([]int32, total)
 	for i := 0; i < np; i++ {
 		copy(idx[off[rm.PairIndexOf(i, i)]:], rowData[i])
 	}
 	rm.pairs = &pairIndex{off: off, idx: idx}
+}
+
+// intersectRows32 appends the sorted intersection of two sorted int rows to
+// dst as int32-packed virtual-link indices.
+func intersectRows32(a, b []int, dst []int32) []int32 {
+	x, y := 0, 0
+	for x < len(a) && y < len(b) {
+		switch {
+		case a[x] < b[y]:
+			x++
+		case a[x] > b[y]:
+			y++
+		default:
+			dst = append(dst, int32(a[x]))
+			x++
+			y++
+		}
+	}
+	return dst
 }
 
 // LossOnPath aggregates per-physical-link transmission rates into

@@ -1,6 +1,7 @@
 package topology
 
 import (
+	"errors"
 	"math/rand/v2"
 	"reflect"
 	"sync"
@@ -275,6 +276,16 @@ func randomPaths(rng *rand.Rand, np int) []Path {
 	return paths
 }
 
+// toInt32 widens an []int support to the pair index's packed width for
+// comparisons.
+func toInt32(xs []int) []int32 {
+	out := make([]int32, len(xs))
+	for i, x := range xs {
+		out[i] = int32(x)
+	}
+	return out
+}
+
 func TestPairSupportMatchesIntersectRows(t *testing.T) {
 	rng := rand.New(rand.NewPCG(41, 42))
 	rm, err := Build(randomPaths(rng, 40))
@@ -287,7 +298,7 @@ func TestPairSupportMatchesIntersectRows(t *testing.T) {
 	}
 	for i := 0; i < np; i++ {
 		for j := i; j < np; j++ {
-			want := rm.IntersectRows(i, j, nil)
+			want := toInt32(rm.IntersectRows(i, j, nil))
 			got := rm.PairSupport(i, j)
 			if len(got) == 0 && len(want) == 0 {
 				continue
@@ -310,8 +321,8 @@ func TestVisitPairSupportsRanges(t *testing.T) {
 	}
 	type pair struct{ i, j int }
 	var fullPairs []pair
-	var fullSupports [][]int
-	rm.VisitPairSupports(0, rm.NumPairs(), func(i, j int, support []int) {
+	var fullSupports [][]int32
+	rm.VisitPairSupports(0, rm.NumPairs(), func(i, j int, support []int32) {
 		fullPairs = append(fullPairs, pair{i, j})
 		fullSupports = append(fullSupports, support)
 	})
@@ -333,7 +344,7 @@ func TestVisitPairSupportsRanges(t *testing.T) {
 			if hi > rm.NumPairs() {
 				hi = rm.NumPairs()
 			}
-			rm.VisitPairSupports(lo, hi, func(i, j int, support []int) {
+			rm.VisitPairSupports(lo, hi, func(i, j int, support []int32) {
 				if fullPairs[pos] != (pair{i, j}) {
 					t.Fatalf("chunk %d: position %d visited (%d,%d), want (%d,%d)",
 						chunk, pos, i, j, fullPairs[pos].i, fullPairs[pos].j)
@@ -358,9 +369,9 @@ func TestPairSupportConcurrentFirstUse(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	want := rm.IntersectRows(0, rm.NumPaths()-1, nil)
+	want := toInt32(rm.IntersectRows(0, rm.NumPaths()-1, nil))
 	var wg sync.WaitGroup
-	got := make([][]int, 8)
+	got := make([][]int32, 8)
 	for w := range got {
 		wg.Add(1)
 		go func(w int) {
@@ -376,5 +387,55 @@ func TestPairSupportConcurrentFirstUse(t *testing.T) {
 		if !reflect.DeepEqual(got[w], want) {
 			t.Fatalf("goroutine %d saw support %v, want %v", w, got[w], want)
 		}
+	}
+}
+
+func TestPairIndexOverflowGuard(t *testing.T) {
+	// The int32-packed index must refuse to build silently-truncated
+	// offsets. Lower the capacity to force the guard on a small matrix.
+	defer func(old int64) { maxPairIndexEntries = old }(maxPairIndexEntries)
+	maxPairIndexEntries = 3
+
+	rng := rand.New(rand.NewPCG(47, 48))
+	rm, err := Build(randomPaths(rng, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rm.PrecomputePairSupports(); !errors.Is(err, ErrPairIndexOverflow) {
+		t.Fatalf("PrecomputePairSupports = %v, want ErrPairIndexOverflow", err)
+	}
+	// Bypassing the error-returning gate still fails loudly, never with a
+	// truncated index.
+	defer func() {
+		if r := recover(); r == nil {
+			t.Fatal("expected PairSupport on an overflowed index to panic")
+		}
+	}()
+	rm.PairSupport(0, 1)
+}
+
+func TestPairIndexInt32Width(t *testing.T) {
+	// The packed supports must agree with the wide IntersectRows on every
+	// pair — the int32 narrowing loses nothing.
+	rng := rand.New(rand.NewPCG(49, 50))
+	rm, err := Build(randomPaths(rng, 17))
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	rm.VisitPairSupports(0, rm.NumPairs(), func(i, j int, support []int32) {
+		want := rm.IntersectRows(i, j, nil)
+		if len(want) != len(support) {
+			t.Fatalf("pair (%d,%d): packed %d links, wide %d", i, j, len(support), len(want))
+		}
+		for x := range want {
+			if int(support[x]) != want[x] {
+				t.Fatalf("pair (%d,%d) entry %d: %d vs %d", i, j, x, support[x], want[x])
+			}
+		}
+		total += len(support)
+	})
+	if total == 0 {
+		t.Fatal("degenerate path set: no shared links at all")
 	}
 }

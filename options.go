@@ -1,0 +1,110 @@
+package lia
+
+import "lia/internal/core"
+
+// Strategy selects the Phase-2 column-elimination rule (§5.2).
+type Strategy = core.Elimination
+
+const (
+	// StrategyPaperSequential removes remaining columns in ascending
+	// learned-variance order until R* has full column rank — the algorithm
+	// exactly as printed in the paper.
+	StrategyPaperSequential Strategy = core.EliminatePaperSequential
+	// StrategyGreedyBasis keeps a maximum-variance linearly-independent
+	// column basis (a matroid-greedy optimum); evaluated as an ablation.
+	StrategyGreedyBasis Strategy = core.EliminateGreedyBasis
+)
+
+// Observation selects what the snapshot vectors measure.
+type Observation = core.Observation
+
+const (
+	// ObserveLogTransmission (default): snapshots hold per-path log
+	// transmission rates and results convert to loss rates via 1 − eˣ.
+	ObserveLogTransmission Observation = core.ObserveLogTransmission
+	// ObserveLinear: snapshots hold additive path metrics (e.g. excess
+	// queueing delays — the §8 extension); results are reported as-is,
+	// clamped at zero.
+	ObserveLinear Observation = core.ObserveLinear
+)
+
+// VarianceMethod selects how the Phase-1 moment system Σ* = A·v is solved.
+type VarianceMethod = core.VarianceMethod
+
+const (
+	// VarianceAuto (default) picks dense QR for small systems and normal
+	// equations once the explicit augmented matrix would be large.
+	VarianceAuto VarianceMethod = core.VarianceAuto
+	// VarianceDenseQR materializes the augmented matrix and solves by
+	// Householder QR — the paper's reference method.
+	VarianceDenseQR VarianceMethod = core.VarianceDenseQR
+	// VarianceNormalEquations streams the equations into AᵀA and solves by
+	// Cholesky; never materializes A.
+	VarianceNormalEquations VarianceMethod = core.VarianceNormalEquations
+)
+
+// NegCovPolicy chooses the treatment of negative measured path covariances
+// (a pure sampling artifact under the link-independence assumption S.2).
+type NegCovPolicy = core.NegativeCovPolicy
+
+const (
+	// NegClamp (default) keeps the equation with its right-hand side
+	// clamped to zero, preserving Theorem 1's rank guarantee.
+	NegClamp NegCovPolicy = core.ClampNegativeCov
+	// NegDrop discards the equation — the paper's printed rule. Can cost
+	// identifiability on sparse pair sets (see ErrUnidentifiable).
+	NegDrop NegCovPolicy = core.DropNegativeCov
+	// NegKeep uses the raw negative value.
+	NegKeep NegCovPolicy = core.KeepNegativeCov
+)
+
+// DefaultThreshold is the paper's congestion threshold tl = 0.002 (the LLRD
+// models' boundary between good and congested links).
+const DefaultThreshold = core.CongestionThreshold
+
+// settings is the private option sink; Option values are only constructible
+// through the With* functions, keeping the surface closed for extension.
+type settings struct {
+	opts core.Options
+}
+
+// Option configures an Engine at construction.
+type Option func(*settings)
+
+// WithWorkers bounds the goroutines used by the parallel Phase-1
+// accumulation and the Phase-2 elimination's rank tests. 0 (the default)
+// sizes pools to GOMAXPROCS; 1 forces serial execution. Every setting
+// produces bit-identical results — parallelism never changes the answer.
+func WithWorkers(n int) Option {
+	return func(s *settings) { s.opts.Variance.Workers = n }
+}
+
+// WithStrategy selects the Phase-2 elimination strategy.
+func WithStrategy(st Strategy) Option {
+	return func(s *settings) { s.opts.Strategy = st }
+}
+
+// WithObservation selects the snapshot semantics.
+func WithObservation(obs Observation) Option {
+	return func(s *settings) { s.opts.Observation = obs }
+}
+
+// WithThreshold sets the congestion threshold tl used by InferCongested and
+// Threshold. The value is honored verbatim — WithThreshold(0) flags every
+// link with any inferred loss, it does not reinstate the default.
+func WithThreshold(tl float64) Option {
+	return func(s *settings) {
+		s.opts.Threshold = tl
+		s.opts.ThresholdSet = true
+	}
+}
+
+// WithVarianceMethod selects the Phase-1 solver.
+func WithVarianceMethod(m VarianceMethod) Option {
+	return func(s *settings) { s.opts.Variance.Method = m }
+}
+
+// WithNegCovPolicy selects the treatment of negative measured covariances.
+func WithNegCovPolicy(p NegCovPolicy) Option {
+	return func(s *settings) { s.opts.Variance.NegPolicy = p }
+}

@@ -1,0 +1,293 @@
+package lia
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"math/rand/v2"
+	"os"
+	"strings"
+	"sync"
+
+	"lia/internal/lossmodel"
+	"lia/internal/netsim"
+)
+
+// Snapshot is one network snapshot as delivered by a SnapshotSource.
+type Snapshot struct {
+	// Y is the per-path observation vector (one entry per routing-matrix
+	// row): log transmission rates under ObserveLogTransmission, additive
+	// path metrics under ObserveLinear.
+	Y []float64
+	// Truth, when the source knows ground truth (simulators), holds the
+	// per-virtual-link true mean loss rates of the snapshot; nil otherwise.
+	Truth []float64
+}
+
+// SnapshotSource is a pull-based stream of network snapshots — the seam
+// that decouples measurement collection from the inference engine. Next
+// returns io.EOF (possibly wrapped) when the source is exhausted.
+// Implementations must be safe for use by one consumer at a time; the
+// sources in this package additionally serialise internally, so handing a
+// source between goroutines needs no extra locking.
+type SnapshotSource interface {
+	Next(ctx context.Context) (Snapshot, error)
+}
+
+// LogRates converts per-path received fractions into the log transmission
+// rates Y the engine ingests, clamping zero-delivery paths to half a probe
+// (the paper's heuristic) so the logarithm stays finite.
+func LogRates(frac []float64, probes int) []float64 {
+	if probes <= 0 {
+		probes = 1000
+	}
+	y := make([]float64, len(frac))
+	for i, f := range frac {
+		if f <= 0 {
+			f = 0.5 / float64(probes)
+		}
+		y[i] = math.Log(f)
+	}
+	return y
+}
+
+// SliceSource streams already-prepared observation vectors.
+type SliceSource struct {
+	mu  sync.Mutex
+	ys  [][]float64
+	pos int
+}
+
+// NewSliceSource returns a source over pre-computed Y vectors (ingested
+// as-is, no conversion).
+func NewSliceSource(ys [][]float64) *SliceSource {
+	return &SliceSource{ys: ys}
+}
+
+// Next implements SnapshotSource.
+func (s *SliceSource) Next(ctx context.Context) (Snapshot, error) {
+	if err := ctx.Err(); err != nil {
+		return Snapshot{}, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.pos >= len(s.ys) {
+		return Snapshot{}, io.EOF
+	}
+	y := s.ys[s.pos]
+	s.pos++
+	return Snapshot{Y: y}, nil
+}
+
+// TraceSource adapts a recorded measurement trace of per-path received
+// fractions — e.g. the emulated overlay lab's History() or a replayed
+// collector session — converting each snapshot to log transmission rates.
+type TraceSource struct {
+	mu     sync.Mutex
+	fracs  [][]float64
+	probes int
+	pos    int
+}
+
+// NewTraceSource returns a source over recorded received fractions; probes
+// is S, the probe count behind each fraction (≤ 0 selects the paper's
+// default of 1000), used only to clamp zero-delivery paths.
+func NewTraceSource(fracs [][]float64, probes int) *TraceSource {
+	return &TraceSource{fracs: fracs, probes: probes}
+}
+
+// Next implements SnapshotSource.
+func (t *TraceSource) Next(ctx context.Context) (Snapshot, error) {
+	if err := ctx.Err(); err != nil {
+		return Snapshot{}, err
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.pos >= len(t.fracs) {
+		return Snapshot{}, io.EOF
+	}
+	f := t.fracs[t.pos]
+	t.pos++
+	return Snapshot{Y: LogRates(f, t.probes)}, nil
+}
+
+// FileSource reads newline-delimited measurement snapshots. Each non-empty
+// line is either a bare JSON array of per-path received fractions
+//
+//	[0.993, 1.0, 0.871]
+//
+// or a collector-format JSON object with a "frac" field
+//
+//	{"snapshot": 3, "frac": [0.993, 1.0, 0.871]}
+//
+// Fractions are converted to log transmission rates with LogRates.
+type FileSource struct {
+	mu     sync.Mutex
+	sc     *bufio.Scanner
+	closer io.Closer
+	probes int
+	line   int
+}
+
+// NewFileSource reads snapshots from r; probes is S, the probe count behind
+// each fraction (≤ 0 selects 1000).
+func NewFileSource(r io.Reader, probes int) *FileSource {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	return &FileSource{sc: sc, probes: probes}
+}
+
+// OpenFileSource opens path and reads snapshots from it; Close releases the
+// file.
+func OpenFileSource(path string, probes int) (*FileSource, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("lia: open snapshot file: %w", err)
+	}
+	src := NewFileSource(f, probes)
+	src.closer = f
+	return src, nil
+}
+
+// Next implements SnapshotSource.
+func (f *FileSource) Next(ctx context.Context) (Snapshot, error) {
+	if err := ctx.Err(); err != nil {
+		return Snapshot{}, err
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for f.sc.Scan() {
+		f.line++
+		text := strings.TrimSpace(f.sc.Text())
+		if text == "" {
+			continue
+		}
+		var frac []float64
+		if strings.HasPrefix(text, "{") {
+			var rec struct {
+				Frac []float64 `json:"frac"`
+			}
+			if err := json.Unmarshal([]byte(text), &rec); err != nil {
+				return Snapshot{}, fmt.Errorf("lia: snapshot file line %d: %w", f.line, err)
+			}
+			frac = rec.Frac
+		} else if err := json.Unmarshal([]byte(text), &frac); err != nil {
+			return Snapshot{}, fmt.Errorf("lia: snapshot file line %d: %w", f.line, err)
+		}
+		if len(frac) == 0 {
+			return Snapshot{}, fmt.Errorf("lia: snapshot file line %d: no fractions", f.line)
+		}
+		return Snapshot{Y: LogRates(frac, f.probes)}, nil
+	}
+	if err := f.sc.Err(); err != nil {
+		return Snapshot{}, fmt.Errorf("lia: snapshot file: %w", err)
+	}
+	return Snapshot{}, io.EOF
+}
+
+// Close releases the underlying file when the source was opened with
+// OpenFileSource; otherwise it is a no-op.
+func (f *FileSource) Close() error {
+	if f.closer != nil {
+		return f.closer.Close()
+	}
+	return nil
+}
+
+// SimConfig parameterizes a synthetic measurement campaign.
+type SimConfig struct {
+	// Probes is S, the probes per path per snapshot (default 1000).
+	Probes int
+	// Seed drives all randomness; the same seed reproduces the same
+	// campaign bit-for-bit.
+	Seed uint64
+	// CongestedFraction is p, the fraction of congested links (default
+	// 0.10, the paper's LLRD1 setting).
+	CongestedFraction float64
+	// Episodic, when positive, makes congestion come and go: each prone
+	// link is active per-snapshot with this probability.
+	Episodic float64
+	// Snapshots bounds the campaign length; 0 streams forever.
+	Snapshots int
+}
+
+// SimSource streams synthetic snapshots from the packet-level probing
+// simulator under the paper's LLRD1/Gilbert loss workload, advancing the
+// loss scenario between snapshots. Each Snapshot carries the ground-truth
+// link rates in Truth.
+type SimSource struct {
+	mu    sync.Mutex
+	sim   *netsim.Simulator
+	scen  *lossmodel.Scenario
+	limit int
+	n     int
+}
+
+// NewSimSource creates a simulator-backed source over the routing matrix.
+func NewSimSource(rm *RoutingMatrix, cfg SimConfig) *SimSource {
+	if cfg.Probes <= 0 {
+		cfg.Probes = 1000
+	}
+	if cfg.CongestedFraction == 0 {
+		cfg.CongestedFraction = 0.10
+	}
+	rng := rand.New(rand.NewPCG(cfg.Seed, 0x10ca1))
+	scen := lossmodel.NewScenario(lossmodel.Config{
+		Model:    lossmodel.LLRD1,
+		Fraction: cfg.CongestedFraction,
+		Episodic: cfg.Episodic,
+	}, rng, rm.NumLinks())
+	sim := netsim.New(rm, netsim.Config{Probes: cfg.Probes, Seed: cfg.Seed})
+	return &SimSource{sim: sim, scen: scen, limit: cfg.Snapshots}
+}
+
+// Next implements SnapshotSource: it advances the loss scenario (after the
+// first snapshot), probes every path, and returns the observed log rates
+// with the ground truth attached.
+func (s *SimSource) Next(ctx context.Context) (Snapshot, error) {
+	if err := ctx.Err(); err != nil {
+		return Snapshot{}, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.limit > 0 && s.n >= s.limit {
+		return Snapshot{}, io.EOF
+	}
+	if s.n > 0 {
+		s.scen.Advance()
+	}
+	s.n++
+	snap := s.sim.Run(s.scen.Rates())
+	return Snapshot{Y: snap.LogRates(), Truth: snap.LinkRate}, nil
+}
+
+// limitedSource caps another source at n snapshots.
+type limitedSource struct {
+	mu   sync.Mutex
+	src  SnapshotSource
+	left int
+}
+
+// Limit wraps a source so it reports io.EOF after n snapshots — e.g. to
+// Consume a learning prefix of an unbounded SimSource and keep the stream
+// position for the inference snapshot.
+func Limit(src SnapshotSource, n int) SnapshotSource {
+	return &limitedSource{src: src, left: n}
+}
+
+// Next implements SnapshotSource.
+func (l *limitedSource) Next(ctx context.Context) (Snapshot, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.left <= 0 {
+		return Snapshot{}, io.EOF
+	}
+	snap, err := l.src.Next(ctx)
+	if err == nil {
+		l.left--
+	}
+	return snap, err
+}

@@ -1,0 +1,119 @@
+package lia_test
+
+import (
+	"context"
+	"errors"
+	"io"
+	"math"
+	"strings"
+	"testing"
+
+	"lia"
+)
+
+func TestLogRates(t *testing.T) {
+	y := lia.LogRates([]float64{1.0, 0.5, 0}, 1000)
+	if y[0] != 0 {
+		t.Fatalf("log(1) = %g, want 0", y[0])
+	}
+	if want := math.Log(0.5); y[1] != want {
+		t.Fatalf("log(0.5) = %g, want %g", y[1], want)
+	}
+	if want := math.Log(0.5 / 1000); y[2] != want {
+		t.Fatalf("zero-delivery clamp = %g, want %g", y[2], want)
+	}
+}
+
+func TestFileSourceFormats(t *testing.T) {
+	ctx := context.Background()
+	input := strings.Join([]string{
+		`[1.0, 0.9, 0.8]`,
+		``, // blank lines are skipped
+		`{"snapshot": 1, "frac": [0.7, 0.6, 0.5]}`,
+		`  [0.4, 0.3, 0.2]  `,
+	}, "\n")
+	src := lia.NewFileSource(strings.NewReader(input), 1000)
+	want := [][]float64{
+		lia.LogRates([]float64{1.0, 0.9, 0.8}, 1000),
+		lia.LogRates([]float64{0.7, 0.6, 0.5}, 1000),
+		lia.LogRates([]float64{0.4, 0.3, 0.2}, 1000),
+	}
+	for i, w := range want {
+		snap, err := src.Next(ctx)
+		if err != nil {
+			t.Fatalf("snapshot %d: %v", i, err)
+		}
+		for j := range w {
+			if snap.Y[j] != w[j] {
+				t.Fatalf("snapshot %d path %d: %g, want %g", i, j, snap.Y[j], w[j])
+			}
+		}
+	}
+	if _, err := src.Next(ctx); !errors.Is(err, io.EOF) {
+		t.Fatalf("exhausted source returned %v, want io.EOF", err)
+	}
+}
+
+func TestFileSourceErrors(t *testing.T) {
+	ctx := context.Background()
+	if _, err := lia.NewFileSource(strings.NewReader("not json\n"), 0).Next(ctx); err == nil || errors.Is(err, io.EOF) {
+		t.Fatalf("garbage line error = %v, want parse error", err)
+	}
+	if _, err := lia.NewFileSource(strings.NewReader(`{"frac": []}`), 0).Next(ctx); err == nil || errors.Is(err, io.EOF) {
+		t.Fatalf("empty frac error = %v, want error", err)
+	}
+	if _, err := lia.OpenFileSource("testdata-does-not-exist.ndjson", 0); err == nil {
+		t.Fatal("OpenFileSource on a missing path must fail")
+	}
+}
+
+func TestSourceContextCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	srcs := []lia.SnapshotSource{
+		lia.NewSliceSource([][]float64{{1}}),
+		lia.NewTraceSource([][]float64{{1}}, 100),
+		lia.NewFileSource(strings.NewReader("[1.0]\n"), 100),
+	}
+	for i, src := range srcs {
+		if _, err := src.Next(ctx); !errors.Is(err, context.Canceled) {
+			t.Fatalf("source %d with cancelled ctx returned %v, want context.Canceled", i, err)
+		}
+	}
+}
+
+func TestTraceAndSliceAndLimit(t *testing.T) {
+	ctx := context.Background()
+	fracs := [][]float64{{0.9, 0.8}, {0.7, 0.6}, {0.5, 0.4}}
+	trace := lia.NewTraceSource(fracs, 100)
+	for i := range fracs {
+		snap, err := trace.Next(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := lia.LogRates(fracs[i], 100)
+		for j := range want {
+			if snap.Y[j] != want[j] {
+				t.Fatalf("trace snapshot %d differs at %d", i, j)
+			}
+		}
+	}
+	if _, err := trace.Next(ctx); !errors.Is(err, io.EOF) {
+		t.Fatalf("trace EOF = %v", err)
+	}
+
+	ys := [][]float64{{1, 2}, {3, 4}, {5, 6}}
+	limited := lia.Limit(lia.NewSliceSource(ys), 2)
+	for i := 0; i < 2; i++ {
+		snap, err := limited.Next(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if snap.Y[0] != ys[i][0] {
+			t.Fatalf("slice snapshot %d passed through wrong vector", i)
+		}
+	}
+	if _, err := limited.Next(ctx); !errors.Is(err, io.EOF) {
+		t.Fatalf("limit EOF = %v", err)
+	}
+}

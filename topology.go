@@ -1,0 +1,71 @@
+package lia
+
+import (
+	"fmt"
+
+	"lia/internal/core"
+	"lia/internal/topology"
+)
+
+// Path is one end-to-end measurement path: an ordered sequence of physical
+// (directed) link IDs from a beacon host to a destination host.
+type Path = topology.Path
+
+// RoutingMatrix is the reduced routing matrix R of the paper: np rows
+// (paths) by nc columns (covered virtual links), produced by NewTopology.
+// A RoutingMatrix is immutable after construction and safe for concurrent
+// use.
+type RoutingMatrix = topology.RoutingMatrix
+
+// Result is the output of one Phase-2 inference; see Engine.Infer.
+type Result = core.Result
+
+// NewTopology builds the reduced routing matrix from a set of end-to-end
+// paths: links that no measurement can tell apart are merged into virtual
+// links (the alias reduction of §3.1) and uncovered links are dropped.
+// Callers with possibly-fluttering path sets should run RemoveFluttering
+// first; Theorem 1 guarantees identifiability only under assumption T.2.
+func NewTopology(paths []Path) (*RoutingMatrix, error) {
+	return topology.Build(paths)
+}
+
+// RemoveFluttering drops the minimum suffix of paths violating the
+// no-route-fluttering assumption T.2 (two routes between the same host pair
+// disagreeing on their links). It returns the kept paths and the indices of
+// the removed ones (into the input slice).
+func RemoveFluttering(paths []Path) (kept []Path, removed []int) {
+	return topology.RemoveFluttering(paths)
+}
+
+// Identifiable reports whether the per-link variances are statistically
+// identifiable from end-to-end measurements on this routing matrix, i.e.
+// whether the augmented matrix A of Definition 1 has full column rank
+// (Lemma 2). The check costs a rank computation over an nc×nc Gram matrix
+// plus one pass over the np(np+1)/2 path pairs.
+func Identifiable(rm *RoutingMatrix) bool {
+	return core.Identifiable(rm)
+}
+
+// AugmentedRank returns rank(A), the number of identifiable variance
+// directions (Theorem 1 guarantees rank(A) = nc for topologies satisfying
+// T.1 and T.2).
+func AugmentedRank(rm *RoutingMatrix) int {
+	return core.AugmentedRank(rm)
+}
+
+// VarGateAt estimates the snapshot-to-snapshot variance a link sitting
+// exactly at the congestion threshold tl would exhibit when measured with
+// the given number of probes; pass it to Result.CongestedGated to suppress
+// one-snapshot false alarms on links the learning phase saw to be quiet.
+func VarGateAt(tl float64, probes int) float64 {
+	return core.VarGateAt(tl, probes)
+}
+
+// checkDim validates a snapshot vector against the routing matrix.
+func checkDim(rm *RoutingMatrix, y []float64) error {
+	if len(y) != rm.NumPaths() {
+		return fmt.Errorf("lia: snapshot of %d paths, routing matrix has %d: %w",
+			len(y), rm.NumPaths(), ErrDimensionMismatch)
+	}
+	return nil
+}

@@ -1,0 +1,128 @@
+package lia
+
+import (
+	"fmt"
+	"sync"
+
+	"lia/internal/core"
+	"lia/internal/stats"
+)
+
+// Watcher tracks routing-matrix membership changes incrementally — the
+// §5.1 update path for beacons that depart, return, or reroute: "only the
+// rows corresponding to the changes need to be updated". Deactivating a
+// path removes its O(np) covariance equations from the maintained normal
+// equations instead of rebuilding the O(np²) system, and the variances stay
+// solvable over the remaining active paths.
+//
+// A Watcher snapshots the engine's learning moments at creation (and on
+// Refresh); it does not observe later Ingest calls. It is safe for
+// concurrent use.
+type Watcher struct {
+	eng *Engine
+
+	mu      sync.Mutex
+	learner *core.IncrementalLearner
+	cov     *stats.CovAccumulator
+	active  []bool
+}
+
+// Watch creates a watcher over the engine's current learning moments. It
+// requires at least two ingested snapshots (ErrTooFewSnapshots otherwise).
+func (e *Engine) Watch() (*Watcher, error) {
+	e.mu.Lock()
+	cov := e.acc.Clone()
+	e.mu.Unlock()
+	learner, err := core.NewIncrementalLearner(e.rm, cov, e.opts.Variance)
+	if err != nil {
+		return nil, fmt.Errorf("lia: watch: %w", err)
+	}
+	active := make([]bool, e.rm.NumPaths())
+	for i := range active {
+		active[i] = true
+	}
+	return &Watcher{eng: e, learner: learner, cov: cov, active: active}, nil
+}
+
+// Deactivate removes every covariance equation involving path i — the
+// update for a departed beacon or a rerouted path.
+func (w *Watcher) Deactivate(path int) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if err := w.learner.DeactivatePath(path); err != nil {
+		return fmt.Errorf("lia: watch: %w", err)
+	}
+	w.active[path] = false
+	return nil
+}
+
+// Reactivate restores the equations of a previously deactivated path using
+// the moments the watcher was created (or last refreshed) with.
+func (w *Watcher) Reactivate(path int) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if err := w.learner.ReactivatePath(path, w.cov); err != nil {
+		return fmt.Errorf("lia: watch: %w", err)
+	}
+	w.active[path] = true
+	return nil
+}
+
+// Refresh re-snapshots the engine's learning moments and rebuilds the
+// maintained system over them, preserving the current active set.
+func (w *Watcher) Refresh() error {
+	w.eng.mu.Lock()
+	cov := w.eng.acc.Clone()
+	w.eng.mu.Unlock()
+	learner, err := core.NewIncrementalLearner(w.eng.rm, cov, w.eng.opts.Variance)
+	if err != nil {
+		return fmt.Errorf("lia: watch refresh: %w", err)
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	for i, on := range w.active {
+		if !on {
+			if err := learner.DeactivatePath(i); err != nil {
+				return fmt.Errorf("lia: watch refresh: %w", err)
+			}
+		}
+	}
+	w.learner, w.cov = learner, cov
+	return nil
+}
+
+// Variances solves the maintained system for the per-link variances over
+// the active paths. Links covered only by inactive paths come out near
+// zero; mask them with Covered.
+func (w *Watcher) Variances() ([]float64, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	v, err := w.learner.Variances()
+	if err != nil {
+		return nil, fmt.Errorf("lia: watch: %w", err)
+	}
+	return v, nil
+}
+
+// Covered reports which virtual links are traversed by at least one active
+// path.
+func (w *Watcher) Covered() []bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.learner.CoveredLinks()
+}
+
+// Active reports whether path i currently contributes equations.
+func (w *Watcher) Active(path int) bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return path >= 0 && path < len(w.active) && w.active[path]
+}
+
+// Equations returns the number of covariance equations currently folded
+// into the maintained system.
+func (w *Watcher) Equations() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.learner.Equations()
+}
