@@ -466,6 +466,105 @@ func BenchmarkVisitPairs(b *testing.B) {
 	_ = links
 }
 
+// --- Incremental-rebuild benches ----------------------------------------------
+
+// benchRebuildWorkload builds the incremental-rebuild scale target: a
+// 600-path tree (180 300 augmented pairs) with synthetic Gaussian snapshot
+// moments, the regime a long-running engine rebuilds in.
+func benchRebuildWorkload(b *testing.B) (*topology.RoutingMatrix, *stats.CovAccumulator) {
+	b.Helper()
+	rng := rand.New(rand.NewPCG(42, 1))
+	net := topogen.Tree(rng, 1600, 6)
+	if len(net.Hosts) < 600 {
+		b.Fatalf("tree has %d hosts, need 600", len(net.Hosts))
+	}
+	paths := topogen.Routes(net, []int{0}, net.Hosts[:600])
+	rm, err := topology.Build(paths)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if rm.NumPaths() != 600 {
+		b.Fatalf("workload has %d paths, want 600", rm.NumPaths())
+	}
+	truth := make([]float64, rm.NumLinks())
+	for k := range truth {
+		if rng.Float64() < 0.1 {
+			truth[k] = 0.005 + 0.02*rng.Float64()
+		} else {
+			truth[k] = 1e-6 * rng.Float64()
+		}
+	}
+	acc := stats.NewCovAccumulator(rm.NumPaths())
+	x := make([]float64, rm.NumLinks())
+	y := make([]float64, rm.NumPaths())
+	for t := 0; t < 60; t++ {
+		for k := range x {
+			x[k] = rng.NormFloat64() * truth[k]
+		}
+		for i := range y {
+			y[i] = 0
+			for _, k := range rm.Row(i) {
+				y[i] += x[k]
+			}
+		}
+		acc.Add(y)
+	}
+	return rm, acc
+}
+
+// BenchmarkEngineRebuild measures one Phase-1 rebuild under the default
+// clamp policy at the 600-path scale:
+//
+//   - cold: the from-scratch path — Gram accumulation over all 180 300
+//     pairs plus the O(nc³) Cholesky factorization (what every rebuild cost
+//     before the cached factorization);
+//   - warm: the incremental path — core.Phase1 with its topology-only
+//     factor already cached, paying only the right-hand-side fold and two
+//     triangular solves.
+//
+// The two are bitwise-identical by construction; the benchmark asserts it
+// before timing. The one-time pair-index build is excluded from both.
+func BenchmarkEngineRebuild(b *testing.B) {
+	rm, acc := benchRebuildWorkload(b)
+	if err := rm.PrecomputePairSupports(); err != nil {
+		b.Fatal(err)
+	}
+	opts := core.VarianceOptions{} // Auto resolves to normal equations at this scale
+	p1 := core.NewPhase1(rm, opts)
+	cold, err := core.EstimateVariances(rm, acc, opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	warm, err := p1.Estimate(acc) // first call builds the cached factor
+	if err != nil {
+		b.Fatal(err)
+	}
+	if !p1.Warm() {
+		b.Fatal("Phase1 did not cache the factorization under the clamp policy")
+	}
+	for k := range cold {
+		if cold[k] != warm[k] {
+			b.Fatalf("link %d: warm rebuild %g != cold rebuild %g (not bitwise identical)", k, warm[k], cold[k])
+		}
+	}
+	b.Run("cold", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := core.EstimateVariances(rm, acc, opts); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("warm", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := p1.Estimate(acc); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
 // BenchmarkPairIndexBuild measures the one-time cost of constructing the
 // cached pair-support index on a fresh routing matrix.
 func BenchmarkPairIndexBuild(b *testing.B) {

@@ -1,0 +1,87 @@
+// Command benchjson converts `go test -bench` text output on stdin into a
+// machine-readable JSON document on stdout, so CI can archive benchmark
+// results as artifacts and the performance trajectory across PRs has data
+// points.
+//
+// Usage:
+//
+//	go test -run '^$' -bench . -benchmem . | go run ./cmd/benchjson > BENCH.json
+//
+// Each benchmark line ("BenchmarkX-8  120  9255 ns/op  12 B/op  3 allocs/op
+// 0.98 DR") becomes one record with the iteration count and every reported
+// metric keyed by its unit; the goos/goarch/pkg/cpu header lines become the
+// environment block.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+type report struct {
+	Env     map[string]string `json:"env"`
+	Benches []bench           `json:"benches"`
+}
+
+type bench struct {
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"` // unit -> value (e.g. "ns/op")
+}
+
+func main() {
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	rep := report{Env: map[string]string{}}
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case line == "":
+			continue
+		case strings.HasPrefix(line, "goos:"), strings.HasPrefix(line, "goarch:"),
+			strings.HasPrefix(line, "pkg:"), strings.HasPrefix(line, "cpu:"):
+			key, val, _ := strings.Cut(line, ":")
+			rep.Env[key] = strings.TrimSpace(val)
+		case strings.HasPrefix(line, "Benchmark"):
+			if b, ok := parseBench(line); ok {
+				rep.Benches = append(rep.Benches, b)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+// parseBench decodes one result line: name, iteration count, then
+// value/unit pairs.
+func parseBench(line string) (bench, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 {
+		return bench{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return bench{}, false
+	}
+	b := bench{Name: fields[0], Iterations: iters, Metrics: map[string]float64{}}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return bench{}, false
+		}
+		b.Metrics[fields[i+1]] = v
+	}
+	return b, true
+}

@@ -30,7 +30,16 @@
 // short critical section (one Welford fold), while Infer runs lock-free in
 // the steady state against an atomically-swapped cache of the Phase-1
 // variances and elimination order, keyed by an ingestion epoch. Many
-// goroutines can infer while others ingest.
+// goroutines can infer while others ingest. Rebuilds after new learning
+// data are incremental: under the default clamp policy the Phase-1 normal
+// equations' Gram matrix depends only on the topology, so its factorization
+// is computed once and reused (bit-identically) across rebuilds.
+//
+// By default the learning moments are cumulative over all ingested history.
+// WithWindow(n) switches to an exact sliding window over the last n
+// snapshots and WithDecay(lambda) to exponentially-decayed moments, so
+// long-running engines track congestion regime changes instead of averaging
+// them away.
 //
 // Measurement collection is decoupled from inference through the
 // SnapshotSource interface: NewSimSource streams synthetic campaigns from

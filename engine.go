@@ -22,16 +22,29 @@ import (
 // data recomputes it, and concurrent inferences behind that rebuild
 // single-flight on one recompute. Ingestion itself serialises on a short
 // lock around the streaming moment fold, never on a solve: the rebuild
-// clones the moment accumulator under the lock and solves on the clone.
+// snapshots the frozen covariance view under the lock and solves on that.
+//
+// Rebuilds are incremental: under the default clamp (and the keep)
+// negative-covariance policy the Gram matrix of the Phase-1 normal
+// equations depends only on the topology, so its Cholesky factorization is
+// computed once and every later rebuild pays only the right-hand-side fold
+// plus two triangular solves — with results bit-identical to a from-scratch
+// solve (see core.Phase1).
+//
+// By default the moments are cumulative over all ingested history; the
+// WithWindow and WithDecay options switch to sliding-window or
+// exponentially-decayed moments so long-running engines track regime
+// changes.
 //
 // Construct with NewEngine; the zero value is not usable.
 type Engine struct {
 	rm   *RoutingMatrix
 	opts core.Options
+	p1   *core.Phase1
 
-	mu    sync.Mutex // guards acc
-	acc   *stats.CovAccumulator
-	epoch atomic.Uint64 // snapshots folded in; published by Ingest
+	mu    sync.Mutex // guards acc and the epoch advance
+	acc   stats.MomentAccumulator
+	epoch atomic.Uint64 // lifetime snapshots ingested; published by Ingest
 
 	rebuildMu sync.Mutex // single-flights state rebuilds
 	state     atomic.Pointer[phaseState]
@@ -54,13 +67,24 @@ func NewEngine(rm *RoutingMatrix, options ...Option) (*Engine, error) {
 	for _, o := range options {
 		o(&s)
 	}
-	return &Engine{rm: rm, opts: s.opts, acc: stats.NewCovAccumulator(rm.NumPaths())}, nil
+	acc, err := s.newAccumulator(rm.NumPaths())
+	if err != nil {
+		return nil, err
+	}
+	return &Engine{
+		rm:   rm,
+		opts: s.opts,
+		p1:   core.NewPhase1(rm, s.opts.Variance),
+		acc:  acc,
+	}, nil
 }
 
 // RoutingMatrix returns the matrix the engine operates on.
 func (e *Engine) RoutingMatrix() *RoutingMatrix { return e.rm }
 
-// Snapshots returns the number of learning snapshots ingested so far.
+// Snapshots returns the number of learning snapshots ingested over the
+// engine's lifetime. With WithWindow the moments cover at most the window's
+// worth of these; the count still advances per ingest.
 func (e *Engine) Snapshots() int { return int(e.epoch.Load()) }
 
 // Threshold returns the effective congestion threshold tl: the value given
@@ -76,7 +100,7 @@ func (e *Engine) Ingest(y []float64) error {
 	}
 	e.mu.Lock()
 	e.acc.Add(y)
-	e.epoch.Store(uint64(e.acc.Count()))
+	e.epoch.Add(1)
 	e.mu.Unlock()
 	return nil
 }
@@ -94,34 +118,84 @@ func (e *Engine) IngestBatch(ys [][]float64) error {
 	for _, y := range ys {
 		e.acc.Add(y)
 	}
-	e.epoch.Store(uint64(e.acc.Count()))
+	e.epoch.Add(uint64(len(ys)))
 	e.mu.Unlock()
 	return nil
 }
 
+// consumeBatch is how many snapshots Consume buffers between IngestBatch
+// folds: large enough that a high-rate source stops serialising on
+// per-snapshot lock acquisition, small enough that snapshots become visible
+// to concurrent inferences with little delay.
+const consumeBatch = 64
+
 // Consume pulls snapshots from a source until it is exhausted (io.EOF) or
 // the context is cancelled, ingesting each. It returns the number of
 // snapshots ingested.
+//
+// Snapshots are drained into an internal buffer and folded via IngestBatch
+// in batches of up to 64, so a high-rate source takes the ingest lock once
+// per batch instead of once per snapshot. Each snapshot is copied into the
+// buffer, so — exactly as with a per-snapshot Ingest loop — the source may
+// reuse its Y backing array across Next calls. Buffered snapshots become
+// visible to concurrent Infer calls at batch boundaries (and on EOF, error,
+// or cancellation, when the remainder is always flushed); the fold order is
+// exactly the source order, so results are identical to a per-snapshot
+// Ingest loop.
 func (e *Engine) Consume(ctx context.Context, src SnapshotSource) (int, error) {
 	n := 0
+	np := e.rm.NumPaths()
+	// One backing array, reused across batches: IngestBatch copies the
+	// vectors into the moments before returning, so the slots are free for
+	// the next batch as soon as flush returns.
+	backing := make([]float64, consumeBatch*np)
+	buf := make([][]float64, 0, consumeBatch)
+	flush := func() error {
+		if len(buf) == 0 {
+			return nil
+		}
+		if err := e.IngestBatch(buf); err != nil {
+			return err
+		}
+		n += len(buf)
+		buf = buf[:0]
+		return nil
+	}
 	for {
 		snap, err := src.Next(ctx)
 		if err != nil {
+			ferr := flush()
 			if errors.Is(err, io.EOF) {
-				return n, nil
+				return n, ferr
 			}
 			return n, err
 		}
-		if err := e.Ingest(snap.Y); err != nil {
+		// Validate before buffering so one bad snapshot cannot poison the
+		// whole batch: the valid prefix is flushed, then the error surfaces
+		// with the same count a per-snapshot loop would report.
+		if err := checkDim(e.rm, snap.Y); err != nil {
+			if ferr := flush(); ferr != nil {
+				return n, ferr
+			}
 			return n, err
 		}
-		n++
+		slot := backing[len(buf)*np : (len(buf)+1)*np]
+		copy(slot, snap.Y)
+		buf = append(buf, slot)
+		if len(buf) == consumeBatch {
+			if err := flush(); err != nil {
+				return n, err
+			}
+		}
 	}
 }
 
 // currentState returns the Phase-1 state for the latest ingestion epoch,
 // recomputing it if learning data arrived since the last rebuild. Callers
-// racing a rebuild single-flight behind one solver.
+// racing a rebuild single-flight behind one solver. The recompute snapshots
+// only the frozen covariance view the right-hand-side fold needs (not the
+// whole accumulator) and reuses the cached Gram factorization whenever the
+// options allow.
 func (e *Engine) currentState(ctx context.Context) (*phaseState, error) {
 	if st := e.state.Load(); st != nil && st.epoch == e.epoch.Load() {
 		return st, nil
@@ -132,12 +206,13 @@ func (e *Engine) currentState(ctx context.Context) (*phaseState, error) {
 		return st, nil // a racing caller rebuilt while we waited
 	}
 	e.mu.Lock()
-	cov := e.acc.Clone()
+	view := e.acc.View()
+	epoch := e.epoch.Load() // consistent with view: both under e.mu
 	e.mu.Unlock()
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	vars, err := core.EstimateVariances(e.rm, cov, e.opts.Variance)
+	vars, err := e.p1.Estimate(view)
 	if err != nil {
 		return nil, fmt.Errorf("lia: phase 1: %w", err)
 	}
@@ -145,7 +220,7 @@ func (e *Engine) currentState(ctx context.Context) (*phaseState, error) {
 		return nil, err
 	}
 	kept, removed := core.EliminateWorkers(e.rm, vars, e.opts.Strategy, e.opts.Variance.Workers)
-	st := &phaseState{epoch: uint64(cov.Count()), vars: vars, kept: kept, removed: removed}
+	st := &phaseState{epoch: epoch, vars: vars, kept: kept, removed: removed}
 	e.state.Store(st)
 	return st, nil
 }

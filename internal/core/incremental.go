@@ -30,7 +30,7 @@ type IncrementalLearner struct {
 
 // NewIncrementalLearner builds the full system for all paths of rm using the
 // covariances in cov.
-func NewIncrementalLearner(rm *topology.RoutingMatrix, cov *stats.CovAccumulator, opts VarianceOptions) (*IncrementalLearner, error) {
+func NewIncrementalLearner(rm *topology.RoutingMatrix, cov stats.CovView, opts VarianceOptions) (*IncrementalLearner, error) {
 	if cov.Count() < 2 {
 		return nil, ErrTooFewSnapshots
 	}
@@ -98,7 +98,7 @@ func (il *IncrementalLearner) DeactivatePath(i int) error {
 
 // ReactivatePath re-adds the equations of path i using covariances from cov
 // (which must cover all paths of the routing matrix).
-func (il *IncrementalLearner) ReactivatePath(i int, cov *stats.CovAccumulator) error {
+func (il *IncrementalLearner) ReactivatePath(i int, cov stats.CovView) error {
 	if err := il.checkPath(i); err != nil {
 		return err
 	}
@@ -178,7 +178,7 @@ func (il *IncrementalLearner) CoveredLinks() []bool {
 // paths and reports the largest absolute deviation from the incrementally
 // maintained one — a consistency diagnostic used by tests and long-running
 // deployments.
-func (il *IncrementalLearner) RebuildCheck(cov *stats.CovAccumulator) (float64, error) {
+func (il *IncrementalLearner) RebuildCheck(cov stats.CovView) (float64, error) {
 	fresh := NewGram(il.rm.NumLinks())
 	VisitPairs(il.rm, func(i, j int, support []int32) {
 		if !il.active[i] || !il.active[j] || len(support) == 0 {

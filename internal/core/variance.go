@@ -120,12 +120,33 @@ func (o VarianceOptions) budget() int {
 	return o.DenseBudget
 }
 
+// resolveMethod turns VarianceAuto into a concrete solver choice for the
+// given routing matrix. The decision depends only on the topology (and the
+// options' dense budget), never on the measured data — which is what lets
+// Phase1 decide cacheability once per routing matrix.
+func (o VarianceOptions) resolveMethod(rm *topology.RoutingMatrix) VarianceMethod {
+	if o.Method != VarianceAuto {
+		return o.Method
+	}
+	np, nc := rm.NumPaths(), rm.NumLinks()
+	rows := np * (np + 1) / 2
+	if rows*nc*nc <= o.budget() {
+		return VarianceDenseQR
+	}
+	return VarianceNormalEquations
+}
+
 // EstimateVariances solves Σ* = A·v for the per-link variances from the
-// accumulated path covariance moments. The returned slice has one entry per
-// virtual link of rm. Entries may come out slightly negative under sampling
-// noise; callers that need true variances should clamp at zero, while the
-// Phase-2 ordering uses the raw values.
-func EstimateVariances(rm *topology.RoutingMatrix, cov *stats.CovAccumulator, opts VarianceOptions) ([]float64, error) {
+// accumulated path covariance moments (any stats.CovView — a live
+// accumulator, a frozen CovSnapshot, a windowed or decayed view). The
+// returned slice has one entry per virtual link of rm. Entries may come out
+// slightly negative under sampling noise; callers that need true variances
+// should clamp at zero, while the Phase-2 ordering uses the raw values.
+//
+// Long-running callers that rebuild repeatedly over the same routing matrix
+// should use Phase1, which caches the topology-only Gram factorization this
+// function recomputes from scratch on every call.
+func EstimateVariances(rm *topology.RoutingMatrix, cov stats.CovView, opts VarianceOptions) ([]float64, error) {
 	if cov.Count() < 2 {
 		return nil, ErrTooFewSnapshots
 	}
@@ -138,17 +159,7 @@ func EstimateVariances(rm *topology.RoutingMatrix, cov *stats.CovAccumulator, op
 	if err := rm.PrecomputePairSupports(); err != nil {
 		return nil, fmt.Errorf("core: phase-1 equations: %w", err)
 	}
-	method := opts.Method
-	if method == VarianceAuto {
-		np, nc := rm.NumPaths(), rm.NumLinks()
-		rows := np * (np + 1) / 2
-		if rows*nc*nc <= opts.budget() {
-			method = VarianceDenseQR
-		} else {
-			method = VarianceNormalEquations
-		}
-	}
-	switch method {
+	switch opts.resolveMethod(rm) {
 	case VarianceDenseQR:
 		return estimateDense(rm, cov, opts)
 	default:
@@ -192,7 +203,7 @@ func (o VarianceOptions) shardWorkers(npairs int) int {
 	return w
 }
 
-func estimateDense(rm *topology.RoutingMatrix, cov *stats.CovAccumulator, opts VarianceOptions) ([]float64, error) {
+func estimateDense(rm *topology.RoutingMatrix, cov stats.CovView, opts VarianceOptions) ([]float64, error) {
 	nc := rm.NumLinks()
 	rows, rhs := collectEquations(rm, cov, opts)
 	if len(rows) < nc {
@@ -209,8 +220,14 @@ func estimateDense(rm *topology.RoutingMatrix, cov *stats.CovAccumulator, opts V
 	if errors.Is(err, linalg.ErrRankDeficient) {
 		// Dropped equations (DropNegativeCov) can cost full column rank;
 		// fall back to the minimum-norm basic solution, which resolves only
-		// the identifiable directions and zeroes the rest.
-		return linalg.NewPivotedQR(a).SolveMinNorm(rhs), nil
+		// the identifiable directions and zeroes the rest. The fallback
+		// factorization honors the same worker pool as the rest of Phase 1
+		// (pivoted QR is bitwise-deterministic across worker counts).
+		w := opts.Workers
+		if w < 0 {
+			w = 1 // explicit serial request, matching shardWorkers
+		}
+		return linalg.NewPivotedQRWorkers(a, w).SolveMinNorm(rhs), nil
 	}
 	if err != nil {
 		return nil, fmt.Errorf("core: dense variance solve: %w", err)
@@ -223,7 +240,7 @@ func estimateDense(rm *topology.RoutingMatrix, cov *stats.CovAccumulator, opts V
 // pair order. Above the work threshold the collection fans out over pair
 // shards; shard results are concatenated in shard order, so the row order is
 // identical to the serial walk.
-func collectEquations(rm *topology.RoutingMatrix, cov *stats.CovAccumulator, opts VarianceOptions) ([][]int32, []float64) {
+func collectEquations(rm *topology.RoutingMatrix, cov stats.CovView, opts VarianceOptions) ([][]int32, []float64) {
 	npairs := rm.NumPairs()
 	if npairs == 0 {
 		return nil, nil
@@ -264,7 +281,7 @@ func collectEquations(rm *topology.RoutingMatrix, cov *stats.CovAccumulator, opt
 	return rows, rhs
 }
 
-func estimateNormal(rm *topology.RoutingMatrix, cov *stats.CovAccumulator, opts VarianceOptions) ([]float64, error) {
+func estimateNormal(rm *topology.RoutingMatrix, cov stats.CovView, opts VarianceOptions) ([]float64, error) {
 	v, err := accumulateGram(rm, cov, opts).Solve()
 	if err != nil {
 		return nil, fmt.Errorf("core: normal-equations variance solve: %w: %w", ErrUnidentifiable, err)
@@ -272,45 +289,74 @@ func estimateNormal(rm *topology.RoutingMatrix, cov *stats.CovAccumulator, opts 
 	return v, nil
 }
 
-// accumulateGram streams the augmented equations into the normal-equations
-// system AᵀA·v = AᵀΣ*. Above the work threshold the pair stream is cut into
-// fixed-size shards pulled by a worker pool. Two facts make the result
-// bit-deterministic regardless of how shards land on workers:
+// accumulateGram assembles the normal-equations system AᵀA·v = AᵀΣ* in two
+// passes over the cached pair index:
 //
-//   - each worker folds the support outer-products into a private copy of G,
-//     whose entries are small integer counts — integer sums are exact in
-//     floating point, so the G merge is order-independent;
-//   - the order-sensitive right-hand side is accumulated per shard and
-//     reduced in shard index order, and shard boundaries depend only on the
-//     pair count (pairsPerShard), never on the worker count.
-func accumulateGram(rm *topology.RoutingMatrix, cov *stats.CovAccumulator, opts VarianceOptions) *Gram {
+//   - the order-sensitive right-hand side (and the kept-equation count) via
+//     the shard-windowed fold of accumulateRHSInto — bit-deterministic
+//     because shard boundaries depend only on the pair count;
+//   - the Gram matrix G = AᵀA via the row-banded shared-matrix reduction of
+//     accumulateGramInto — one nc×nc matrix total instead of one private
+//     copy per worker, and exact regardless of scheduling because G's
+//     entries are small integer counts.
+func accumulateGram(rm *topology.RoutingMatrix, cov stats.CovView, opts VarianceOptions) *Gram {
+	nc := rm.NumLinks()
+	gr := NewGram(nc)
+	npairs := rm.NumPairs()
+	if npairs == 0 {
+		return gr
+	}
+	workers := opts.shardWorkers(npairs)
+	// Under DropNegativeCov the kept-equation set depends on the data; the
+	// RHS pass decides it once into a bitmap so the row-banded Gram workers
+	// need not re-evaluate the covariances. Under clamp/keep every equation
+	// is kept and no bitmap is needed.
+	var kept []bool
+	if opts.NegPolicy == DropNegativeCov {
+		kept = make([]bool, npairs)
+	}
+	gr.n = accumulateRHSInto(gr.rhs, rm, cov, opts, workers, kept)
+	accumulateGramInto(gr.g, rm, kept, workers)
+	return gr
+}
+
+// accumulateRHSInto folds the adjusted right-hand sides AᵀΣ* of every kept
+// equation into dst (length nc, assumed zeroed) and returns the number of
+// equations kept. The pair stream is cut into fixed-size shards processed in
+// fixed-size windows: workers fan out within a window, then the window's
+// per-shard partial sums fold into dst in shard index order before the next
+// window starts. This bounds staging memory at window·nc floats no matter
+// how many pairs the system has, and — because shard boundaries depend only
+// on the pair count (pairsPerShard), never on the worker count — makes the
+// reduction order, and therefore every bit of the result, independent of
+// scheduling. The warm-rebuild path of Phase1 runs exactly this fold against
+// a cached factorization, so its right-hand sides match the from-scratch
+// build bit for bit.
+//
+// When kept is non-nil (length npairs) the fold additionally records which
+// packed pair indices survived the negative-covariance policy — shards own
+// disjoint ranges, so the concurrent writes are race-free. The cold build
+// hands this bitmap to the Gram pass under DropNegativeCov.
+func accumulateRHSInto(dst []float64, rm *topology.RoutingMatrix, cov stats.CovView, opts VarianceOptions, workers int, kept []bool) int {
 	nc := rm.NumLinks()
 	npairs := rm.NumPairs()
 	if npairs == 0 {
-		return NewGram(nc)
+		return 0
 	}
-	workers := opts.shardWorkers(npairs)
 	shards := (npairs + pairsPerShard - 1) / pairsPerShard
-	gr := NewGram(nc)
-	// Shards are processed in fixed-size windows: workers fan out within a
-	// window, then the window's right-hand sides fold into the result in
-	// shard order before the next window starts. This bounds the rhs
-	// staging memory at window·nc floats no matter how many pairs the
-	// system has, while keeping the global reduction order — and therefore
-	// the result — exactly the shard index order.
 	window := min(shards, rhsWindowShards)
-	rhsBacking := make([]float64, window*nc)
+	staging := make([]float64, window*nc)
 	shardN := make([]int, shards)
-	// doShard folds the equations of shard s into the caller's private G
-	// and the shard's staging slot in the current window.
-	doShard := func(g *linalg.Dense, s int, rhs []float64) {
+	doShard := func(s int, rhs []float64) {
 		lo := s * pairsPerShard
 		hi := min(lo+pairsPerShard, npairs)
 		for i := range rhs {
 			rhs[i] = 0 // slots are reused across windows
 		}
 		n := 0
+		p := lo // packed pair index of the current visit
 		rm.VisitPairSupports(lo, hi, func(i, j int, support []int32) {
+			p++
 			if len(support) == 0 {
 				return
 			}
@@ -318,42 +364,122 @@ func accumulateGram(rm *topology.RoutingMatrix, cov *stats.CovAccumulator, opts 
 			if !keep {
 				return
 			}
+			if kept != nil {
+				kept[p-1] = true
+			}
 			n++
 			for _, k := range support {
 				rhs[k] += sigma
+			}
+		})
+		shardN[s] = n
+	}
+	total := 0
+	for base := 0; base < shards; base += window {
+		count := min(window, shards-base)
+		par.Do(workers, count, func(_, i int) {
+			doShard(base+i, staging[i*nc:(i+1)*nc])
+		})
+		for i := 0; i < count; i++ {
+			for k, v := range staging[i*nc : (i+1)*nc] {
+				dst[k] += v
+			}
+			total += shardN[base+i]
+		}
+	}
+	return total
+}
+
+// accumulateGramInto folds the support outer-products of every kept equation
+// into the single shared matrix g (nc×nc, assumed zeroed) — the row-banded
+// reduction that replaces per-worker private AᵀA copies: peak Gram memory is
+// nc² + O(workers) floats instead of workers·nc².
+//
+// Each worker owns a contiguous band of G's rows (virtual links) and walks
+// the whole pair stream, writing only the rows of each support that fall in
+// its band — so writers never overlap and no merge is needed. The band
+// boundaries are balanced by the per-link pair counts t·(t+1)/2 (the number
+// of equations whose support contains the link), which is proportional to
+// the row's write traffic. Every entry of G is a small integer count, so the
+// result is exact — bit-identical for any worker count or band layout.
+//
+// kept, when non-nil, is the packed-pair bitmap of equations that survived
+// the negative-covariance policy, as recorded by accumulateRHSInto —
+// DropNegativeCov is the one policy whose kept set depends on the data. A
+// nil kept means every equation survives (clamp/keep), making G a pure
+// function of the topology — which is what Phase1's cached cold build
+// relies on.
+func accumulateGramInto(g *linalg.Dense, rm *topology.RoutingMatrix, kept []bool, workers int) {
+	npairs := rm.NumPairs()
+	if npairs == 0 {
+		return
+	}
+	bands := gramBands(rm, workers)
+	par.Do(len(bands)-1, len(bands)-1, func(_, w int) {
+		lo, hi := bands[w], bands[w+1]
+		if lo >= hi {
+			return
+		}
+		p := 0 // packed pair index of the current visit
+		rm.VisitPairSupports(0, npairs, func(i, j int, support []int32) {
+			p++
+			if len(support) == 0 || (kept != nil && !kept[p-1]) {
+				return
+			}
+			// Select the slice of the (sorted) support inside this band.
+			a := 0
+			for a < len(support) && int(support[a]) < lo {
+				a++
+			}
+			b := a
+			for b < len(support) && int(support[b]) < hi {
+				b++
+			}
+			for _, k := range support[a:b] {
 				rowk := g.Row(int(k))
 				for _, l := range support {
 					rowk[l]++
 				}
 			}
 		})
-		shardN[s] = n
+	})
+}
+
+// gramBands partitions the virtual links [0, nc) into min(workers, nc)
+// contiguous bands with roughly equal Gram write traffic, estimated per link
+// as t·(t+1)/2 (t = paths through the link): the number of augmented
+// equations whose support contains it.
+func gramBands(rm *topology.RoutingMatrix, workers int) []int {
+	nc := rm.NumLinks()
+	if workers < 1 {
+		workers = 1
 	}
-	// Workers beyond the first fold into lazily-allocated private G copies,
-	// merged once at the end — exact regardless of order (integer counts).
-	// Worker 0 writes straight into the result to save one nc×nc copy.
-	// par.Do guarantees each worker index is owned by one goroutine.
-	partG := make([]*linalg.Dense, workers)
-	partG[0] = gr.g
-	for base := 0; base < shards; base += window {
-		count := min(window, shards-base)
-		par.Do(workers, count, func(w, i int) {
-			if partG[w] == nil {
-				partG[w] = linalg.NewDense(nc, nc)
-			}
-			doShard(partG[w], base+i, rhsBacking[i*nc:(i+1)*nc])
-		})
-		for i := 0; i < count; i++ {
-			for k, v := range rhsBacking[i*nc : (i+1)*nc] {
-				gr.rhs[k] += v
-			}
-			gr.n += shardN[base+i]
+	if workers > nc {
+		workers = nc
+	}
+	if workers == 1 {
+		return []int{0, nc}
+	}
+	var total float64
+	weight := make([]float64, nc)
+	for k := 0; k < nc; k++ {
+		t := float64(len(rm.PathsThrough(k)))
+		weight[k] = t * (t + 1) / 2
+		total += weight[k]
+	}
+	bands := make([]int, workers+1)
+	bands[workers] = nc
+	cum := 0.0
+	next := 1
+	for k := 0; k < nc && next < workers; k++ {
+		cum += weight[k]
+		for next < workers && cum >= total*float64(next)/float64(workers) {
+			bands[next] = k + 1
+			next++
 		}
 	}
-	for _, g := range partG[1:] {
-		if g != nil {
-			gr.g.AddMat(g)
-		}
+	for ; next < workers; next++ {
+		bands[next] = nc
 	}
-	return gr
+	return bands
 }

@@ -90,20 +90,37 @@ func (c *Cholesky) Solve(b []float64) []float64 {
 
 // SolveTo solves G·x = b into dst without allocating beyond the
 // factorization's lazily-created scratch workspace. Because that workspace
-// is reused, a Cholesky value must not be shared by concurrent solvers.
+// is reused, a Cholesky value must not be shared by concurrent solvers —
+// use SolveWith with per-caller workspaces to share one factor.
 // dst and b may alias.
 func (c *Cholesky) SolveTo(dst, b []float64) {
+	if c.work == nil {
+		c.work = make([]float64, c.n)
+	}
+	c.SolveWith(dst, b, c.work)
+}
+
+// Dim returns the order n of the factored matrix.
+func (c *Cholesky) Dim() int { return c.n }
+
+// SolveWith solves G·x = b into dst using the caller-provided workspace
+// (length n). It touches no state shared between calls, so one cached
+// factorization may be shared by any number of concurrent solvers as long
+// as each brings its own dst and work — this is what lets a long-running
+// engine reuse the topology-only factor across rebuilds without locking.
+// dst and b may alias; work must not alias either.
+func (c *Cholesky) SolveWith(dst, b, work []float64) {
 	if len(b) != c.n {
 		panic(fmt.Sprintf("linalg: Cholesky.Solve rhs length %d != %d", len(b), c.n))
 	}
 	if len(dst) != c.n {
 		panic(fmt.Sprintf("linalg: Cholesky.SolveTo dst length %d != %d", len(dst), c.n))
 	}
-	if c.work == nil {
-		c.work = make([]float64, c.n)
+	if len(work) != c.n {
+		panic(fmt.Sprintf("linalg: Cholesky.SolveWith workspace length %d != %d", len(work), c.n))
 	}
 	// Forward substitution L·y = b.
-	y := c.work
+	y := work
 	for i := 0; i < c.n; i++ {
 		row := c.l.Row(i)
 		y[i] = (b[i] - DotUnrolled(row[:i], y)) / row[i]

@@ -10,6 +10,62 @@ import (
 	"sort"
 )
 
+// CovView is the read-only covariance surface the Phase-1 estimators
+// consume: the dimension, the number of samples behind the moments, and the
+// pairwise covariances Σ̂ᵢⱼ. Every moment accumulator in this package
+// implements it, as does the frozen CovSnapshot their View methods return.
+type CovView interface {
+	// Dim returns the vector dimension (the path count np).
+	Dim() int
+	// Count returns the number of snapshots the moments currently cover.
+	Count() int
+	// Cov returns the sample covariance between coordinates i and j. It may
+	// panic when Count() < 2.
+	Cov(i, j int) float64
+}
+
+// MomentAccumulator is the write side shared by the cumulative, windowed and
+// decaying second-order accumulators: fold snapshots in with Add, hand the
+// solvers a frozen CovView with View. Implementations are not safe for
+// concurrent use; callers (e.g. lia.Engine) serialise externally.
+type MomentAccumulator interface {
+	CovView
+	// Add folds one snapshot vector into the moments.
+	Add(y []float64)
+	// View returns an immutable snapshot of exactly the state a covariance
+	// read needs (the packed co-moment triangle and its divisor) — much
+	// cheaper than cloning the whole accumulator, and safe to read
+	// concurrently with further Adds on the parent.
+	View() *CovSnapshot
+}
+
+// CovSnapshot is a frozen CovView: the packed upper-triangular co-moment
+// sums and the divisor that turns them into covariances. It shares no state
+// with the accumulator it came from.
+type CovSnapshot struct {
+	dim   int
+	n     int
+	div   float64 // covariance divisor (n−1, or the effective weight analog)
+	comom []float64
+}
+
+// Dim returns the vector dimension.
+func (s *CovSnapshot) Dim() int { return s.dim }
+
+// Count returns the number of snapshots behind the moments.
+func (s *CovSnapshot) Count() int { return s.n }
+
+// Cov returns the sample covariance between coordinates i ≤ j.
+func (s *CovSnapshot) Cov(i, j int) float64 {
+	if s.n < 2 {
+		panic("stats: covariance needs at least 2 snapshots")
+	}
+	if j < i {
+		i, j = j, i
+	}
+	return s.comom[triIndex(i, j, s.dim)] / s.div
+}
+
 // CovAccumulator builds the empirical covariance matrix Σ̂ of the per-path
 // log transmission rates incrementally, one snapshot vector at a time, using
 // a numerically stable streaming update (Welford generalized to
@@ -43,22 +99,28 @@ func (c *CovAccumulator) Add(y []float64) {
 		panic(fmt.Sprintf("stats: Add vector of length %d to %d-dim accumulator", len(y), c.dim))
 	}
 	c.n++
-	// delta before mean update, delta2 after: comom += delta_i * delta2_j.
-	// The scratch buffer keeps the snapshot fold allocation-free — it sits
-	// on the Phase-1 ingest path, called once per snapshot.
-	inv := 1 / float64(c.n)
-	delta := c.delta
+	welfordFold(c.mean, c.comom, c.delta, y, 1/float64(c.n), c.dim)
+}
+
+// welfordFold applies one streaming Welford step with new-sample weight inv
+// (1/count for uniform weights): delta before the mean update, delta2 after,
+// comom += delta_i · delta2_j. It is the single fold shared by the
+// cumulative, windowed and decaying accumulators, so their arithmetic — and
+// therefore their documented bit-level agreement — cannot drift apart. The
+// caller-owned delta scratch keeps the fold allocation-free; it sits on the
+// Phase-1 ingest path, called once per snapshot.
+func welfordFold(mean, comom, delta, y []float64, inv float64, dim int) {
 	for i, v := range y {
-		delta[i] = v - c.mean[i]
+		delta[i] = v - mean[i]
 	}
-	for i := range c.mean {
-		c.mean[i] += delta[i] * inv
+	for i := range mean {
+		mean[i] += delta[i] * inv
 	}
-	for i := 0; i < c.dim; i++ {
+	for i := 0; i < dim; i++ {
 		di := delta[i]
-		base := triIndex(i, i, c.dim)
-		for j := i; j < c.dim; j++ {
-			c.comom[base+(j-i)] += di * (y[j] - c.mean[j])
+		base := triIndex(i, i, dim)
+		for j := i; j < dim; j++ {
+			comom[base+(j-i)] += di * (y[j] - mean[j])
 		}
 	}
 }
@@ -77,6 +139,19 @@ func (c *CovAccumulator) Clone() *CovAccumulator {
 		mean:  append([]float64(nil), c.mean...),
 		comom: append([]float64(nil), c.comom...),
 		delta: make([]float64, c.dim),
+	}
+}
+
+// View returns a frozen snapshot of the covariance state: the co-moment
+// triangle and divisor, without the mean or scratch buffers. The Phase-1
+// right-hand-side fold reads nothing else, so this is what lia.Engine
+// captures under its ingest lock instead of cloning the whole accumulator.
+func (c *CovAccumulator) View() *CovSnapshot {
+	return &CovSnapshot{
+		dim:   c.dim,
+		n:     c.n,
+		div:   float64(c.n - 1),
+		comom: append([]float64(nil), c.comom...),
 	}
 }
 

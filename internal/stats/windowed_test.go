@@ -1,0 +1,171 @@
+package stats
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+)
+
+func randVecs(seed uint64, n, dim int, scale float64) [][]float64 {
+	rng := rand.New(rand.NewPCG(seed, seed^0xFEED))
+	ys := make([][]float64, n)
+	for t := range ys {
+		y := make([]float64, dim)
+		for i := range y {
+			y[i] = scale * rng.NormFloat64()
+		}
+		ys[t] = y
+	}
+	return ys
+}
+
+// TestWindowedBelowCapacityMatchesCumulative: until the ring wraps, the
+// windowed accumulator performs exactly the cumulative Welford update, so
+// the two must agree bit for bit.
+func TestWindowedBelowCapacityMatchesCumulative(t *testing.T) {
+	const dim, n = 7, 12
+	ys := randVecs(3, n, dim, 0.02)
+	win := NewWindowedCovAccumulator(dim, n) // capacity == sample count: never wraps
+	cum := NewCovAccumulator(dim)
+	for _, y := range ys {
+		win.Add(y)
+		cum.Add(y)
+	}
+	for i := 0; i < dim; i++ {
+		for j := i; j < dim; j++ {
+			if win.Cov(i, j) != cum.Cov(i, j) {
+				t.Fatalf("Cov(%d,%d): windowed %g != cumulative %g", i, j, win.Cov(i, j), cum.Cov(i, j))
+			}
+		}
+	}
+}
+
+// TestWindowedMatchesFresh: after wrapping, the windowed moments must match
+// a fresh accumulator fed only the last `window` snapshots, up to the
+// rounding error of the reverse-Welford removals.
+func TestWindowedMatchesFresh(t *testing.T) {
+	const dim, window, total = 9, 25, 140
+	ys := randVecs(11, total, dim, 0.05)
+	win := NewWindowedCovAccumulator(dim, window)
+	for _, y := range ys {
+		win.Add(y)
+	}
+	if win.Count() != window {
+		t.Fatalf("Count = %d, want %d", win.Count(), window)
+	}
+	fresh := NewCovAccumulator(dim)
+	for _, y := range ys[total-window:] {
+		fresh.Add(y)
+	}
+	for i := 0; i < dim; i++ {
+		if d := math.Abs(win.Mean()[i] - fresh.Mean()[i]); d > 1e-12 {
+			t.Fatalf("mean[%d]: windowed %g, fresh %g", i, win.Mean()[i], fresh.Mean()[i])
+		}
+		for j := i; j < dim; j++ {
+			a, b := win.Cov(i, j), fresh.Cov(i, j)
+			if d := math.Abs(a - b); d > 1e-12+1e-9*math.Abs(b) {
+				t.Fatalf("Cov(%d,%d): windowed %g, fresh %g (Δ=%g)", i, j, a, b, d)
+			}
+		}
+	}
+}
+
+// TestWindowedTracksRegimeChange: a window over the recent past must reflect
+// a variance regime change the cumulative accumulator still averages away.
+func TestWindowedTracksRegimeChange(t *testing.T) {
+	const dim, window = 1, 40
+	rng := rand.New(rand.NewPCG(5, 6))
+	win := NewWindowedCovAccumulator(dim, window)
+	cum := NewCovAccumulator(dim)
+	feed := func(n int, sigma float64) {
+		for t := 0; t < n; t++ {
+			y := []float64{sigma * rng.NormFloat64()}
+			win.Add(y)
+			cum.Add(y)
+		}
+	}
+	feed(400, 1.0)  // old quiet-ish regime
+	feed(100, 10.0) // new loud regime (covers the whole window)
+	wantVar := 100.0
+	if v := win.Cov(0, 0); math.Abs(v-wantVar) > 0.6*wantVar {
+		t.Fatalf("windowed variance %g, want ≈ %g", v, wantVar)
+	}
+	if v := cum.Cov(0, 0); v > 0.5*wantVar {
+		t.Fatalf("cumulative variance %g should lag far below %g", v, wantVar)
+	}
+}
+
+// TestDecayLambdaOneMatchesCumulative: λ = 1 degenerates to the cumulative
+// accumulator exactly (same arithmetic, same divisor), bit for bit.
+func TestDecayLambdaOneMatchesCumulative(t *testing.T) {
+	const dim, n = 6, 50
+	ys := randVecs(21, n, dim, 0.03)
+	dec := NewDecayCovAccumulator(dim, 1)
+	cum := NewCovAccumulator(dim)
+	for _, y := range ys {
+		dec.Add(y)
+		cum.Add(y)
+	}
+	for i := 0; i < dim; i++ {
+		for j := i; j < dim; j++ {
+			if dec.Cov(i, j) != cum.Cov(i, j) {
+				t.Fatalf("Cov(%d,%d): decayed %g != cumulative %g", i, j, dec.Cov(i, j), cum.Cov(i, j))
+			}
+		}
+	}
+}
+
+// TestDecayTracksRegimeChange: with λ < 1 the effective memory is finite, so
+// the decayed variance converges to a new regime.
+func TestDecayTracksRegimeChange(t *testing.T) {
+	rng := rand.New(rand.NewPCG(7, 8))
+	dec := NewDecayCovAccumulator(1, 0.9) // effective memory ≈ 10 snapshots
+	for t := 0; t < 300; t++ {
+		dec.Add([]float64{rng.NormFloat64()})
+	}
+	for t := 0; t < 100; t++ {
+		dec.Add([]float64{10 * rng.NormFloat64()})
+	}
+	if v := dec.Cov(0, 0); v < 30 {
+		t.Fatalf("decayed variance %g has not tracked the 100-variance regime", v)
+	}
+	if ec := dec.EffectiveCount(); math.Abs(ec-10) > 0.5 {
+		t.Fatalf("effective count %g, want ≈ 1/(1−λ) = 10", ec)
+	}
+}
+
+// TestViewIsFrozen: a View must not observe later Adds, and must reproduce
+// the covariances it was taken at exactly.
+func TestViewIsFrozen(t *testing.T) {
+	const dim = 5
+	ys := randVecs(31, 20, dim, 0.04)
+	for name, acc := range map[string]MomentAccumulator{
+		"cumulative": NewCovAccumulator(dim),
+		"windowed":   NewWindowedCovAccumulator(dim, 8),
+		"decay":      NewDecayCovAccumulator(dim, 0.95),
+	} {
+		for _, y := range ys[:10] {
+			acc.Add(y)
+		}
+		view := acc.View()
+		want := make([]float64, dim*dim)
+		for i := 0; i < dim; i++ {
+			for j := 0; j < dim; j++ {
+				want[i*dim+j] = acc.Cov(i, j)
+			}
+		}
+		for _, y := range ys[10:] {
+			acc.Add(y)
+		}
+		if view.Count() != 10 && name == "cumulative" {
+			t.Fatalf("%s: view count %d, want 10", name, view.Count())
+		}
+		for i := 0; i < dim; i++ {
+			for j := 0; j < dim; j++ {
+				if view.Cov(i, j) != want[i*dim+j] {
+					t.Fatalf("%s: view Cov(%d,%d) drifted after Add", name, i, j)
+				}
+			}
+		}
+	}
+}

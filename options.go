@@ -1,6 +1,12 @@
 package lia
 
-import "lia/internal/core"
+import (
+	"errors"
+	"fmt"
+
+	"lia/internal/core"
+	"lia/internal/stats"
+)
 
 // Strategy selects the Phase-2 column-elimination rule (§5.2).
 type Strategy = core.Elimination
@@ -65,7 +71,32 @@ const DefaultThreshold = core.CongestionThreshold
 // settings is the private option sink; Option values are only constructible
 // through the With* functions, keeping the surface closed for extension.
 type settings struct {
-	opts core.Options
+	opts     core.Options
+	window   int
+	decay    float64
+	decaySet bool
+}
+
+// newAccumulator builds the moment accumulator the options select:
+// cumulative by default, sliding-window with WithWindow, exponentially
+// decayed with WithDecay.
+func (s *settings) newAccumulator(dim int) (stats.MomentAccumulator, error) {
+	switch {
+	case s.window != 0 && s.decaySet:
+		return nil, errors.New("lia: WithWindow and WithDecay are mutually exclusive")
+	case s.window != 0:
+		if s.window < 2 {
+			return nil, fmt.Errorf("lia: moment window %d must be at least 2 snapshots", s.window)
+		}
+		return stats.NewWindowedCovAccumulator(dim, s.window), nil
+	case s.decaySet:
+		if !(s.decay > 0 && s.decay <= 1) {
+			return nil, fmt.Errorf("lia: decay factor %g outside (0, 1]", s.decay)
+		}
+		return stats.NewDecayCovAccumulator(dim, s.decay), nil
+	default:
+		return stats.NewCovAccumulator(dim), nil
+	}
 }
 
 // Option configures an Engine at construction.
@@ -107,4 +138,25 @@ func WithVarianceMethod(m VarianceMethod) Option {
 // WithNegCovPolicy selects the treatment of negative measured covariances.
 func WithNegCovPolicy(p NegCovPolicy) Option {
 	return func(s *settings) { s.opts.Variance.NegPolicy = p }
+}
+
+// WithWindow makes the engine's second-order moments cover only the most
+// recent n learning snapshots (a sliding window over a retained ring of raw
+// vectors, removed exactly as new snapshots arrive), instead of the default
+// cumulative average over all history. Long-running engines use this so
+// Phase 1 tracks congestion regime changes; n trades responsiveness against
+// estimation noise (the paper's experiments use 50–several hundred
+// snapshots). n must be at least 2; memory grows by n·np floats.
+// Mutually exclusive with WithDecay.
+func WithWindow(n int) Option {
+	return func(s *settings) { s.window = n }
+}
+
+// WithDecay exponentially decays the engine's second-order moments: before
+// each new snapshot folds in, all previous mass is multiplied by
+// lambda ∈ (0, 1], giving an effective memory of ≈ 1/(1−lambda) snapshots
+// with O(1) extra state (no retained vectors). lambda = 1 is exactly the
+// default cumulative behaviour. Mutually exclusive with WithWindow.
+func WithDecay(lambda float64) Option {
+	return func(s *settings) { s.decay, s.decaySet = lambda, true }
 }

@@ -23,7 +23,7 @@ type Watcher struct {
 
 	mu      sync.Mutex
 	learner *core.IncrementalLearner
-	cov     *stats.CovAccumulator
+	cov     stats.CovView
 	active  []bool
 }
 
@@ -31,7 +31,7 @@ type Watcher struct {
 // requires at least two ingested snapshots (ErrTooFewSnapshots otherwise).
 func (e *Engine) Watch() (*Watcher, error) {
 	e.mu.Lock()
-	cov := e.acc.Clone()
+	cov := e.acc.View()
 	e.mu.Unlock()
 	learner, err := core.NewIncrementalLearner(e.rm, cov, e.opts.Variance)
 	if err != nil {
@@ -72,7 +72,7 @@ func (w *Watcher) Reactivate(path int) error {
 // maintained system over them, preserving the current active set.
 func (w *Watcher) Refresh() error {
 	w.eng.mu.Lock()
-	cov := w.eng.acc.Clone()
+	cov := w.eng.acc.View()
 	w.eng.mu.Unlock()
 	learner, err := core.NewIncrementalLearner(w.eng.rm, cov, w.eng.opts.Variance)
 	if err != nil {
