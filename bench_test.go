@@ -14,9 +14,11 @@
 package lia_test
 
 import (
+	"context"
 	"math/rand/v2"
 	"testing"
 
+	"lia"
 	"lia/internal/core"
 	"lia/internal/experiments"
 	"lia/internal/linalg"
@@ -561,6 +563,63 @@ func BenchmarkEngineRebuild(b *testing.B) {
 			if _, err := p1.Estimate(acc); err != nil {
 				b.Fatal(err)
 			}
+		}
+	})
+}
+
+// BenchmarkEngineEpochRebuild measures the full per-epoch cost of a
+// long-running serving engine at the 600-path scale: one Ingest plus the
+// lazy state rebuild an inference then pays (warm Phase-1 estimate +
+// Phase-2). With the ordering-keyed elimination cache the Phase-2 rank
+// search — which dominates warm rebuilds — is skipped whenever one more
+// snapshot leaves the variance ordering unchanged; the "eliminate" sub-bench
+// reports what each cache hit saves. The benchmark asserts every timed
+// rebuild actually hit the cache.
+func BenchmarkEngineEpochRebuild(b *testing.B) {
+	rm, acc := benchRebuildWorkload(b)
+	ctx := context.Background()
+	rng := rand.New(rand.NewPCG(43, 7))
+	y := make([]float64, rm.NumPaths())
+	for i := range y {
+		y[i] = -1e-4 * rng.Float64()
+	}
+	eng, err := lia.NewEngine(rm)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for t := 0; t < 60; t++ {
+		if err := eng.Ingest(y); err != nil { // content is irrelevant to the timing
+			b.Fatal(err)
+		}
+	}
+	if _, err := eng.Variances(ctx); err != nil {
+		b.Fatal(err)
+	}
+	b.Run("reuse", func(b *testing.B) {
+		before := eng.Stats()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if err := eng.Ingest(y); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := eng.Variances(ctx); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		after := eng.Stats()
+		if got := after.ElimReuses - before.ElimReuses; got != uint64(b.N) {
+			b.Fatalf("elimination cache hit %d of %d rebuilds", got, b.N)
+		}
+	})
+	b.Run("eliminate", func(b *testing.B) {
+		vars, err := core.EstimateVariances(rm, acc, core.VarianceOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			core.EliminateWorkers(rm, vars, core.EliminatePaperSequential, 0)
 		}
 	})
 }

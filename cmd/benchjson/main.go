@@ -9,8 +9,10 @@
 //
 // Each benchmark line ("BenchmarkX-8  120  9255 ns/op  12 B/op  3 allocs/op
 // 0.98 DR") becomes one record with the iteration count and every reported
-// metric keyed by its unit; the goos/goarch/pkg/cpu header lines become the
-// environment block.
+// metric keyed by its unit; the goos/goarch/cpu header lines become the
+// environment block. Multi-package streams (`go test -bench . ./pkg1
+// ./pkg2`) are supported: each bench record carries the "pkg" header it
+// appeared under, so one BENCH.json can hold the whole module's results.
 package main
 
 import (
@@ -29,6 +31,7 @@ type report struct {
 
 type bench struct {
 	Name       string             `json:"name"`
+	Pkg        string             `json:"pkg,omitempty"` // package the bench ran in
 	Iterations int64              `json:"iterations"`
 	Metrics    map[string]float64 `json:"metrics"` // unit -> value (e.g. "ns/op")
 }
@@ -37,20 +40,34 @@ func main() {
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
 	rep := report{Env: map[string]string{}}
+	pkg := ""
+	pkgs := map[string]bool{}
 	for sc.Scan() {
 		line := strings.TrimSpace(sc.Text())
 		switch {
 		case line == "":
 			continue
+		case strings.HasPrefix(line, "pkg:"):
+			// Package headers repeat per package in a multi-package run;
+			// track the current one and stamp it on each bench record.
+			_, val, _ := strings.Cut(line, ":")
+			pkg = strings.TrimSpace(val)
+			pkgs[pkg] = true
 		case strings.HasPrefix(line, "goos:"), strings.HasPrefix(line, "goarch:"),
-			strings.HasPrefix(line, "pkg:"), strings.HasPrefix(line, "cpu:"):
+			strings.HasPrefix(line, "cpu:"):
 			key, val, _ := strings.Cut(line, ":")
 			rep.Env[key] = strings.TrimSpace(val)
 		case strings.HasPrefix(line, "Benchmark"):
 			if b, ok := parseBench(line); ok {
+				b.Pkg = pkg
 				rep.Benches = append(rep.Benches, b)
 			}
 		}
+	}
+	// env.pkg only describes a single-package stream; in multi-package runs
+	// the per-record pkg fields carry the attribution.
+	if len(pkgs) == 1 {
+		rep.Env["pkg"] = pkg
 	}
 	if err := sc.Err(); err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)

@@ -1,0 +1,19 @@
+package main
+
+import "testing"
+
+func TestParseBench(t *testing.T) {
+	b, ok := parseBench("BenchmarkServerInfer-8   52452   44019 ns/op   14491 B/op   123 allocs/op")
+	if !ok {
+		t.Fatal("line did not parse")
+	}
+	if b.Name != "BenchmarkServerInfer-8" || b.Iterations != 52452 {
+		t.Fatalf("parsed %+v", b)
+	}
+	if b.Metrics["ns/op"] != 44019 || b.Metrics["allocs/op"] != 123 {
+		t.Fatalf("metrics %v", b.Metrics)
+	}
+	if _, ok := parseBench("BenchmarkBroken-8 not-a-number ns/op"); ok {
+		t.Fatal("malformed line must not parse")
+	}
+}

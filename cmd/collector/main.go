@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"log"
@@ -37,15 +38,14 @@ func main() {
 
 	enc := json.NewEncoder(os.Stdout)
 	for snap := 0; snap < *snapshots; snap++ {
-		if _, err := coll.WaitSnapshot(snap, *paths, *timeout); err != nil {
+		// The settle wait runs after completion, so it gets its own budget
+		// on top of the completion timeout (as the old WaitSnapshot + Sleep
+		// sequence behaved).
+		ctx, cancel := context.WithTimeout(context.Background(), *timeout+*settle)
+		frac, err := coll.AwaitSnapshot(ctx, snap, *paths, *settle)
+		cancel()
+		if err != nil {
 			log.Fatalf("collector: %v", err)
-		}
-		// Beacons report sent counts immediately; sinks report received
-		// counts on a timer. Give the merge a settle window before emitting.
-		time.Sleep(*settle)
-		frac, ok := coll.Snapshot(snap, *paths)
-		if !ok {
-			log.Fatalf("collector: snapshot %d regressed", snap)
 		}
 		if err := enc.Encode(map[string]interface{}{"snapshot": snap, "frac": frac}); err != nil {
 			log.Fatalf("collector: %v", err)

@@ -1,0 +1,318 @@
+// Command liaserve runs the inference engine as a long-lived HTTP service:
+// learning snapshots stream in continuously (over HTTP, from a live
+// collector listener, from an NDJSON file, or from the built-in simulator)
+// and per-link loss estimates are queryable at any moment.
+//
+//	liaserve -listen 127.0.0.1:8420 -topo default=topo.json \
+//	         -collect default=127.0.0.1:7000
+//
+// starts one engine over the topology document (the liainfer -topo schema:
+// {"probes": N, "paths": [{"beacon","dst","links"}]}) and accepts
+// beacon/sink reports on :7000 — `collector | liainfer` as one process.
+// Repeat -topo to serve several topologies; the first is the default one
+// addressed by the unprefixed /v1 routes, the rest live under
+// /v1/topologies/{name}/. Query with:
+//
+//	curl localhost:8420/v1/links
+//	curl localhost:8420/v1/status
+//	curl -d '{"frac": [0.98, 1.0, ...]}' localhost:8420/v1/infer
+//
+// SIGINT/SIGTERM drain in-flight requests and stop background ingestion
+// before exiting.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"lia"
+	"lia/serve"
+)
+
+// topoDoc is the topology file schema (liainfer's -topo document; any
+// "snapshots" field is ignored).
+type topoDoc struct {
+	Probes int `json:"probes"`
+	Paths  []struct {
+		Beacon int   `json:"beacon"`
+		Dst    int   `json:"dst"`
+		Links  []int `json:"links"`
+	} `json:"paths"`
+}
+
+// multiFlag collects repeatable name=value flags.
+type multiFlag []string
+
+func (m *multiFlag) String() string     { return strings.Join(*m, ",") }
+func (m *multiFlag) Set(v string) error { *m = append(*m, v); return nil }
+
+// splitSpec parses a "name=value" flag occurrence; a bare value gets the
+// default topology name.
+func splitSpec(spec string) (name, value string) {
+	if i := strings.IndexByte(spec, '='); i >= 0 {
+		return spec[:i], spec[i+1:]
+	}
+	return "default", spec
+}
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintf(os.Stderr, "liaserve: %v\n", err)
+		os.Exit(2)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("liaserve", flag.ContinueOnError)
+	var (
+		listen  = fs.String("listen", "127.0.0.1:8420", "HTTP listen address")
+		topos   multiFlag
+		collect multiFlag
+		streams multiFlag
+		sims    multiFlag
+
+		rebuildEvery    = fs.Int("rebuild-every", serve.DefaultRebuildEvery, "rebuild the served state after this many new snapshots (negative disables)")
+		rebuildInterval = fs.Duration("rebuild-interval", 5*time.Second, "also rebuild a stale state at least this often (0 disables)")
+
+		window   = fs.Int("window", 0, "sliding moment window in snapshots (0 = cumulative)")
+		decay    = fs.Float64("decay", 0, "exponential moment decay factor in (0,1] (0 = cumulative)")
+		workers  = fs.Int("workers", 0, "phase-1/phase-2 goroutines (0 = GOMAXPROCS)")
+		strategy = fs.String("strategy", "paper", "phase-2 elimination: paper or greedy")
+		tl       = fs.Float64("tl", lia.DefaultThreshold, "congestion threshold")
+
+		settle      = fs.Duration("settle", 1500*time.Millisecond, "collector settle window after snapshot completion")
+		snapTimeout = fs.Duration("snapshot-timeout", 2*time.Minute, "collector per-snapshot completion timeout")
+		simSeed     = fs.Uint64("sim-seed", 1, "simulator source seed")
+
+		shutdownGrace = fs.Duration("shutdown-grace", 10*time.Second, "drain window for in-flight requests on SIGINT/SIGTERM")
+	)
+	fs.Var(&topos, "topo", "topology to serve, as name=file.json (repeatable; first is the default)")
+	fs.Var(&collect, "collect", "live collector listener, as name=host:port (repeatable)")
+	fs.Var(&streams, "stream", "NDJSON snapshot file source, as name=file (repeatable)")
+	fs.Var(&sims, "sim", "built-in simulator source streaming N snapshots (0 = unbounded), as name=N (repeatable)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if len(topos) == 0 {
+		return errors.New("at least one -topo name=file.json is required")
+	}
+	tlSet := false
+	fs.Visit(func(f *flag.Flag) {
+		if f.Name == "tl" {
+			tlSet = true
+		}
+	})
+
+	var opts []lia.Option
+	opts = append(opts, lia.WithWorkers(*workers))
+	switch *strategy {
+	case "paper":
+	case "greedy":
+		opts = append(opts, lia.WithStrategy(lia.StrategyGreedyBasis))
+	default:
+		return fmt.Errorf("unknown -strategy %q", *strategy)
+	}
+	if *window > 0 {
+		opts = append(opts, lia.WithWindow(*window))
+	}
+	if *decay > 0 {
+		opts = append(opts, lia.WithDecay(*decay))
+	}
+	if tlSet {
+		opts = append(opts, lia.WithThreshold(*tl))
+	}
+
+	srv := serve.New(serve.Config{
+		RebuildEvery:    *rebuildEvery,
+		RebuildInterval: *rebuildInterval,
+	})
+
+	type topoState struct {
+		spec    serve.Topology
+		rm      *lia.RoutingMatrix
+		eng     *lia.Engine
+		nPaths  int
+		nProbes int
+		dropped int // fluttering paths removed from the input document
+	}
+	states := make(map[string]*topoState)
+	var order []string
+	for _, spec := range topos {
+		name, file := splitSpec(spec)
+		if _, dup := states[name]; dup {
+			return fmt.Errorf("-topo %s: duplicate topology name", name)
+		}
+		rm, probes, dropped, err := loadTopology(file)
+		if err != nil {
+			return fmt.Errorf("-topo %s: %w", name, err)
+		}
+		eng, err := lia.NewEngine(rm, opts...)
+		if err != nil {
+			return fmt.Errorf("-topo %s: %w", name, err)
+		}
+		states[name] = &topoState{rm: rm, eng: eng, nPaths: rm.NumPaths(), nProbes: probes, dropped: dropped}
+		order = append(order, name)
+	}
+
+	stateFor := func(flagName, spec string) (*topoState, string, error) {
+		name, value := splitSpec(spec)
+		st, ok := states[name]
+		if !ok {
+			return nil, "", fmt.Errorf("-%s %s: unknown topology %q", flagName, spec, name)
+		}
+		return st, value, nil
+	}
+	// Collector reports and NDJSON lines are indexed by the positions in the
+	// input document: if fluttering repair dropped paths, those indices no
+	// longer match the engine's rows and every estimate downstream would be
+	// silently misattributed. Refuse instead of remapping wrongly.
+	externallyIndexed := func(flagName, spec string, st *topoState) error {
+		if st.dropped > 0 {
+			return fmt.Errorf("-%s %s: topology dropped %d fluttering paths, so externally measured "+
+				"path indices no longer match the engine's rows; remove the fluttering paths from "+
+				"the topology file first", flagName, spec, st.dropped)
+		}
+		return nil
+	}
+	var closers []func() error
+	for _, spec := range collect {
+		st, addr, err := stateFor("collect", spec)
+		if err != nil {
+			return err
+		}
+		if err := externallyIndexed("collect", spec, st); err != nil {
+			return err
+		}
+		src, err := serve.NewCollectorSource(addr, serve.CollectorConfig{
+			Paths:   st.nPaths,
+			Probes:  st.nProbes,
+			Settle:  *settle,
+			Timeout: *snapTimeout,
+		})
+		if err != nil {
+			return err
+		}
+		closers = append(closers, src.Close)
+		st.spec.Sources = append(st.spec.Sources, src)
+		log.Printf("liaserve: accepting collector reports on %s (%d paths)", src.Addr(), st.nPaths)
+	}
+	for _, spec := range streams {
+		st, file, err := stateFor("stream", spec)
+		if err != nil {
+			return err
+		}
+		if err := externallyIndexed("stream", spec, st); err != nil {
+			return err
+		}
+		src, err := lia.OpenFileSource(file, st.nProbes)
+		if err != nil {
+			return err
+		}
+		closers = append(closers, src.Close)
+		st.spec.Sources = append(st.spec.Sources, src)
+	}
+	for _, spec := range sims {
+		st, nStr, err := stateFor("sim", spec)
+		if err != nil {
+			return err
+		}
+		n, err := strconv.Atoi(nStr)
+		if err != nil || n < 0 {
+			return fmt.Errorf("-sim %s: snapshot count must be a non-negative integer", spec)
+		}
+		st.spec.Sources = append(st.spec.Sources,
+			lia.NewSimSource(st.rm, lia.SimConfig{Probes: st.nProbes, Seed: *simSeed, Snapshots: n}))
+	}
+	defer func() {
+		for _, c := range closers {
+			_ = c()
+		}
+	}()
+
+	for _, name := range order {
+		st := states[name]
+		st.spec.Engine = st.eng
+		st.spec.Probes = st.nProbes
+		if err := srv.Add(name, st.spec); err != nil {
+			return err
+		}
+		log.Printf("liaserve: topology %s: %d paths, %d virtual links, %d sources",
+			name, st.nPaths, st.rm.NumLinks(), len(st.spec.Sources))
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	runDone := make(chan struct{})
+	go func() {
+		defer close(runDone)
+		_ = srv.Run(ctx)
+	}()
+
+	httpSrv := &http.Server{Addr: *listen, Handler: srv.Handler()}
+	httpDone := make(chan error, 1)
+	go func() { httpDone <- httpSrv.ListenAndServe() }()
+	log.Printf("liaserve: serving on http://%s (default topology %q)", *listen, order[0])
+
+	select {
+	case err := <-httpDone:
+		stop()
+		<-runDone
+		return fmt.Errorf("http server: %w", err)
+	case <-ctx.Done():
+	}
+	log.Printf("liaserve: shutting down (draining for up to %v)", *shutdownGrace)
+	shutCtx, cancel := context.WithTimeout(context.Background(), *shutdownGrace)
+	defer cancel()
+	err := httpSrv.Shutdown(shutCtx)
+	<-runDone
+	if err != nil {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	log.Printf("liaserve: bye")
+	return nil
+}
+
+// loadTopology reads a topology document, repairs fluttering, and builds
+// the reduced routing matrix. It also reports how many input paths the
+// repair dropped, so callers can refuse sources whose path indexing would
+// no longer line up.
+func loadTopology(file string) (*lia.RoutingMatrix, int, int, error) {
+	f, err := os.Open(file)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	var doc topoDoc
+	err = json.NewDecoder(f).Decode(&doc)
+	f.Close()
+	if err != nil {
+		return nil, 0, 0, fmt.Errorf("decode topology: %w", err)
+	}
+	if doc.Probes <= 0 {
+		doc.Probes = 1000
+	}
+	paths := make([]lia.Path, len(doc.Paths))
+	for i, p := range doc.Paths {
+		paths[i] = lia.Path{Beacon: p.Beacon, Dst: p.Dst, Links: p.Links}
+	}
+	paths, droppedIdx := lia.RemoveFluttering(paths)
+	if len(droppedIdx) > 0 {
+		log.Printf("liaserve: dropped %d fluttering paths (T.2): %v", len(droppedIdx), droppedIdx)
+	}
+	rm, err := lia.NewTopology(paths)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	return rm, doc.Probes, len(droppedIdx), nil
+}

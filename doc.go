@@ -46,5 +46,14 @@
 // the packet-level simulator, NewTraceSource adapts recorded received
 // fractions (e.g. the emulated overlay's traces), and NewFileSource /
 // OpenFileSource read newline-delimited measurement files such as the
-// collector's output stream.
+// collector's output stream. Malformed lines in such files surface as
+// *LineError (with the line number) and the stream resumes after them.
+//
+// The lia/serve subpackage runs engines as a monitoring service: an HTTP
+// JSON API (ingest, inference, steady-state link estimates, status,
+// Prometheus metrics) over one or more named topologies, with background
+// source consumption and a periodic rebuild policy — plus a live
+// CollectorSource that accepts the emulated overlay's beacon/sink reports
+// directly. cmd/liaserve is the ready-made binary; Engine.Stats and
+// Engine.Eliminated are the observability hooks it reads.
 package lia

@@ -7,6 +7,7 @@ import (
 	"io"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"lia/internal/core"
 	"lia/internal/stats"
@@ -42,12 +43,23 @@ type Engine struct {
 	opts core.Options
 	p1   *core.Phase1
 
+	// window and decay record the moment configuration (WithWindow /
+	// WithDecay) for observability; the acc itself enforces it.
+	window int
+	decay  float64
+
 	mu    sync.Mutex // guards acc and the epoch advance
 	acc   stats.MomentAccumulator
 	epoch atomic.Uint64 // lifetime snapshots ingested; published by Ingest
 
 	rebuildMu sync.Mutex // single-flights state rebuilds
 	state     atomic.Pointer[phaseState]
+
+	// Observability counters, read by Stats (and liaserve's /v1/status and
+	// /metrics endpoints).
+	rebuilds        atomic.Uint64
+	elimReuses      atomic.Uint64
+	lastRebuildNano atomic.Int64
 }
 
 // phaseState is one immutable Phase-1 result: everything Phase 2 needs that
@@ -55,6 +67,7 @@ type Engine struct {
 type phaseState struct {
 	epoch         uint64 // ingestion epoch the state was computed at
 	vars          []float64
+	order         []int // ascending variance permutation (elimination cache key)
 	kept, removed []int
 }
 
@@ -72,10 +85,12 @@ func NewEngine(rm *RoutingMatrix, options ...Option) (*Engine, error) {
 		return nil, err
 	}
 	return &Engine{
-		rm:   rm,
-		opts: s.opts,
-		p1:   core.NewPhase1(rm, s.opts.Variance),
-		acc:  acc,
+		rm:     rm,
+		opts:   s.opts,
+		p1:     core.NewPhase1(rm, s.opts.Variance),
+		window: s.window,
+		decay:  s.effectiveDecay(),
+		acc:    acc,
 	}, nil
 }
 
@@ -107,11 +122,12 @@ func (e *Engine) Ingest(y []float64) error {
 
 // IngestBatch folds a batch of learning snapshots under one lock
 // acquisition. All vectors are validated before any is folded, so a
-// dimension error leaves the moments untouched.
+// dimension error leaves the moments untouched — the error names the
+// offending batch index and reports zero snapshots ingested.
 func (e *Engine) IngestBatch(ys [][]float64) error {
-	for _, y := range ys {
+	for i, y := range ys {
 		if err := checkDim(e.rm, y); err != nil {
-			return err
+			return fmt.Errorf("lia: batch snapshot %d of %d (0 ingested): %w", i, len(ys), err)
 		}
 	}
 	e.mu.Lock()
@@ -205,13 +221,11 @@ func (e *Engine) currentState(ctx context.Context) (*phaseState, error) {
 	if st := e.state.Load(); st != nil && st.epoch == e.epoch.Load() {
 		return st, nil // a racing caller rebuilt while we waited
 	}
-	e.mu.Lock()
-	view := e.acc.View()
-	epoch := e.epoch.Load() // consistent with view: both under e.mu
-	e.mu.Unlock()
+	view, epoch := e.momentsView()
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	start := time.Now()
 	vars, err := e.p1.Estimate(view)
 	if err != nil {
 		return nil, fmt.Errorf("lia: phase 1: %w", err)
@@ -219,10 +233,136 @@ func (e *Engine) currentState(ctx context.Context) (*phaseState, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	kept, removed := core.EliminateWorkers(e.rm, vars, e.opts.Strategy, e.opts.Variance.Workers)
-	st := &phaseState{epoch: epoch, vars: vars, kept: kept, removed: removed}
+	// Phase-2 elimination cache: both strategies are pure functions of the
+	// ascending-variance permutation (see core.VarianceOrder), so when the
+	// new epoch's ordering matches the previous state's, the kept/removed
+	// partition is reused verbatim — identical, not approximately so, to the
+	// from-scratch elimination. With m snapshots already learned, one more
+	// rarely reorders the variances, and the rank-test search now dominating
+	// warm rebuilds is skipped entirely.
+	order := core.VarianceOrder(vars)
+	var kept, removed []int
+	if prev := e.state.Load(); prev != nil && intsEqual(prev.order, order) {
+		kept, removed = prev.kept, prev.removed
+		e.elimReuses.Add(1)
+	} else {
+		kept, removed = core.EliminateWorkers(e.rm, vars, e.opts.Strategy, e.opts.Variance.Workers)
+	}
+	e.lastRebuildNano.Store(time.Since(start).Nanoseconds())
+	e.rebuilds.Add(1)
+	st := &phaseState{epoch: epoch, vars: vars, order: order, kept: kept, removed: removed}
 	e.state.Store(st)
 	return st, nil
+}
+
+// momentsView snapshots the frozen covariance view and the ingestion epoch
+// it corresponds to, consistently (both under the ingest lock).
+func (e *Engine) momentsView() (*stats.CovSnapshot, uint64) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.acc.View(), e.epoch.Load()
+}
+
+func intsEqual(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i, v := range a {
+		if v != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Stats is a point-in-time observability snapshot of an Engine, the hook
+// behind liaserve's /v1/status and /metrics endpoints. Counters are read
+// individually (not under one lock), so a Stats taken during concurrent
+// ingestion is approximate to within the in-flight operations.
+type Stats struct {
+	// Snapshots is the lifetime number of learning snapshots ingested.
+	Snapshots int
+	// StateEpoch is the ingestion epoch of the cached Phase-1/elimination
+	// state served to Infer, or -1 before the first rebuild.
+	StateEpoch int
+	// EpochLag is Snapshots − StateEpoch: how many ingested snapshots the
+	// cached state has not absorbed yet (0 when fully warm).
+	EpochLag int
+	// Rebuilds counts Phase-1 state recomputations over the engine's life.
+	Rebuilds uint64
+	// ElimReuses counts rebuilds that reused the previous elimination
+	// because the variance ordering was unchanged.
+	ElimReuses uint64
+	// LastRebuild is the duration of the most recent rebuild (Phase 1 +
+	// elimination); 0 before the first.
+	LastRebuild time.Duration
+	// Window is the sliding-window length (WithWindow), 0 when cumulative.
+	Window int
+	// Decay is the per-snapshot decay factor (WithDecay), 0 when unset.
+	Decay float64
+}
+
+// Stats reports the engine's observability counters.
+func (e *Engine) Stats() Stats {
+	s := Stats{
+		Snapshots:   int(e.epoch.Load()),
+		StateEpoch:  -1,
+		Rebuilds:    e.rebuilds.Load(),
+		ElimReuses:  e.elimReuses.Load(),
+		LastRebuild: time.Duration(e.lastRebuildNano.Load()),
+		Window:      e.window,
+		Decay:       e.decay,
+	}
+	if st := e.state.Load(); st != nil {
+		s.StateEpoch = int(st.epoch)
+	}
+	if s.StateEpoch >= 0 {
+		if s.EpochLag = s.Snapshots - s.StateEpoch; s.EpochLag < 0 {
+			s.EpochLag = 0 // counters raced; lag is defined non-negative
+		}
+	} else {
+		s.EpochLag = s.Snapshots
+	}
+	return s
+}
+
+// Eliminated returns the Phase-2 partition of the virtual links at the
+// current ingestion epoch: the kept columns forming the full-column-rank R*
+// and the removed (approximated loss-free) ones. Both slices are the
+// caller's to keep.
+func (e *Engine) Eliminated(ctx context.Context) (kept, removed []int, err error) {
+	st, err := e.currentState(ctx)
+	if err != nil {
+		return nil, nil, err
+	}
+	return append([]int(nil), st.kept...), append([]int(nil), st.removed...), nil
+}
+
+// SteadyState is one consistent view of the engine's cached learning state:
+// the Phase-1 variances and the Phase-2 partition computed from them, with
+// the ingestion epoch they belong to. Unlike separate Variances/Eliminated
+// calls, every field comes from the same internal state — a concurrent
+// ingestion can never mix epochs within it.
+type SteadyState struct {
+	Epoch         int
+	Variances     []float64
+	Kept, Removed []int
+}
+
+// Steady returns the steady-state learning view at the current ingestion
+// epoch (rebuilding it first if learning data arrived). The slices are the
+// caller's to keep.
+func (e *Engine) Steady(ctx context.Context) (*SteadyState, error) {
+	st, err := e.currentState(ctx)
+	if err != nil {
+		return nil, err
+	}
+	return &SteadyState{
+		Epoch:     int(st.epoch),
+		Variances: append([]float64(nil), st.vars...),
+		Kept:      append([]int(nil), st.kept...),
+		Removed:   append([]int(nil), st.removed...),
+	}, nil
 }
 
 // Variances returns the Phase-1 estimates of the per-link variances at the
@@ -260,13 +400,15 @@ func (e *Engine) Infer(ctx context.Context, y []float64) (*Result, error) {
 	}
 	// Copy the cached slices: Results outlive state swaps and callers may
 	// modify them.
-	return core.AssembleResult(
+	res := core.AssembleResult(
 		e.rm, e.opts.Observation,
 		append([]float64(nil), st.vars...),
 		append([]int(nil), st.kept...),
 		append([]int(nil), st.removed...),
 		x,
-	), nil
+	)
+	res.Epoch = int(st.epoch)
+	return res, nil
 }
 
 // InferCongested runs Infer and classifies every virtual link against the

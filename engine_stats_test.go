@@ -1,0 +1,341 @@
+package lia_test
+
+// engine_stats_test.go covers the engine observability hooks behind
+// liaserve's /v1/status endpoint (Stats, Eliminated), the Phase-2
+// elimination cache keyed on the variance ordering, the watcher's
+// staleness/refresh API over windowed moments, and the typed NDJSON line
+// errors of FileSource.
+
+import (
+	"context"
+	"errors"
+	"io"
+	"math"
+	"strings"
+	"testing"
+	"testing/iotest"
+
+	"lia"
+)
+
+// TestEngineStatsElimCache: Stats must track epochs and rebuilds, and a
+// rebuild whose variance ordering matches the previous epoch's must reuse
+// the cached elimination — with results bitwise identical to a from-scratch
+// engine fed the same snapshots.
+func TestEngineStatsElimCache(t *testing.T) {
+	ctx := context.Background()
+	rm, err := lia.NewTopology(apiTreePaths(2, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ys := collectSnapshots(t, rm, 11, 60)
+
+	eng, err := lia.NewEngine(rm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := eng.Stats(); st.Snapshots != 0 || st.StateEpoch != -1 || st.Rebuilds != 0 {
+		t.Fatalf("fresh engine Stats = %+v", st)
+	}
+	if err := eng.IngestBatch(ys); err != nil {
+		t.Fatal(err)
+	}
+	if st := eng.Stats(); st.EpochLag != 60 {
+		t.Fatalf("pre-rebuild EpochLag = %d, want 60", st.EpochLag)
+	}
+	if _, err := eng.Infer(ctx, ys[len(ys)-1]); err != nil {
+		t.Fatal(err)
+	}
+	st := eng.Stats()
+	if st.Snapshots != 60 || st.StateEpoch != 60 || st.EpochLag != 0 {
+		t.Fatalf("post-rebuild Stats = %+v", st)
+	}
+	if st.Rebuilds != 1 || st.LastRebuild <= 0 {
+		t.Fatalf("Rebuilds = %d, LastRebuild = %v", st.Rebuilds, st.LastRebuild)
+	}
+	if st.Window != 0 || st.Decay != 0 {
+		t.Fatalf("cumulative engine reports Window=%d Decay=%g", st.Window, st.Decay)
+	}
+
+	// Doubling the identical campaign leaves the variance ordering intact,
+	// so the second rebuild must hit the elimination cache.
+	if err := eng.IngestBatch(ys); err != nil {
+		t.Fatal(err)
+	}
+	res, err := eng.Infer(ctx, ys[len(ys)-1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	st = eng.Stats()
+	if st.Rebuilds != 2 || st.ElimReuses != 1 {
+		t.Fatalf("after stable-order rebuild: Rebuilds=%d ElimReuses=%d, want 2/1", st.Rebuilds, st.ElimReuses)
+	}
+
+	// From-scratch reference over the same 120 snapshots: the cached
+	// elimination and every inferred value must match bitwise.
+	fresh, err := lia.NewEngine(rm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fresh.IngestBatch(ys); err != nil {
+		t.Fatal(err)
+	}
+	if err := fresh.IngestBatch(ys); err != nil {
+		t.Fatal(err)
+	}
+	wantRes, err := fresh.Infer(ctx, ys[len(ys)-1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	kept, removed, err := eng.Eliminated(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantKept, wantRemoved, err := fresh.Eliminated(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(kept) != len(wantKept) || len(removed) != len(wantRemoved) {
+		t.Fatalf("partition sizes: kept %d/%d removed %d/%d", len(kept), len(wantKept), len(removed), len(wantRemoved))
+	}
+	for i := range kept {
+		if kept[i] != wantKept[i] {
+			t.Fatalf("kept[%d] = %d, from-scratch %d", i, kept[i], wantKept[i])
+		}
+	}
+	for i := range removed {
+		if removed[i] != wantRemoved[i] {
+			t.Fatalf("removed[%d] = %d, from-scratch %d", i, removed[i], wantRemoved[i])
+		}
+	}
+	for k := range wantRes.LossRates {
+		if math.Float64bits(res.LossRates[k]) != math.Float64bits(wantRes.LossRates[k]) ||
+			math.Float64bits(res.Variances[k]) != math.Float64bits(wantRes.Variances[k]) {
+			t.Fatalf("link %d: cached-elimination result differs from from-scratch: loss %v vs %v, var %v vs %v",
+				k, res.LossRates[k], wantRes.LossRates[k], res.Variances[k], wantRes.Variances[k])
+		}
+	}
+	if fs := fresh.Stats(); fs.ElimReuses != 0 {
+		t.Fatalf("from-scratch engine reports %d elim reuses", fs.ElimReuses)
+	}
+}
+
+// TestWatcherStaleRefresh: a watcher over a WithWindow engine must report
+// staleness as the stream advances and, after RefreshIfStale, solve over
+// exactly the engine's current windowed moments — tracking the regime
+// change — while preserving its deactivated-path set.
+func TestWatcherStaleRefresh(t *testing.T) {
+	rm, err := lia.NewTopology(apiTreePaths(2, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const window = 30
+	eng, err := lia.NewEngine(rm, lia.WithWindow(window))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := eng.Stats(); st.Window != window {
+		t.Fatalf("Stats.Window = %d, want %d", st.Window, window)
+	}
+	old := collectSnapshots(t, rm, 21, 60)
+	cur := collectSnapshots(t, rm, 22, 60)
+	if err := eng.IngestBatch(old); err != nil {
+		t.Fatal(err)
+	}
+	w, err := eng.Watch()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Stale() {
+		t.Fatal("watcher stale immediately after Watch")
+	}
+	if w.Epoch() != 60 {
+		t.Fatalf("watcher epoch = %d, want 60", w.Epoch())
+	}
+	if err := w.Deactivate(0); err != nil {
+		t.Fatal(err)
+	}
+
+	// New regime fully turns the window over.
+	if err := eng.IngestBatch(cur); err != nil {
+		t.Fatal(err)
+	}
+	if !w.Stale() {
+		t.Fatal("watcher not stale after 60 new snapshots")
+	}
+	refreshed, err := w.RefreshIfStale()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !refreshed {
+		t.Fatal("RefreshIfStale did not refresh a stale watcher")
+	}
+	if w.Stale() || w.Epoch() != 120 {
+		t.Fatalf("after refresh: stale=%v epoch=%d", w.Stale(), w.Epoch())
+	}
+	if w.Active(0) {
+		t.Fatal("refresh lost the deactivated-path set")
+	}
+	if again, err := w.RefreshIfStale(); err != nil || again {
+		t.Fatalf("RefreshIfStale on fresh watcher = (%v, %v), want (false, nil)", again, err)
+	}
+
+	// Reference: a watcher built over a fresh windowed engine that only ever
+	// saw the last `window` snapshots, with the same path deactivated. The
+	// refreshed watcher's moments must match it (same windowed covariances up
+	// to reverse-Welford rounding), i.e. the regime change is tracked.
+	ref, err := lia.NewEngine(rm, lia.WithWindow(window))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ref.IngestBatch(cur[len(cur)-window:]); err != nil {
+		t.Fatal(err)
+	}
+	rw, err := ref.Watch()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rw.Deactivate(0); err != nil {
+		t.Fatal(err)
+	}
+	got, err := w.Variances()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := rw.Variances()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := range want {
+		if d := math.Abs(got[k] - want[k]); d > 1e-9+1e-6*math.Abs(want[k]) {
+			t.Fatalf("link %d: refreshed watcher variance %g, fresh-window watcher %g (Δ=%g)", k, got[k], want[k], d)
+		}
+	}
+}
+
+// TestFileSourceLineErrorResume: malformed and partial NDJSON lines surface
+// as *LineError with the 1-based line number, and the source resumes on the
+// following line.
+func TestFileSourceLineErrorResume(t *testing.T) {
+	ctx := context.Background()
+	const stream = "[0.9, 1.0]\n[0.8, 0.95\n{\"snapshot\": 2}\n[0.7, 0.85]\n"
+	src := lia.NewFileSource(strings.NewReader(stream), 1000)
+
+	if _, err := src.Next(ctx); err != nil {
+		t.Fatalf("line 1: %v", err)
+	}
+	var le *lia.LineError
+	if _, err := src.Next(ctx); !errors.As(err, &le) || le.Line != 2 {
+		t.Fatalf("line 2: got %v, want *LineError{Line: 2}", err)
+	}
+	le = nil
+	if _, err := src.Next(ctx); !errors.As(err, &le) || le.Line != 3 {
+		t.Fatalf("line 3 (object without frac): got %v, want *LineError{Line: 3}", err)
+	}
+	if !strings.Contains(le.Error(), "line 3") {
+		t.Fatalf("LineError message %q does not name the line", le.Error())
+	}
+	if _, err := src.Next(ctx); err != nil {
+		t.Fatalf("resume after bad lines: %v", err)
+	}
+	if _, err := src.Next(ctx); !errors.Is(err, io.EOF) {
+		t.Fatalf("EOF: got %v", err)
+	}
+}
+
+// TestFileSourceOverlongLineResume: a line beyond the 16 MB bound is
+// consumed and reported as a *LineError, and the stream resumes on the
+// following line instead of dying.
+func TestFileSourceOverlongLineResume(t *testing.T) {
+	ctx := context.Background()
+	huge := "[" + strings.Repeat("0.5,", (16<<20)/4+16) + "0.5]" // > 16 MB, one line
+	stream := "[0.9, 1.0]\n" + huge + "\n[0.7, 0.85]\n"
+	src := lia.NewFileSource(strings.NewReader(stream), 1000)
+
+	if _, err := src.Next(ctx); err != nil {
+		t.Fatalf("line 1: %v", err)
+	}
+	var le *lia.LineError
+	if _, err := src.Next(ctx); !errors.As(err, &le) || le.Line != 2 {
+		t.Fatalf("overlong line: got %v, want *LineError{Line: 2}", err)
+	}
+	if _, err := src.Next(ctx); err != nil {
+		t.Fatalf("resume after overlong line: %v", err)
+	}
+	if _, err := src.Next(ctx); !errors.Is(err, io.EOF) {
+		t.Fatalf("EOF: got %v", err)
+	}
+}
+
+// TestFileSourceReadErrorSticky: an I/O failure of the underlying reader is
+// terminal — every later Next repeats the same *LineError instead of
+// pretending the stream can resume.
+func TestFileSourceReadErrorSticky(t *testing.T) {
+	ctx := context.Background()
+	boom := errors.New("disk on fire")
+	src := lia.NewFileSource(io.MultiReader(
+		strings.NewReader("[0.9, 1.0]\n"),
+		iotest.ErrReader(boom),
+	), 1000)
+
+	if _, err := src.Next(ctx); err != nil {
+		t.Fatalf("line 1: %v", err)
+	}
+	var le *lia.LineError
+	if _, err := src.Next(ctx); !errors.As(err, &le) || !errors.Is(err, boom) || le.Line != 2 {
+		t.Fatalf("read failure: got %v, want *LineError{Line: 2} wrapping the cause", err)
+	}
+	if _, err := src.Next(ctx); !errors.Is(err, boom) {
+		t.Fatalf("sticky failure: got %v, want the same cause again", err)
+	}
+}
+
+// TestConsumePartialStreamReportsPrefix: Engine.Consume over a stream with a
+// corrupt middle line must ingest the valid prefix, report its exact count,
+// and surface the line number of the failure.
+func TestConsumePartialStreamReportsPrefix(t *testing.T) {
+	ctx := context.Background()
+	rm, err := lia.NewTopology(apiTreePaths(1, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := lia.NewEngine(rm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const stream = "[0.9, 1.0]\n[0.8, 0.95]\n[0.7, 0.85,\n[0.6, 0.75]\n"
+	n, err := eng.Consume(ctx, lia.NewFileSource(strings.NewReader(stream), 1000))
+	var le *lia.LineError
+	if !errors.As(err, &le) || le.Line != 3 {
+		t.Fatalf("Consume error = %v, want *LineError{Line: 3}", err)
+	}
+	if n != 2 {
+		t.Fatalf("Consume ingested %d before the failure, want 2", n)
+	}
+	if eng.Snapshots() != 2 {
+		t.Fatalf("engine holds %d snapshots, want the 2-snapshot prefix", eng.Snapshots())
+	}
+}
+
+// TestIngestBatchNamesOffendingIndex: a dimension error inside a batch names
+// the bad index and leaves the moments untouched.
+func TestIngestBatchNamesOffendingIndex(t *testing.T) {
+	rm, err := lia.NewTopology(apiTreePaths(1, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := lia.NewEngine(rm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = eng.IngestBatch([][]float64{{-0.1, -0.2}, {-0.1}, {-0.3, -0.4}})
+	if !errors.Is(err, lia.ErrDimensionMismatch) {
+		t.Fatalf("IngestBatch error = %v, want ErrDimensionMismatch", err)
+	}
+	if !strings.Contains(err.Error(), "batch snapshot 1") {
+		t.Fatalf("error %q does not name the offending batch index", err)
+	}
+	if eng.Snapshots() != 0 {
+		t.Fatalf("failed batch ingested %d snapshots, want 0", eng.Snapshots())
+	}
+}

@@ -72,6 +72,16 @@ func EliminateWorkers(rm *topology.RoutingMatrix, variances []float64, strategy 
 	return kept, removed
 }
 
+// VarianceOrder returns the link indices sorted by (variance, index) —
+// ascending, ties broken by index. Both elimination strategies are pure
+// functions of this permutation and the routing matrix: sequentialSuffix
+// binary-searches over suffixes of it and greedyBasis walks it in reverse,
+// neither reads the variance values again. Callers (lia.Engine) exploit
+// that to reuse a cached elimination across epochs whose orderings match.
+func VarianceOrder(variances []float64) []int {
+	return ascendingByVariance(variances)
+}
+
 // ascendingByVariance returns link indices sorted by (variance, index).
 func ascendingByVariance(variances []float64) []int {
 	order := make([]int, len(variances))

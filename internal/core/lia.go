@@ -115,6 +115,10 @@ type Result struct {
 	Kept, Removed []int
 	// Variances are the Phase-1 estimates used for the ordering.
 	Variances []float64
+	// Epoch is the ingestion epoch of the Phase-1 state behind Kept/
+	// Variances, when the producer tracks one (lia.Engine does); 0
+	// otherwise.
+	Epoch int
 }
 
 // Congested classifies every virtual link against the threshold tl.

@@ -2,6 +2,7 @@ package emunet
 
 import (
 	"bufio"
+	"context"
 	"encoding/json"
 	"fmt"
 	"net"
@@ -266,6 +267,37 @@ func (c *Collector) WaitSnapshot(snapshot, numPaths int, timeout time.Duration) 
 		}
 		time.Sleep(2 * time.Millisecond)
 	}
+}
+
+// AwaitSnapshot is the report-assembly step shared by the standalone
+// collector command and the live serve.CollectorSource: it blocks until
+// every path of the snapshot has a sent count (beacons report immediately),
+// waits the settle window so the sinks' timer-driven received reports merge
+// in, and re-reads the merged fractions. It returns the context error on
+// cancellation, so callers bound the wait with context.WithTimeout.
+func (c *Collector) AwaitSnapshot(ctx context.Context, snapshot, numPaths int, settle time.Duration) ([]float64, error) {
+	for {
+		if _, ok := c.Snapshot(snapshot, numPaths); ok {
+			break
+		}
+		select {
+		case <-ctx.Done():
+			return nil, fmt.Errorf("emunet: snapshot %d incomplete: %w", snapshot, ctx.Err())
+		case <-time.After(2 * time.Millisecond):
+		}
+	}
+	if settle > 0 {
+		select {
+		case <-ctx.Done():
+			return nil, fmt.Errorf("emunet: snapshot %d settle: %w", snapshot, ctx.Err())
+		case <-time.After(settle):
+		}
+	}
+	frac, ok := c.Snapshot(snapshot, numPaths)
+	if !ok {
+		return nil, fmt.Errorf("emunet: snapshot %d regressed during settle", snapshot)
+	}
+	return frac, nil
 }
 
 // Close stops the collector.

@@ -1,6 +1,8 @@
 package emunet
 
 import (
+	"context"
+	"errors"
 	"math/rand/v2"
 	"testing"
 	"testing/quick"
@@ -210,6 +212,48 @@ func TestCollectorAssemblesSnapshots(t *testing.T) {
 	}
 	if frac[0] != 0.9 || frac[1] != 1.0 {
 		t.Fatalf("frac = %v, want [0.9 1.0]", frac)
+	}
+}
+
+func TestCollectorAwaitSnapshot(t *testing.T) {
+	coll, err := NewCollector()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coll.Close()
+	rc, err := DialCollector(coll.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rc.Close()
+
+	// Beacon-style sent report lands first; the late sink report must merge
+	// in during the settle window.
+	if err := rc.Send(Report{PathID: 0, Snapshot: 0, Sent: 100}); err != nil {
+		t.Fatal(err)
+	}
+	if err := rc.Send(Report{PathID: 1, Snapshot: 0, Sent: 100, Received: 80}); err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		time.Sleep(30 * time.Millisecond)
+		_ = rc.Send(Report{PathID: 0, Snapshot: 0, Received: 50})
+	}()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	frac, err := coll.AwaitSnapshot(ctx, 0, 2, 150*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if frac[0] != 0.5 || frac[1] != 0.8 {
+		t.Fatalf("frac = %v, want [0.5 0.8]", frac)
+	}
+
+	// Cancellation surfaces as the context error for an incomplete snapshot.
+	ctx2, cancel2 := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel2()
+	if _, err := coll.AwaitSnapshot(ctx2, 1, 2, 0); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("AwaitSnapshot on incomplete snapshot = %v, want DeadlineExceeded", err)
 	}
 }
 

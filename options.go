@@ -99,6 +99,15 @@ func (s *settings) newAccumulator(dim int) (stats.MomentAccumulator, error) {
 	}
 }
 
+// effectiveDecay returns the decay factor for the engine's observability
+// surface: the configured λ, or 0 when WithDecay was not used.
+func (s *settings) effectiveDecay() float64 {
+	if s.decaySet {
+		return s.decay
+	}
+	return 0
+}
+
 // Option configures an Engine at construction.
 type Option func(*settings)
 

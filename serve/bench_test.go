@@ -1,0 +1,167 @@
+package serve_test
+
+// bench_test.go measures the serving hot paths over real HTTP: snapshot
+// ingest throughput, inference latency, and the steady-state /v1/links
+// read. CI archives these through cmd/benchjson into BENCH_pr4.json; the
+// latency-distribution test below feeds PERFORMANCE.md's p50/p99 numbers.
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"testing"
+	"time"
+
+	"lia"
+	"lia/serve"
+)
+
+// benchServer builds a warmed single-topology server over a 9-path tree.
+func benchServer(b *testing.B, learn int) (*httptest.Server, [][]float64) {
+	b.Helper()
+	rm, err := lia.NewTopology(treePaths(2, 3))
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng, err := lia.NewEngine(rm)
+	if err != nil {
+		b.Fatal(err)
+	}
+	s := serve.New(serve.Config{RebuildEvery: -1, Logf: b.Logf})
+	if err := s.Add("default", serve.Topology{Engine: eng}); err != nil {
+		b.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	b.Cleanup(ts.Close)
+	ys := testVectors(b, rm, 17, learn+64)
+	ingestAll(b, ts.URL, "/v1", ys[:learn])
+	// Warm the epoch cache so steady-state reads dominate the measurement.
+	if code, body := do(b, http.MethodGet, ts.URL+"/v1/links", nil); code != http.StatusOK {
+		b.Fatalf("warmup: %d %s", code, body)
+	}
+	return ts, ys[learn:]
+}
+
+// BenchmarkServerIngest measures single-snapshot POST /v1/snapshots
+// round-trips (snapshots/s = 1e9 / ns/op).
+func BenchmarkServerIngest(b *testing.B) {
+	ts, extra := benchServer(b, 40)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		req := serve.IngestRequest{SnapshotPayload: serve.SnapshotPayload{Y: extra[i%len(extra)]}}
+		if code, body := do(b, http.MethodPost, ts.URL+"/v1/snapshots", req); code != http.StatusOK {
+			b.Fatalf("%d %s", code, body)
+		}
+	}
+}
+
+// BenchmarkServerIngestBatch64 measures 64-snapshot batches per POST.
+func BenchmarkServerIngestBatch64(b *testing.B) {
+	ts, extra := benchServer(b, 40)
+	var req serve.IngestRequest
+	for _, y := range extra[:64] {
+		req.Snapshots = append(req.Snapshots, serve.SnapshotPayload{Y: y})
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if code, body := do(b, http.MethodPost, ts.URL+"/v1/snapshots", req); code != http.StatusOK {
+			b.Fatalf("%d %s", code, body)
+		}
+	}
+	b.StopTimer()
+	snapsPerOp := float64(64)
+	b.ReportMetric(snapsPerOp*float64(b.N)/b.Elapsed().Seconds(), "snaps/s")
+}
+
+// BenchmarkServerInfer measures POST /v1/infer against a warm epoch cache —
+// the steady-state query path (one reduced least-squares solve per call).
+func BenchmarkServerInfer(b *testing.B) {
+	ts, extra := benchServer(b, 40)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		req := serve.SnapshotPayload{Y: extra[i%len(extra)]}
+		if code, body := do(b, http.MethodPost, ts.URL+"/v1/infer", req); code != http.StatusOK {
+			b.Fatalf("%d %s", code, body)
+		}
+	}
+}
+
+// BenchmarkServerLinks measures GET /v1/links against a warm epoch cache.
+func BenchmarkServerLinks(b *testing.B) {
+	ts, _ := benchServer(b, 40)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if code, body := do(b, http.MethodGet, ts.URL+"/v1/links", nil); code != http.StatusOK {
+			b.Fatalf("%d %s", code, body)
+		}
+	}
+}
+
+// TestLinksLatencyDistribution reports the p50/p99 of GET /v1/links while
+// a background writer keeps ingesting (the realistic monitoring mix). Run
+// with -v to read the numbers; PERFORMANCE.md quotes them.
+func TestLinksLatencyDistribution(t *testing.T) {
+	rm, err := lia.NewTopology(treePaths(2, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := lia.NewEngine(rm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := serve.New(serve.Config{RebuildEvery: 32, PollInterval: 10 * time.Millisecond, Logf: t.Logf})
+	if err := s.Add("default", serve.Topology{Engine: eng}); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	runDone := make(chan struct{})
+	go func() { defer close(runDone); _ = s.Run(ctx) }()
+	defer func() { cancel(); <-runDone }()
+
+	ys := testVectors(t, rm, 23, 400)
+	ingestAll(t, ts.URL, "/v1", ys[:40])
+
+	samples := 300
+	if !testing.Short() {
+		samples = 2000
+	}
+	writerDone := make(chan struct{})
+	go func() {
+		defer close(writerDone)
+		for i := 40; i < len(ys); i++ {
+			select {
+			case <-ctx.Done():
+				return
+			default:
+			}
+			req := serve.IngestRequest{SnapshotPayload: serve.SnapshotPayload{Y: ys[i]}}
+			if code, _ := do(t, http.MethodPost, ts.URL+"/v1/snapshots", req); code != http.StatusOK {
+				return
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}()
+
+	lat := make([]float64, 0, samples)
+	for i := 0; i < samples; i++ {
+		start := time.Now()
+		code, body := do(t, http.MethodGet, ts.URL+"/v1/links", nil)
+		if code != http.StatusOK {
+			t.Fatalf("links: %d %s", code, body)
+		}
+		lat = append(lat, float64(time.Since(start).Microseconds()))
+	}
+	cancel()
+	<-writerDone
+	sort.Float64s(lat)
+	q := func(p float64) float64 { return lat[min(len(lat)-1, int(p*float64(len(lat))))] }
+	t.Logf("GET /v1/links latency over %d requests with concurrent ingest: p50=%.0fµs p90=%.0fµs p99=%.0fµs max=%.0fµs",
+		len(lat), q(0.50), q(0.90), q(0.99), lat[len(lat)-1])
+}

@@ -1,0 +1,122 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"lia"
+	"lia/internal/emunet"
+)
+
+// CollectorConfig parameterizes a live CollectorSource.
+type CollectorConfig struct {
+	// Paths is the number of measurement paths per snapshot (required):
+	// a snapshot is complete once every path has a beacon report.
+	Paths int
+
+	// Probes is S, the probe count behind each received fraction, used
+	// only to clamp zero-delivery paths in the log conversion (0 → 1000).
+	Probes int
+
+	// Settle is the extra wait after a snapshot completes so the sinks'
+	// timer-driven received reports merge in before the fractions are
+	// read. 0 selects 1500ms (the standalone collector's default);
+	// negative disables the wait (in-process tests).
+	Settle time.Duration
+
+	// Timeout bounds the wait for each snapshot's completion. 0 selects
+	// 2 minutes (the standalone collector's default).
+	Timeout time.Duration
+
+	// Snapshots caps the stream; after that many snapshots Next reports
+	// io.EOF. 0 streams until the source is closed.
+	Snapshots int
+}
+
+// CollectorSource is a live lia.SnapshotSource over the emulated overlay's
+// measurement plane: it listens for the internal/emunet collector report
+// protocol (newline-delimited JSON over TCP, beacons reporting sent counts
+// and sinks reporting received counts), assembles completed snapshots
+// in-process, and hands them to the engine as log transmission rates. It
+// replaces the `collector | liainfer` NDJSON pipe with a single process:
+// point the beacon/sink agents' -collector flag at Addr.
+//
+// Snapshots are delivered strictly in order (0, 1, 2, ...), matching the
+// snapshot indices the agents stamp on their reports. Next is safe for one
+// consumer at a time, like every source in package lia.
+type CollectorSource struct {
+	coll *emunet.Collector
+	cfg  CollectorConfig
+
+	closed atomic.Bool
+
+	mu   sync.Mutex
+	next int
+}
+
+// NewCollectorSource starts the TCP report listener on addr (host:port;
+// port 0 picks an ephemeral one, see Addr).
+func NewCollectorSource(addr string, cfg CollectorConfig) (*CollectorSource, error) {
+	if cfg.Paths <= 0 {
+		return nil, fmt.Errorf("serve: collector source needs a positive path count, got %d", cfg.Paths)
+	}
+	if cfg.Probes <= 0 {
+		cfg.Probes = 1000
+	}
+	if cfg.Settle == 0 {
+		cfg.Settle = 1500 * time.Millisecond
+	}
+	if cfg.Timeout == 0 {
+		cfg.Timeout = 2 * time.Minute
+	}
+	coll, err := emunet.NewCollectorAddr(addr)
+	if err != nil {
+		return nil, fmt.Errorf("serve: collector source: %w", err)
+	}
+	return &CollectorSource{coll: coll, cfg: cfg}, nil
+}
+
+// Addr returns the TCP address agents report to.
+func (s *CollectorSource) Addr() string { return s.coll.Addr() }
+
+// Next implements lia.SnapshotSource: it blocks until the next snapshot in
+// sequence is complete (every path reported, settle window elapsed) and
+// returns its log transmission rates. It reports io.EOF once the configured
+// snapshot cap is reached or the source is closed.
+func (s *CollectorSource) Next(ctx context.Context) (lia.Snapshot, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed.Load() || (s.cfg.Snapshots > 0 && s.next >= s.cfg.Snapshots) {
+		return lia.Snapshot{}, io.EOF
+	}
+	settle := s.cfg.Settle
+	if settle < 0 {
+		settle = 0
+	}
+	// Timeout bounds the wait for completion; the settle window runs after
+	// completion and gets its own budget on top.
+	waitCtx, cancel := context.WithTimeout(ctx, s.cfg.Timeout+settle)
+	defer cancel()
+	frac, err := s.coll.AwaitSnapshot(waitCtx, s.next, s.cfg.Paths, settle)
+	if err != nil {
+		if s.closed.Load() {
+			return lia.Snapshot{}, io.EOF
+		}
+		return lia.Snapshot{}, fmt.Errorf("serve: collector source: %w", err)
+	}
+	s.next++
+	return lia.Snapshot{Y: lia.LogRates(frac, s.cfg.Probes)}, nil
+}
+
+// Close stops the report listener. A Next call blocked on an incomplete
+// snapshot returns once its per-snapshot timeout (or context) expires;
+// subsequent calls report io.EOF.
+func (s *CollectorSource) Close() error {
+	// Flag first, and not under the mutex: Next holds it while waiting.
+	s.closed.Store(true)
+	return s.coll.Close()
+}

@@ -1,0 +1,357 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"lia"
+)
+
+// SnapshotPayload is one snapshot in the ingest/infer request bodies:
+// either "y" (observation vector, e.g. log transmission rates — ingested
+// as-is) or "frac" (per-path received fractions, converted with
+// lia.LogRates using "probes" or the topology's configured probe count).
+type SnapshotPayload struct {
+	Y      []float64 `json:"y,omitempty"`
+	Frac   []float64 `json:"frac,omitempty"`
+	Probes int       `json:"probes,omitempty"`
+}
+
+// IngestRequest is the body of POST /v1/snapshots: a single snapshot
+// (inline "y"/"frac") or a batch under "snapshots". A batch is atomic —
+// either every snapshot folds in or none does.
+type IngestRequest struct {
+	SnapshotPayload
+	Snapshots []SnapshotPayload `json:"snapshots,omitempty"`
+}
+
+// IngestResponse reports an accepted ingestion.
+type IngestResponse struct {
+	Topology string `json:"topology"`
+	// Ingested is the number of snapshots folded in by this request.
+	Ingested int `json:"ingested"`
+	// Snapshots is the engine's lifetime snapshot count afterwards.
+	Snapshots int `json:"snapshots"`
+}
+
+// ErrorResponse is the body of every non-2xx response.
+type ErrorResponse struct {
+	Error string `json:"error"`
+	// Ingested, on ingest failures, is how many snapshots of the request
+	// were folded in before the failure (always 0: batches are atomic).
+	Ingested *int `json:"ingested,omitempty"`
+}
+
+// LinkResult is one virtual link's inference in an InferResponse.
+type LinkResult struct {
+	Members   []int   `json:"members"`
+	LossRate  float64 `json:"loss_rate"`
+	Variance  float64 `json:"variance"`
+	Kept      bool    `json:"kept"`
+	Congested bool    `json:"congested"`
+}
+
+// InferResponse is the body of POST /v1/infer.
+type InferResponse struct {
+	Topology  string       `json:"topology"`
+	Epoch     int          `json:"epoch"`
+	Kept      int          `json:"kept"`
+	Removed   int          `json:"removed"`
+	Threshold float64      `json:"threshold"`
+	Links     []LinkResult `json:"links"`
+}
+
+// LinkState is one virtual link's steady-state learning summary.
+type LinkState struct {
+	Members  []int   `json:"members"`
+	Variance float64 `json:"variance"`
+	Kept     bool    `json:"kept"`
+}
+
+// LinksResponse is the body of GET /v1/links: the Phase-1 estimates and
+// elimination partition of the current epoch cache.
+type LinksResponse struct {
+	Topology  string      `json:"topology"`
+	Epoch     int         `json:"epoch"`
+	Snapshots int         `json:"snapshots"`
+	Links     []LinkState `json:"links"`
+}
+
+// TopoStatus is one topology's entry in a StatusResponse.
+type TopoStatus struct {
+	Paths           int     `json:"paths"`
+	Links           int     `json:"links"`
+	Snapshots       int     `json:"snapshots"`
+	StateEpoch      int     `json:"state_epoch"`
+	EpochLag        int     `json:"epoch_lag"`
+	Rebuilds        uint64  `json:"rebuilds"`
+	ElimReuses      uint64  `json:"elim_reuses"`
+	LastRebuildMs   float64 `json:"last_rebuild_ms"`
+	Window          int     `json:"window"`
+	Decay           float64 `json:"decay"`
+	Threshold       float64 `json:"threshold"`
+	Probes          int     `json:"probes"`
+	Sources         int     `json:"sources"`
+	HTTPSnapshots   uint64  `json:"http_snapshots"`
+	SourceSnapshots uint64  `json:"source_snapshots"`
+	Inferences      uint64  `json:"inferences"`
+}
+
+// StatusResponse is the body of GET /v1/status.
+type StatusResponse struct {
+	UptimeSeconds   float64               `json:"uptime_seconds"`
+	Default         string                `json:"default"`
+	RebuildEvery    int                   `json:"rebuild_every"`
+	RebuildInterval string                `json:"rebuild_interval"`
+	Topologies      map[string]TopoStatus `json:"topologies"`
+}
+
+// HealthResponse is the body of GET /healthz.
+type HealthResponse struct {
+	Status     string `json:"status"`
+	Topologies int    `json:"topologies"`
+}
+
+// Handler builds the HTTP API over the registered topologies. The handler
+// is safe for concurrent use and may be mounted before or while Run is
+// active.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /v1/status", s.handleStatus)
+	mux.HandleFunc("POST /v1/snapshots", s.handleIngest)
+	mux.HandleFunc("POST /v1/infer", s.handleInfer)
+	mux.HandleFunc("GET /v1/links", s.handleLinks)
+	mux.HandleFunc("POST /v1/topologies/{topo}/snapshots", s.handleIngest)
+	mux.HandleFunc("POST /v1/topologies/{topo}/infer", s.handleInfer)
+	mux.HandleFunc("GET /v1/topologies/{topo}/links", s.handleLinks)
+	return mux
+}
+
+// writeJSON emits one JSON response body.
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(v)
+}
+
+// writeError maps an error to a status code and the ErrorResponse body.
+func writeError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, ErrorResponse{Error: err.Error()})
+}
+
+// errorCode classifies engine errors for HTTP: client payload problems are
+// 400s, not-learned-yet is 409 (retry after more snapshots), the rest 500.
+func errorCode(err error) int {
+	switch {
+	case errors.Is(err, lia.ErrDimensionMismatch):
+		return http.StatusBadRequest
+	case errors.Is(err, lia.ErrTooFewSnapshots):
+		return http.StatusConflict
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+// resolve extracts the addressed topology, writing the 404 itself when the
+// name is unknown.
+func (s *Server) resolve(w http.ResponseWriter, r *http.Request) (*topo, bool) {
+	tp, err := s.lookup(r.PathValue("topo"))
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return nil, false
+	}
+	return tp, true
+}
+
+// vector converts one snapshot payload to the engine's observation vector.
+func (tp *topo) vector(p SnapshotPayload) ([]float64, error) {
+	switch {
+	case len(p.Y) > 0 && len(p.Frac) > 0:
+		return nil, errors.New(`"y" and "frac" are mutually exclusive`)
+	case len(p.Y) > 0:
+		return p.Y, nil
+	case len(p.Frac) > 0:
+		probes := p.Probes
+		if probes <= 0 {
+			probes = tp.probes
+		}
+		return lia.LogRates(p.Frac, probes), nil
+	default:
+		return nil, errors.New(`snapshot needs "y" or "frac"`)
+	}
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, HealthResponse{Status: "ok", Topologies: len(s.names())})
+}
+
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	tp, ok := s.resolve(w, r)
+	if !ok {
+		return
+	}
+	var req IngestRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decode request: %w", err))
+		return
+	}
+	single := len(req.Y) > 0 || len(req.Frac) > 0
+	if single && len(req.Snapshots) > 0 {
+		writeError(w, http.StatusBadRequest,
+			errors.New(`use either an inline snapshot or "snapshots", not both`))
+		return
+	}
+	payloads := req.Snapshots
+	if single {
+		payloads = []SnapshotPayload{req.SnapshotPayload}
+	}
+	if len(payloads) == 0 {
+		writeError(w, http.StatusBadRequest, errors.New("no snapshots in request"))
+		return
+	}
+	ys := make([][]float64, len(payloads))
+	for i, p := range payloads {
+		y, err := tp.vector(p)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("snapshot %d: %w", i, err))
+			return
+		}
+		ys[i] = y
+	}
+	if err := tp.eng.IngestBatch(ys); err != nil {
+		zero := 0
+		writeJSON(w, errorCode(err), ErrorResponse{Error: err.Error(), Ingested: &zero})
+		return
+	}
+	tp.httpSnapshots.Add(uint64(len(ys)))
+	writeJSON(w, http.StatusOK, IngestResponse{
+		Topology:  tp.name,
+		Ingested:  len(ys),
+		Snapshots: tp.eng.Snapshots(),
+	})
+}
+
+func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
+	tp, ok := s.resolve(w, r)
+	if !ok {
+		return
+	}
+	var req SnapshotPayload
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decode request: %w", err))
+		return
+	}
+	y, err := tp.vector(req)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	congested, res, err := tp.eng.InferCongested(r.Context(), y)
+	if err != nil {
+		writeError(w, errorCode(err), err)
+		return
+	}
+	tp.inferences.Add(1)
+	rm := tp.eng.RoutingMatrix()
+	keptSet := make(map[int]bool, len(res.Kept))
+	for _, k := range res.Kept {
+		keptSet[k] = true
+	}
+	out := InferResponse{
+		Topology:  tp.name,
+		Epoch:     res.Epoch,
+		Kept:      len(res.Kept),
+		Removed:   len(res.Removed),
+		Threshold: tp.eng.Threshold(),
+		Links:     make([]LinkResult, rm.NumLinks()),
+	}
+	for k := 0; k < rm.NumLinks(); k++ {
+		out.Links[k] = LinkResult{
+			Members:   rm.Members(k),
+			LossRate:  res.LossRates[k],
+			Variance:  res.Variances[k],
+			Kept:      keptSet[k],
+			Congested: congested[k],
+		}
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleLinks(w http.ResponseWriter, r *http.Request) {
+	tp, ok := s.resolve(w, r)
+	if !ok {
+		return
+	}
+	// One consistent state read: variances, partition and epoch can never
+	// mix epochs, even under concurrent ingestion.
+	st, err := tp.eng.Steady(r.Context())
+	if err != nil {
+		writeError(w, errorCode(err), err)
+		return
+	}
+	keptSet := make(map[int]bool, len(st.Kept))
+	for _, k := range st.Kept {
+		keptSet[k] = true
+	}
+	rm := tp.eng.RoutingMatrix()
+	out := LinksResponse{
+		Topology:  tp.name,
+		Epoch:     st.Epoch,
+		Snapshots: tp.eng.Snapshots(),
+		Links:     make([]LinkState, rm.NumLinks()),
+	}
+	for k := 0; k < rm.NumLinks(); k++ {
+		out.Links[k] = LinkState{
+			Members:  rm.Members(k),
+			Variance: st.Variances[k],
+			Kept:     keptSet[k],
+		}
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	names := s.names()
+	out := StatusResponse{
+		UptimeSeconds:   time.Since(s.start).Seconds(),
+		RebuildEvery:    s.cfg.RebuildEvery,
+		RebuildInterval: s.cfg.RebuildInterval.String(),
+		Topologies:      make(map[string]TopoStatus, len(names)),
+	}
+	if len(names) > 0 {
+		out.Default = names[0]
+	}
+	for _, name := range names {
+		tp, err := s.lookup(name)
+		if err != nil {
+			continue
+		}
+		st := tp.eng.Stats()
+		rm := tp.eng.RoutingMatrix()
+		out.Topologies[name] = TopoStatus{
+			Paths:           rm.NumPaths(),
+			Links:           rm.NumLinks(),
+			Snapshots:       st.Snapshots,
+			StateEpoch:      st.StateEpoch,
+			EpochLag:        st.EpochLag,
+			Rebuilds:        st.Rebuilds,
+			ElimReuses:      st.ElimReuses,
+			LastRebuildMs:   float64(st.LastRebuild) / float64(time.Millisecond),
+			Window:          st.Window,
+			Decay:           st.Decay,
+			Threshold:       tp.eng.Threshold(),
+			Probes:          tp.probes,
+			Sources:         len(tp.sources),
+			HTTPSnapshots:   tp.httpSnapshots.Load(),
+			SourceSnapshots: tp.sourceSnapshots.Load(),
+			Inferences:      tp.inferences.Load(),
+		}
+	}
+	writeJSON(w, http.StatusOK, out)
+}

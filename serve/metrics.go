@@ -1,0 +1,64 @@
+package serve
+
+import (
+	"fmt"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// metricDef is one exported gauge/counter family.
+type metricDef struct {
+	name, help, kind string
+	value            func(tp *topo) float64
+}
+
+// metricDefs are the per-topology series of the /metrics exposition, in
+// output order. Ingest and inference rates are derived by the scraper from
+// the *_total counters; rebuild latency is exported directly.
+var metricDefs = []metricDef{
+	{"liaserve_snapshots_total", "Learning snapshots ingested (HTTP + background sources).", "counter",
+		func(tp *topo) float64 { return float64(tp.eng.Snapshots()) }},
+	{"liaserve_http_snapshots_total", "Learning snapshots ingested via POST /v1/snapshots.", "counter",
+		func(tp *topo) float64 { return float64(tp.httpSnapshots.Load()) }},
+	{"liaserve_source_snapshots_total", "Learning snapshots ingested from background sources.", "counter",
+		func(tp *topo) float64 { return float64(tp.sourceSnapshots.Load()) }},
+	{"liaserve_inferences_total", "Inference requests served.", "counter",
+		func(tp *topo) float64 { return float64(tp.inferences.Load()) }},
+	{"liaserve_rebuilds_total", "Phase-1 state rebuilds.", "counter",
+		func(tp *topo) float64 { return float64(tp.eng.Stats().Rebuilds) }},
+	{"liaserve_elim_reuses_total", "Rebuilds that reused the cached Phase-2 elimination.", "counter",
+		func(tp *topo) float64 { return float64(tp.eng.Stats().ElimReuses) }},
+	{"liaserve_rebuild_last_seconds", "Duration of the most recent rebuild.", "gauge",
+		func(tp *topo) float64 { return tp.eng.Stats().LastRebuild.Seconds() }},
+	{"liaserve_epoch_lag", "Snapshots ingested but not yet absorbed by the served state.", "gauge",
+		func(tp *topo) float64 { return float64(tp.eng.Stats().EpochLag) }},
+	{"liaserve_paths", "Routing-matrix path count.", "gauge",
+		func(tp *topo) float64 { return float64(tp.eng.RoutingMatrix().NumPaths()) }},
+	{"liaserve_links", "Routing-matrix virtual-link count.", "gauge",
+		func(tp *topo) float64 { return float64(tp.eng.RoutingMatrix().NumLinks()) }},
+}
+
+// handleMetrics writes the Prometheus text exposition (version 0.0.4): one
+// series per metric family per topology, labelled {topology="name"}, in
+// registration order so the output is deterministic for a fixed state.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# HELP liaserve_uptime_seconds Time since the server started.\n")
+	fmt.Fprintf(&b, "# TYPE liaserve_uptime_seconds gauge\n")
+	fmt.Fprintf(&b, "liaserve_uptime_seconds %g\n", time.Since(s.start).Seconds())
+	names := s.names()
+	for _, def := range metricDefs {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s %s\n", def.name, def.help, def.name, def.kind)
+		for _, name := range names {
+			tp, err := s.lookup(name)
+			if err != nil {
+				continue
+			}
+			fmt.Fprintf(&b, "%s{topology=%q} %g\n", def.name, tp.name, def.value(tp))
+		}
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write([]byte(b.String()))
+}

@@ -1,0 +1,263 @@
+// Package serve turns lia inference engines into a long-running monitoring
+// service: an HTTP JSON API over one or more lia.Engine instances, with
+// live measurement ingestion from background SnapshotSources and a periodic
+// rebuild policy that keeps the served Phase-1 state warm.
+//
+// The API (see Handler) exposes, per named topology:
+//
+//	POST /v1/snapshots   ingest one snapshot or a batch (learning data)
+//	POST /v1/infer       Phase-2 inference on one observation vector
+//	GET  /v1/links       latest steady-state per-link estimates (epoch cache)
+//	GET  /v1/status      epochs, rebuild latency, moment configuration
+//	GET  /healthz        liveness
+//	GET  /metrics        Prometheus text exposition
+//
+// The unprefixed routes address the default topology (the first one added);
+// /v1/topologies/{topo}/... addresses any registered topology by name, so
+// one server can monitor several overlay scenarios at once.
+//
+// Measurement collection plugs in through lia.SnapshotSource: attach the
+// packet-level simulator, an NDJSON trace, or — closing the loop with the
+// emulated overlay plane — a CollectorSource that accepts beacon/sink
+// reports over TCP (the internal/emunet collector protocol) and assembles
+// them into snapshots in-process, with no NDJSON pipe hop between the
+// collector and the inference engine.
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log"
+	"regexp"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"lia"
+)
+
+// DefaultRebuildEvery is the snapshot-count rebuild trigger when
+// Config.RebuildEvery is 0: rebuild the served state once 64 new snapshots
+// have accumulated (matching the engine's Consume batch size).
+const DefaultRebuildEvery = 64
+
+// Config tunes the server-wide policies.
+type Config struct {
+	// RebuildEvery rebuilds a topology's Phase-1 state in the background
+	// once this many snapshots have arrived since the state's epoch.
+	// 0 selects DefaultRebuildEvery; negative disables count-triggered
+	// rebuilds (the state still rebuilds lazily on queries).
+	RebuildEvery int
+
+	// RebuildInterval, when positive, additionally rebuilds a stale
+	// topology at least this often regardless of how few snapshots
+	// arrived — bounding the staleness of GET /v1/links in time.
+	RebuildInterval time.Duration
+
+	// PollInterval is the cadence of the background rebuild check.
+	// 0 selects 250ms.
+	PollInterval time.Duration
+
+	// Logf receives operational log lines (source errors, rebuild
+	// failures). nil selects log.Printf.
+	Logf func(format string, args ...any)
+}
+
+// Topology is one named inference domain served by the Server.
+type Topology struct {
+	// Engine is the inference session (required).
+	Engine *lia.Engine
+
+	// Probes is the probe count behind "frac" snapshot payloads, used to
+	// clamp zero-delivery paths in the log conversion (0 selects 1000).
+	Probes int
+
+	// Sources are consumed concurrently in the background while the server
+	// runs; each snapshot they yield is ingested as learning data.
+	Sources []lia.SnapshotSource
+}
+
+// topo is the server-side state of one registered topology.
+type topo struct {
+	name    string
+	eng     *lia.Engine
+	probes  int
+	sources []lia.SnapshotSource
+
+	httpSnapshots   atomic.Uint64 // ingested via POST /v1/snapshots
+	sourceSnapshots atomic.Uint64 // ingested from background sources
+	inferences      atomic.Uint64 // POST /v1/infer calls served
+}
+
+// Server wires named topologies behind the HTTP API. Register topologies
+// with Add (the first becomes the default), then mount Handler and start
+// Run for background ingestion and rebuilds.
+type Server struct {
+	cfg   Config
+	start time.Time
+
+	mu    sync.RWMutex
+	topos map[string]*topo
+	order []string // registration order; order[0] is the default
+}
+
+// New creates an empty server with the given policies.
+func New(cfg Config) *Server {
+	if cfg.RebuildEvery == 0 {
+		cfg.RebuildEvery = DefaultRebuildEvery
+	}
+	if cfg.PollInterval <= 0 {
+		cfg.PollInterval = 250 * time.Millisecond
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = log.Printf
+	}
+	return &Server{
+		cfg:   cfg,
+		start: time.Now(),
+		topos: make(map[string]*topo),
+	}
+}
+
+// topoName constrains names to URL-path-safe tokens.
+var topoName = regexp.MustCompile(`^[A-Za-z0-9._-]+$`)
+
+// Add registers a named topology. The first topology added is the default
+// one addressed by the unprefixed /v1 routes. Names must match
+// [A-Za-z0-9._-]+ and be unique.
+func (s *Server) Add(name string, t Topology) error {
+	if !topoName.MatchString(name) {
+		return fmt.Errorf("serve: topology name %q must match %s", name, topoName)
+	}
+	if t.Engine == nil {
+		return fmt.Errorf("serve: topology %q has a nil engine", name)
+	}
+	probes := t.Probes
+	if probes <= 0 {
+		probes = 1000
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.topos[name]; dup {
+		return fmt.Errorf("serve: topology %q already registered", name)
+	}
+	s.topos[name] = &topo{
+		name:    name,
+		eng:     t.Engine,
+		probes:  probes,
+		sources: t.Sources,
+	}
+	s.order = append(s.order, name)
+	return nil
+}
+
+// lookup resolves a topology by name; the empty name selects the default.
+func (s *Server) lookup(name string) (*topo, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if name == "" {
+		if len(s.order) == 0 {
+			return nil, errors.New("serve: no topologies registered")
+		}
+		name = s.order[0]
+	}
+	tp, ok := s.topos[name]
+	if !ok {
+		return nil, fmt.Errorf("serve: unknown topology %q", name)
+	}
+	return tp, nil
+}
+
+// names returns the registered topology names in registration order.
+func (s *Server) names() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return append([]string(nil), s.order...)
+}
+
+// Run consumes every topology's sources and enforces the rebuild policy
+// until ctx is cancelled, then waits for its workers and returns nil.
+// Source errors other than stream exhaustion and cancellation are logged
+// through Config.Logf; they never stop the server.
+func (s *Server) Run(ctx context.Context) error {
+	var wg sync.WaitGroup
+	for _, name := range s.names() {
+		tp, err := s.lookup(name)
+		if err != nil {
+			continue
+		}
+		for i, src := range tp.sources {
+			wg.Add(1)
+			go func(i int, src lia.SnapshotSource) {
+				defer wg.Done()
+				n, err := tp.eng.Consume(ctx, &countingSource{src: src, n: &tp.sourceSnapshots})
+				switch {
+				case err == nil:
+					s.cfg.Logf("serve: topology %s source %d exhausted after %d snapshots", tp.name, i, n)
+				case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+					// Shutdown.
+				default:
+					s.cfg.Logf("serve: topology %s source %d failed after %d snapshots: %v", tp.name, i, n, err)
+				}
+			}(i, src)
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s.rebuildLoop(ctx, tp)
+		}()
+	}
+	<-ctx.Done()
+	wg.Wait()
+	return nil
+}
+
+// rebuildLoop keeps tp's served Phase-1 state warm: it polls the engine's
+// epoch lag and rebuilds when RebuildEvery snapshots accumulated, or when
+// the state is stale and RebuildInterval elapsed since the last rebuild.
+func (s *Server) rebuildLoop(ctx context.Context, tp *topo) {
+	ticker := time.NewTicker(s.cfg.PollInterval)
+	defer ticker.Stop()
+	lastForced := time.Now()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-ticker.C:
+		}
+		st := tp.eng.Stats()
+		if st.EpochLag == 0 || st.Snapshots < 2 {
+			continue
+		}
+		due := s.cfg.RebuildEvery > 0 && st.EpochLag >= s.cfg.RebuildEvery
+		if s.cfg.RebuildInterval > 0 && time.Since(lastForced) >= s.cfg.RebuildInterval {
+			due = true
+		}
+		if !due {
+			continue
+		}
+		lastForced = time.Now()
+		// Variances faults in the current epoch's state; results are
+		// discarded, the point is warming the cache queries read.
+		if _, err := tp.eng.Variances(ctx); err != nil && ctx.Err() == nil {
+			s.cfg.Logf("serve: topology %s rebuild: %v", tp.name, err)
+		}
+	}
+}
+
+// countingSource counts delivered snapshots so /metrics can report live
+// per-source ingest progress (Engine.Consume reports totals only when it
+// returns).
+type countingSource struct {
+	src lia.SnapshotSource
+	n   *atomic.Uint64
+}
+
+func (c *countingSource) Next(ctx context.Context) (lia.Snapshot, error) {
+	snap, err := c.src.Next(ctx)
+	if err == nil {
+		c.n.Add(1)
+	}
+	return snap, err
+}

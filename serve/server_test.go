@@ -1,0 +1,505 @@
+package serve_test
+
+// server_test.go drives the HTTP API end to end over httptest servers:
+// golden tests pin every JSON endpoint's exact bytes, a bitwise-parity test
+// checks the served estimates against an offline engine fed the same
+// snapshots, and a -race load test hammers concurrent ingestion and
+// queries.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sync"
+	"testing"
+	"time"
+
+	"lia"
+	"lia/serve"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// treePaths builds the paths of a complete fanout-ary probing tree of the
+// given depth (beacon at the root probing every leaf) — the identifiable
+// topology family used across the repo's tests.
+func treePaths(depth, fanout int) []lia.Path {
+	var paths []lia.Path
+	nextNode, nextLink := 1, 1
+	var walk func(node int, trail []int, d int)
+	walk = func(node int, trail []int, d int) {
+		if d == depth {
+			paths = append(paths, lia.Path{Beacon: 0, Dst: node, Links: append([]int(nil), trail...)})
+			return
+		}
+		for f := 0; f < fanout; f++ {
+			child, link := nextNode, nextLink
+			nextNode++
+			nextLink++
+			walk(child, append(trail, link), d+1)
+		}
+	}
+	walk(0, nil, 0)
+	return paths
+}
+
+// testVectors streams n deterministic observation vectors for rm.
+func testVectors(t testing.TB, rm *lia.RoutingMatrix, seed uint64, n int) [][]float64 {
+	t.Helper()
+	src := lia.NewSimSource(rm, lia.SimConfig{Probes: 400, Seed: seed, CongestedFraction: 0.2})
+	ctx := context.Background()
+	ys := make([][]float64, n)
+	for i := range ys {
+		snap, err := src.Next(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ys[i] = snap.Y
+	}
+	return ys
+}
+
+// newTestServer builds a two-topology server ("default" 9 paths, "lab" 3
+// paths) with background rebuilds disabled, so every state change is
+// driven — deterministically — by the requests the test makes.
+func newTestServer(t testing.TB) (*serve.Server, *lia.RoutingMatrix, *httptest.Server) {
+	t.Helper()
+	rm, err := lia.NewTopology(treePaths(2, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := lia.NewEngine(rm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	labRM, err := lia.NewTopology(treePaths(1, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	labEng, err := lia.NewEngine(labRM, lia.WithWindow(16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := serve.New(serve.Config{RebuildEvery: -1, Logf: t.Logf})
+	if err := s.Add("default", serve.Topology{Engine: eng, Probes: 400}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Add("lab", serve.Topology{Engine: labEng, Probes: 400}); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, rm, ts
+}
+
+// do issues one request and returns the status code and body.
+func do(t testing.TB, method, url string, body any) (int, []byte) {
+	t.Helper()
+	var rd io.Reader
+	if body != nil {
+		raw, err := json.Marshal(body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rd = bytes.NewReader(raw)
+	}
+	req, err := http.NewRequest(method, url, rd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, raw
+}
+
+// ingestAll POSTs ys as /v1/snapshots batches of 20.
+func ingestAll(t testing.TB, base, topoPath string, ys [][]float64) {
+	t.Helper()
+	for len(ys) > 0 {
+		n := min(20, len(ys))
+		var req serve.IngestRequest
+		for _, y := range ys[:n] {
+			req.Snapshots = append(req.Snapshots, serve.SnapshotPayload{Y: y})
+		}
+		code, body := do(t, http.MethodPost, base+topoPath+"/snapshots", req)
+		if code != http.StatusOK {
+			t.Fatalf("ingest: %d %s", code, body)
+		}
+		ys = ys[n:]
+	}
+}
+
+func compareGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (rerun with -update to create)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("%s drifted from golden:\n--- got ---\n%s\n--- want ---\n%s", name, got, want)
+	}
+}
+
+// TestGoldenEndpoints pins the exact response bytes of every JSON endpoint
+// over a deterministic campaign (volatile timing fields normalized).
+func TestGoldenEndpoints(t *testing.T) {
+	_, rm, ts := newTestServer(t)
+	ys := testVectors(t, rm, 42, 41)
+	learn, probe := ys[:40], ys[40]
+
+	// healthz before any learning.
+	code, body := do(t, http.MethodGet, ts.URL+"/healthz", nil)
+	if code != http.StatusOK {
+		t.Fatalf("healthz: %d %s", code, body)
+	}
+	compareGolden(t, "healthz.golden", body)
+
+	// Single-snapshot and batch ingest responses.
+	code, body = do(t, http.MethodPost, ts.URL+"/v1/snapshots", serve.IngestRequest{
+		SnapshotPayload: serve.SnapshotPayload{Y: learn[0]},
+	})
+	if code != http.StatusOK {
+		t.Fatalf("single ingest: %d %s", code, body)
+	}
+	compareGolden(t, "ingest_single.golden", body)
+	var batch serve.IngestRequest
+	for _, y := range learn[1:] {
+		batch.Snapshots = append(batch.Snapshots, serve.SnapshotPayload{Y: y})
+	}
+	code, body = do(t, http.MethodPost, ts.URL+"/v1/snapshots", batch)
+	if code != http.StatusOK {
+		t.Fatalf("batch ingest: %d %s", code, body)
+	}
+	compareGolden(t, "ingest_batch.golden", body)
+
+	// Steady-state links and one inference.
+	code, body = do(t, http.MethodGet, ts.URL+"/v1/links", nil)
+	if code != http.StatusOK {
+		t.Fatalf("links: %d %s", code, body)
+	}
+	compareGolden(t, "links.golden", body)
+	code, body = do(t, http.MethodPost, ts.URL+"/v1/infer", serve.SnapshotPayload{Y: probe})
+	if code != http.StatusOK {
+		t.Fatalf("infer: %d %s", code, body)
+	}
+	compareGolden(t, "infer.golden", body)
+
+	// Status and metrics, with wall-clock-dependent values normalized.
+	code, body = do(t, http.MethodGet, ts.URL+"/v1/status", nil)
+	if code != http.StatusOK {
+		t.Fatalf("status: %d %s", code, body)
+	}
+	compareGolden(t, "status.golden", normalizeStatus(t, body))
+	code, body = do(t, http.MethodGet, ts.URL+"/metrics", nil)
+	if code != http.StatusOK {
+		t.Fatalf("metrics: %d %s", code, body)
+	}
+	compareGolden(t, "metrics.golden", normalizeMetrics(body))
+
+	// Error bodies: unknown topology, empty ingest, inference before
+	// learning (the "lab" topology has no snapshots), dimension mismatch.
+	code, body = do(t, http.MethodGet, ts.URL+"/v1/topologies/nosuch/links", nil)
+	if code != http.StatusNotFound {
+		t.Fatalf("unknown topology: %d %s", code, body)
+	}
+	compareGolden(t, "err_unknown_topology.golden", body)
+	code, body = do(t, http.MethodPost, ts.URL+"/v1/snapshots", serve.IngestRequest{})
+	if code != http.StatusBadRequest {
+		t.Fatalf("empty ingest: %d %s", code, body)
+	}
+	compareGolden(t, "err_empty_ingest.golden", body)
+	code, body = do(t, http.MethodPost, ts.URL+"/v1/topologies/lab/infer",
+		serve.SnapshotPayload{Y: []float64{-0.1, -0.2, -0.3}})
+	if code != http.StatusConflict {
+		t.Fatalf("infer before learning: %d %s", code, body)
+	}
+	compareGolden(t, "err_too_few_snapshots.golden", body)
+	code, body = do(t, http.MethodPost, ts.URL+"/v1/snapshots", serve.IngestRequest{
+		SnapshotPayload: serve.SnapshotPayload{Y: []float64{1}},
+	})
+	if code != http.StatusBadRequest {
+		t.Fatalf("dimension mismatch: %d %s", code, body)
+	}
+	compareGolden(t, "err_dimension.golden", body)
+}
+
+// normalizeStatus zeroes the wall-clock-dependent fields of a status body.
+func normalizeStatus(t *testing.T, body []byte) []byte {
+	t.Helper()
+	var m map[string]any
+	if err := json.Unmarshal(body, &m); err != nil {
+		t.Fatalf("status is not valid JSON: %v\n%s", err, body)
+	}
+	m["uptime_seconds"] = 0
+	topos, ok := m["topologies"].(map[string]any)
+	if !ok {
+		t.Fatalf("status without topologies map: %s", body)
+	}
+	for _, v := range topos {
+		if tm, ok := v.(map[string]any); ok {
+			tm["last_rebuild_ms"] = 0
+		}
+	}
+	out, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return append(out, '\n')
+}
+
+var volatileMetric = regexp.MustCompile(`(?m)^(liaserve_(?:uptime_seconds|rebuild_last_seconds)(?:\{[^}]*\})?) .*$`)
+
+// normalizeMetrics zeroes the timing-valued series of a metrics body.
+func normalizeMetrics(body []byte) []byte {
+	return volatileMetric.ReplaceAll(body, []byte("$1 0"))
+}
+
+// TestServedMatchesOfflineBitwise is the acceptance criterion: estimates
+// served over HTTP must be bitwise identical to an offline lia.Engine fed
+// the same snapshots. JSON carries float64 exactly (shortest round-trip
+// encoding), so the comparison is on Float64bits.
+func TestServedMatchesOfflineBitwise(t *testing.T) {
+	_, rm, ts := newTestServer(t)
+	ys := testVectors(t, rm, 7, 61)
+	learn, probe := ys[:60], ys[60]
+	ingestAll(t, ts.URL, "/v1", learn)
+
+	offline, err := lia.NewEngine(rm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := offline.IngestBatch(learn); err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	wantVars, err := offline.Variances(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantRes, err := offline.Infer(ctx, probe)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	code, body := do(t, http.MethodGet, ts.URL+"/v1/links", nil)
+	if code != http.StatusOK {
+		t.Fatalf("links: %d %s", code, body)
+	}
+	var links serve.LinksResponse
+	if err := json.Unmarshal(body, &links); err != nil {
+		t.Fatal(err)
+	}
+	if links.Epoch != 60 || links.Snapshots != 60 {
+		t.Fatalf("links epoch/snapshots = %d/%d, want 60/60", links.Epoch, links.Snapshots)
+	}
+	if len(links.Links) != len(wantVars) {
+		t.Fatalf("links count %d, offline %d", len(links.Links), len(wantVars))
+	}
+	for k, l := range links.Links {
+		if math.Float64bits(l.Variance) != math.Float64bits(wantVars[k]) {
+			t.Fatalf("link %d: served variance %v, offline %v", k, l.Variance, wantVars[k])
+		}
+	}
+
+	code, body = do(t, http.MethodPost, ts.URL+"/v1/infer", serve.SnapshotPayload{Y: probe})
+	if code != http.StatusOK {
+		t.Fatalf("infer: %d %s", code, body)
+	}
+	var inf serve.InferResponse
+	if err := json.Unmarshal(body, &inf); err != nil {
+		t.Fatal(err)
+	}
+	if inf.Kept != len(wantRes.Kept) || inf.Removed != len(wantRes.Removed) {
+		t.Fatalf("partition %d/%d, offline %d/%d", inf.Kept, inf.Removed, len(wantRes.Kept), len(wantRes.Removed))
+	}
+	for k, l := range inf.Links {
+		if math.Float64bits(l.LossRate) != math.Float64bits(wantRes.LossRates[k]) ||
+			math.Float64bits(l.Variance) != math.Float64bits(wantRes.Variances[k]) {
+			t.Fatalf("link %d: served (%v, %v), offline (%v, %v)",
+				k, l.LossRate, l.Variance, wantRes.LossRates[k], wantRes.Variances[k])
+		}
+	}
+}
+
+// TestConcurrentIngestInferLoad hammers the live server with concurrent
+// snapshot POSTs, /v1/links reads and /v1/infer calls while the background
+// rebuild loop runs — the -race acceptance test. Every response must be a
+// 200 and decode into its schema.
+func TestConcurrentIngestInferLoad(t *testing.T) {
+	rm, err := lia.NewTopology(treePaths(2, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := lia.NewEngine(rm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := serve.New(serve.Config{RebuildEvery: 16, RebuildInterval: 20 * time.Millisecond, PollInterval: 5 * time.Millisecond, Logf: t.Logf})
+	if err := s.Add("default", serve.Topology{
+		Engine:  eng,
+		Sources: []lia.SnapshotSource{lia.NewSimSource(rm, lia.SimConfig{Probes: 300, Seed: 5, Snapshots: 400})},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	runDone := make(chan struct{})
+	go func() { defer close(runDone); _ = s.Run(ctx) }()
+	defer func() { cancel(); <-runDone }()
+
+	ys := testVectors(t, rm, 9, 160)
+	ingestAll(t, ts.URL, "/v1", ys[:8]) // enough learning that queries can't 409
+
+	const writers, readers = 4, 4
+	var wg sync.WaitGroup
+	errc := make(chan error, writers+readers)
+	writersDone := make(chan struct{})
+	var writersLeft sync.WaitGroup
+	writersLeft.Add(writers)
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			defer writersLeft.Done()
+			for i := w; i < len(ys); i += writers {
+				var req serve.IngestRequest
+				req.Snapshots = append(req.Snapshots, serve.SnapshotPayload{Y: ys[i]})
+				code, body := do(t, http.MethodPost, ts.URL+"/v1/snapshots", req)
+				if code != http.StatusOK {
+					errc <- fmt.Errorf("writer %d: %d %s", w, code, body)
+					return
+				}
+			}
+		}(w)
+	}
+	go func() { writersLeft.Wait(); close(writersDone) }()
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-writersDone:
+					return
+				default:
+				}
+				if i%2 == 0 {
+					code, body := do(t, http.MethodGet, ts.URL+"/v1/links", nil)
+					if code != http.StatusOK {
+						errc <- fmt.Errorf("reader %d links: %d %s", r, code, body)
+						return
+					}
+					var out serve.LinksResponse
+					if err := json.Unmarshal(body, &out); err != nil {
+						errc <- fmt.Errorf("reader %d links decode: %v", r, err)
+						return
+					}
+				} else {
+					code, body := do(t, http.MethodPost, ts.URL+"/v1/infer",
+						serve.SnapshotPayload{Y: ys[i%len(ys)]})
+					if code != http.StatusOK {
+						errc <- fmt.Errorf("reader %d infer: %d %s", r, code, body)
+						return
+					}
+					var out serve.InferResponse
+					if err := json.Unmarshal(body, &out); err != nil {
+						errc <- fmt.Errorf("reader %d infer decode: %v", r, err)
+						return
+					}
+				}
+			}
+		}(r)
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Error(err)
+	}
+
+	// The service stayed consistent: status reflects every HTTP snapshot.
+	code, body := do(t, http.MethodGet, ts.URL+"/v1/status", nil)
+	if code != http.StatusOK {
+		t.Fatalf("status: %d %s", code, body)
+	}
+	var st serve.StatusResponse
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatal(err)
+	}
+	if got := st.Topologies["default"].HTTPSnapshots; got != uint64(len(ys)+8) {
+		t.Fatalf("http_snapshots = %d, want %d", got, len(ys)+8)
+	}
+}
+
+// TestRunConsumesSourcesAndRebuilds: a server with a bounded simulator
+// source must drain it in the background and keep the served state warm per
+// the rebuild policy.
+func TestRunConsumesSourcesAndRebuilds(t *testing.T) {
+	rm, err := lia.NewTopology(treePaths(1, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := lia.NewEngine(rm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := serve.New(serve.Config{RebuildEvery: 10, RebuildInterval: 50 * time.Millisecond, PollInterval: 5 * time.Millisecond, Logf: t.Logf})
+	if err := s.Add("default", serve.Topology{
+		Engine:  eng,
+		Sources: []lia.SnapshotSource{lia.NewSimSource(rm, lia.SimConfig{Probes: 200, Seed: 3, Snapshots: 50})},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	runDone := make(chan struct{})
+	go func() { defer close(runDone); _ = s.Run(ctx) }()
+	defer func() { cancel(); <-runDone }()
+
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		code, body := do(t, http.MethodGet, ts.URL+"/v1/status", nil)
+		if code != http.StatusOK {
+			t.Fatalf("status: %d %s", code, body)
+		}
+		var st serve.StatusResponse
+		if err := json.Unmarshal(body, &st); err != nil {
+			t.Fatal(err)
+		}
+		d := st.Topologies["default"]
+		if d.SourceSnapshots == 50 && d.EpochLag == 0 && d.Rebuilds >= 1 {
+			if d.Snapshots != 50 {
+				t.Fatalf("engine snapshots = %d, want 50", d.Snapshots)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("source not drained/rebuilt in time: %+v", d)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"math"
@@ -114,6 +115,27 @@ func (t *TraceSource) Next(ctx context.Context) (Snapshot, error) {
 	return Snapshot{Y: LogRates(f, t.probes)}, nil
 }
 
+// LineError reports a malformed, partial, or empty snapshot line in a
+// newline-delimited measurement stream. Line is 1-based. It wraps the
+// underlying cause (a JSON syntax error for truncated or corrupt lines, a
+// length error for overlong ones), so errors.Is/As keep working through
+// it. A FileSource whose Next returned a *LineError for a bad line has
+// already consumed that line: calling Next again resumes with the
+// following one, letting callers choose skip-and-continue or abort. The
+// one exception is an I/O failure of the underlying reader mid-stream —
+// there is nothing to resume past, so every later Next repeats the same
+// *LineError.
+type LineError struct {
+	Line int
+	Err  error
+}
+
+func (e *LineError) Error() string {
+	return fmt.Sprintf("lia: snapshot file line %d: %v", e.Line, e.Err)
+}
+
+func (e *LineError) Unwrap() error { return e.Err }
+
 // FileSource reads newline-delimited measurement snapshots. Each non-empty
 // line is either a bare JSON array of per-path received fractions
 //
@@ -124,20 +146,27 @@ func (t *TraceSource) Next(ctx context.Context) (Snapshot, error) {
 //	{"snapshot": 3, "frac": [0.993, 1.0, 0.871]}
 //
 // Fractions are converted to log transmission rates with LogRates.
+// Malformed, partial, or overlong lines surface as *LineError carrying the
+// 1-based line number; the source stays usable and resumes after the bad
+// line (see LineError for the one terminal case).
 type FileSource struct {
 	mu     sync.Mutex
-	sc     *bufio.Scanner
+	r      *bufio.Reader
 	closer io.Closer
 	probes int
 	line   int
+	fatal  error // sticky mid-stream I/O failure
 }
+
+// maxSnapshotLine bounds one NDJSON line (16 MB); a longer line is consumed
+// through its newline and reported as a *LineError, so the stream resumes
+// with the next line instead of dying.
+const maxSnapshotLine = 16 * 1024 * 1024
 
 // NewFileSource reads snapshots from r; probes is S, the probe count behind
 // each fraction (≤ 0 selects 1000).
 func NewFileSource(r io.Reader, probes int) *FileSource {
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
-	return &FileSource{sc: sc, probes: probes}
+	return &FileSource{r: bufio.NewReaderSize(r, 64*1024), probes: probes}
 }
 
 // OpenFileSource opens path and reads snapshots from it; Close releases the
@@ -159,9 +188,15 @@ func (f *FileSource) Next(ctx context.Context) (Snapshot, error) {
 	}
 	f.mu.Lock()
 	defer f.mu.Unlock()
-	for f.sc.Scan() {
-		f.line++
-		text := strings.TrimSpace(f.sc.Text())
+	for {
+		if f.fatal != nil {
+			return Snapshot{}, f.fatal
+		}
+		text, err := f.readLine()
+		if err != nil {
+			return Snapshot{}, err
+		}
+		text = strings.TrimSpace(text)
 		if text == "" {
 			continue
 		}
@@ -171,21 +206,57 @@ func (f *FileSource) Next(ctx context.Context) (Snapshot, error) {
 				Frac []float64 `json:"frac"`
 			}
 			if err := json.Unmarshal([]byte(text), &rec); err != nil {
-				return Snapshot{}, fmt.Errorf("lia: snapshot file line %d: %w", f.line, err)
+				return Snapshot{}, &LineError{Line: f.line, Err: err}
 			}
 			frac = rec.Frac
 		} else if err := json.Unmarshal([]byte(text), &frac); err != nil {
-			return Snapshot{}, fmt.Errorf("lia: snapshot file line %d: %w", f.line, err)
+			return Snapshot{}, &LineError{Line: f.line, Err: err}
 		}
 		if len(frac) == 0 {
-			return Snapshot{}, fmt.Errorf("lia: snapshot file line %d: no fractions", f.line)
+			return Snapshot{}, &LineError{Line: f.line, Err: errors.New("no fractions")}
 		}
 		return Snapshot{Y: LogRates(frac, f.probes)}, nil
 	}
-	if err := f.sc.Err(); err != nil {
-		return Snapshot{}, fmt.Errorf("lia: snapshot file: %w", err)
+}
+
+// readLine returns the next line (trailing newline included) and advances
+// the 1-based line counter. An overlong line is consumed through its
+// newline and reported as a resumable *LineError; a reader failure other
+// than EOF is terminal and made sticky in f.fatal.
+func (f *FileSource) readLine() (string, error) {
+	var buf []byte
+	overlong := false
+	for {
+		chunk, err := f.r.ReadSlice('\n')
+		if !overlong && len(buf)+len(chunk) > maxSnapshotLine {
+			overlong = true
+			buf = nil
+		}
+		if !overlong {
+			buf = append(buf, chunk...)
+		}
+		switch {
+		case err == nil:
+			// Line complete.
+		case errors.Is(err, bufio.ErrBufferFull):
+			continue // mid-line; keep accumulating (or draining, if overlong)
+		case errors.Is(err, io.EOF):
+			if len(buf) == 0 && len(chunk) == 0 && !overlong {
+				return "", io.EOF
+			}
+			// A final unterminated line; the next call hits clean EOF.
+		default:
+			f.line++
+			f.fatal = &LineError{Line: f.line, Err: err}
+			return "", f.fatal
+		}
+		f.line++
+		if overlong {
+			return "", &LineError{Line: f.line,
+				Err: fmt.Errorf("line exceeds %d bytes", maxSnapshotLine)}
+		}
+		return string(buf), nil
 	}
-	return Snapshot{}, io.EOF
 }
 
 // Close releases the underlying file when the source was opened with

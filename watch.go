@@ -16,23 +16,26 @@ import (
 // solvable over the remaining active paths.
 //
 // A Watcher snapshots the engine's learning moments at creation (and on
-// Refresh); it does not observe later Ingest calls. It is safe for
-// concurrent use.
+// Refresh); it does not observe later Ingest calls. The snapshot honours
+// the engine's moment configuration — a WithWindow or WithDecay engine
+// hands the watcher its windowed/decayed covariances, so a long-running
+// deployment's beacon-churn watcher tracks regime changes exactly like the
+// engine's own Phase 1 does. Use Stale / RefreshIfStale to follow the
+// stream. A Watcher is safe for concurrent use.
 type Watcher struct {
 	eng *Engine
 
 	mu      sync.Mutex
 	learner *core.IncrementalLearner
 	cov     stats.CovView
+	epoch   uint64 // engine ingestion epoch the moments were snapped at
 	active  []bool
 }
 
 // Watch creates a watcher over the engine's current learning moments. It
 // requires at least two ingested snapshots (ErrTooFewSnapshots otherwise).
 func (e *Engine) Watch() (*Watcher, error) {
-	e.mu.Lock()
-	cov := e.acc.View()
-	e.mu.Unlock()
+	cov, epoch := e.momentsView()
 	learner, err := core.NewIncrementalLearner(e.rm, cov, e.opts.Variance)
 	if err != nil {
 		return nil, fmt.Errorf("lia: watch: %w", err)
@@ -41,7 +44,7 @@ func (e *Engine) Watch() (*Watcher, error) {
 	for i := range active {
 		active[i] = true
 	}
-	return &Watcher{eng: e, learner: learner, cov: cov, active: active}, nil
+	return &Watcher{eng: e, learner: learner, cov: cov, epoch: epoch, active: active}, nil
 }
 
 // Deactivate removes every covariance equation involving path i — the
@@ -69,11 +72,12 @@ func (w *Watcher) Reactivate(path int) error {
 }
 
 // Refresh re-snapshots the engine's learning moments and rebuilds the
-// maintained system over them, preserving the current active set.
+// maintained system over them, preserving the current active set. On a
+// WithWindow/WithDecay engine this is how the watcher follows regime
+// changes: the refreshed system covers exactly the engine's current
+// (windowed or decayed) moments, not all history.
 func (w *Watcher) Refresh() error {
-	w.eng.mu.Lock()
-	cov := w.eng.acc.View()
-	w.eng.mu.Unlock()
+	cov, epoch := w.eng.momentsView()
 	learner, err := core.NewIncrementalLearner(w.eng.rm, cov, w.eng.opts.Variance)
 	if err != nil {
 		return fmt.Errorf("lia: watch refresh: %w", err)
@@ -87,8 +91,40 @@ func (w *Watcher) Refresh() error {
 			}
 		}
 	}
-	w.learner, w.cov = learner, cov
+	w.learner, w.cov, w.epoch = learner, cov, epoch
 	return nil
+}
+
+// Epoch returns the engine ingestion epoch the watcher's moments were
+// snapped at (by Watch or the last Refresh).
+func (w *Watcher) Epoch() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return int(w.epoch)
+}
+
+// Stale reports whether the engine has ingested snapshots the watcher's
+// moments do not cover yet.
+func (w *Watcher) Stale() bool {
+	w.mu.Lock()
+	epoch := w.epoch
+	w.mu.Unlock()
+	return w.eng.epoch.Load() > epoch
+}
+
+// RefreshIfStale refreshes only when the engine has ingested new snapshots
+// since the watcher's moments were snapped, and reports whether it did. A
+// long-running server calls this on its rebuild cadence so the watcher's
+// windowed or decayed moments keep tracking the live stream without paying
+// for redundant rebuilds.
+func (w *Watcher) RefreshIfStale() (bool, error) {
+	if !w.Stale() {
+		return false, nil
+	}
+	if err := w.Refresh(); err != nil {
+		return false, err
+	}
+	return true, nil
 }
 
 // Variances solves the maintained system for the per-link variances over
