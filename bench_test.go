@@ -624,6 +624,120 @@ func BenchmarkEngineEpochRebuild(b *testing.B) {
 	})
 }
 
+// --- Sharded-engine benches ----------------------------------------------------
+
+// benchShardedWorkload builds the sharding scale target: four link-disjoint
+// 150-path trees in one 600-path routing matrix. Every path of a tree
+// shares the tree's root uplink, so each tree is exactly one link-connected
+// component — and at 150 paths each component's Auto solver resolves to the
+// cacheable normal-equations path, the serving regime. The unsharded engine
+// walks all 180 300 augmented pairs per rebuild; the partitioned engine
+// walks 4 × 11 325 (cross-component pairs have empty supports and vanish)
+// and rebuilds the components on separate cores.
+func benchShardedWorkload(b testing.TB) (*topology.RoutingMatrix, []float64) {
+	b.Helper()
+	const comps = 4
+	var paths []topology.Path
+	for c := 0; c < comps; c++ {
+		rng := rand.New(rand.NewPCG(42, uint64(c)))
+		net := topogen.Tree(rng, 400, 6)
+		if len(net.Hosts) < 150 {
+			b.Fatalf("component %d tree has %d hosts, need 150", c, len(net.Hosts))
+		}
+		base := c * 10_000_000 // link-disjoint components
+		for _, p := range topogen.Routes(net, []int{0}, net.Hosts[:150]) {
+			links := make([]int, 0, len(p.Links)+1)
+			links = append(links, base) // shared root uplink joins the tree
+			for _, l := range p.Links {
+				links = append(links, base+1+l)
+			}
+			paths = append(paths, topology.Path{
+				Beacon: p.Beacon + base,
+				Dst:    p.Dst + 1 + base,
+				Links:  links,
+			})
+		}
+	}
+	rm, err := topology.Build(paths)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if rm.NumPaths() != comps*150 {
+		b.Fatalf("workload has %d paths, want %d", rm.NumPaths(), comps*150)
+	}
+	rng := rand.New(rand.NewPCG(43, 7))
+	y := make([]float64, rm.NumPaths())
+	for i := range y {
+		y[i] = -1e-4 * rng.Float64()
+	}
+	return rm, y
+}
+
+// BenchmarkShardedEngineRebuild measures the steady-state per-epoch rebuild
+// (one Ingest plus the state recomputation the next query pays) at the
+// 600-path four-component scale, unsharded vs sharded. Before timing it
+// asserts the sharded estimates are bitwise-identical across shard counts —
+// the scheduling never changes the answer — so the CI scaling job can
+// compare ns/op across GOMAXPROCS knowing the work is the same.
+func BenchmarkShardedEngineRebuild(b *testing.B) {
+	rm, y := benchShardedWorkload(b)
+	ctx := context.Background()
+	warm := func(b *testing.B, eng lia.Inferencer) {
+		b.Helper()
+		for t := 0; t < 60; t++ {
+			if err := eng.Ingest(y); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if _, err := eng.Variances(ctx); err != nil {
+			b.Fatal(err)
+		}
+	}
+	se1, err := lia.NewShardedEngine(rm, lia.WithShards(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	se4, err := lia.NewShardedEngine(rm, lia.WithShards(4))
+	if err != nil {
+		b.Fatal(err)
+	}
+	warm(b, se1)
+	warm(b, se4)
+	v1, err := se1.Variances(ctx)
+	if err != nil {
+		b.Fatal(err)
+	}
+	v4, err := se4.Variances(ctx)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for k := range v1 {
+		if v1[k] != v4[k] {
+			b.Fatalf("link %d: 1-shard estimate %g != 4-shard estimate %g (not bitwise identical)", k, v1[k], v4[k])
+		}
+	}
+	bench := func(eng lia.Inferencer) func(*testing.B) {
+		return func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if err := eng.Ingest(y); err != nil {
+					b.Fatal(err)
+				}
+				if _, err := eng.Variances(ctx); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+	un, err := lia.NewEngine(rm)
+	if err != nil {
+		b.Fatal(err)
+	}
+	warm(b, un)
+	b.Run("unsharded", bench(un))
+	b.Run("sharded", bench(se4))
+}
+
 // BenchmarkPairIndexBuild measures the one-time cost of constructing the
 // cached pair-support index on a fresh routing matrix.
 func BenchmarkPairIndexBuild(b *testing.B) {

@@ -1,6 +1,127 @@
 package main
 
-import "testing"
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeReport marshals a report to a temp file and returns its path.
+func writeReport(t *testing.T, name string, rep report) string {
+	t.Helper()
+	raw, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func mkReport(cpu string, ns map[string]float64) report {
+	rep := report{Env: map[string]string{"cpu": cpu}}
+	for name, v := range ns {
+		rep.Benches = append(rep.Benches, bench{
+			Name: name, Pkg: "lia", Iterations: 10,
+			Metrics: map[string]float64{"ns/op": v},
+		})
+	}
+	return rep
+}
+
+func TestBenchKeyStripsGOMAXPROCS(t *testing.T) {
+	a := bench{Name: "BenchmarkEngineRebuild/warm-8", Pkg: "lia"}
+	b := bench{Name: "BenchmarkEngineRebuild/warm-4", Pkg: "lia"}
+	if benchKey(a) != benchKey(b) {
+		t.Fatalf("keys differ across -cpu runs: %q vs %q", benchKey(a), benchKey(b))
+	}
+	if benchKey(a) == benchKey(bench{Name: "BenchmarkEngineRebuild/warm-8", Pkg: "lia/serve"}) {
+		t.Fatal("keys must be package-aware")
+	}
+}
+
+func TestBaselineGate(t *testing.T) {
+	base := writeReport(t, "base.json", mkReport("x", map[string]float64{
+		"BenchmarkA-4": 100, "BenchmarkB-4": 100, "BenchmarkUntracked-4": 100,
+	}))
+	// B regressed 50%, A improved, Untracked regressed but is not tracked,
+	// New has no baseline.
+	cur := writeReport(t, "cur.json", mkReport("x", map[string]float64{
+		"BenchmarkA-8": 80, "BenchmarkB-8": 150, "BenchmarkUntracked-8": 400, "BenchmarkNew-8": 5,
+	}))
+	var out strings.Builder
+	err := runBaseline(&out, base, []string{cur}, 0.25, "BenchmarkA|BenchmarkB", false)
+	if err == nil {
+		t.Fatalf("50%% regression passed the 25%% gate:\n%s", out.String())
+	}
+	if !strings.Contains(err.Error(), "BenchmarkB") || strings.Contains(err.Error(), "Untracked") {
+		t.Fatalf("gate blamed the wrong bench: %v", err)
+	}
+	if !strings.Contains(out.String(), "| new |") {
+		t.Fatalf("new bench not reported:\n%s", out.String())
+	}
+	// Within the limit the gate passes.
+	out.Reset()
+	if err := runBaseline(&out, base, []string{cur}, 0.6, "BenchmarkA|BenchmarkB", false); err != nil {
+		t.Fatalf("60%% gate rejected a 50%% regression: %v", err)
+	}
+}
+
+func TestBaselineCPUMismatchAdvisory(t *testing.T) {
+	base := writeReport(t, "base.json", mkReport("old-cpu", map[string]float64{"BenchmarkA-4": 100}))
+	// 100% regression, but recorded on different hardware.
+	cur := writeReport(t, "cur.json", mkReport("new-cpu", map[string]float64{"BenchmarkA-4": 200}))
+	var out strings.Builder
+	if err := runBaseline(&out, base, []string{cur}, 0.25, ".", false); err != nil {
+		t.Fatalf("cross-machine regression gated by default: %v", err)
+	}
+	if !strings.Contains(out.String(), "cross-machine") || !strings.Contains(out.String(), "WARNING") {
+		t.Fatalf("cpu mismatch or advisory warning not surfaced:\n%s", out.String())
+	}
+	// -strict restores the gate regardless of hardware.
+	out.Reset()
+	if err := runBaseline(&out, base, []string{cur}, 0.25, ".", true); err == nil {
+		t.Fatalf("-strict did not gate a cross-machine regression:\n%s", out.String())
+	}
+}
+
+func TestSpeedupTableAndAssert(t *testing.T) {
+	p1 := writeReport(t, "1.json", mkReport("x", map[string]float64{"BenchmarkSharded-4": 400, "BenchmarkOther-4": 100}))
+	p2 := writeReport(t, "2.json", mkReport("x", map[string]float64{"BenchmarkSharded-4": 210, "BenchmarkOther-4": 95}))
+	p4 := writeReport(t, "4.json", mkReport("x", map[string]float64{"BenchmarkSharded-4": 100, "BenchmarkOther-4": 90}))
+	var out strings.Builder
+	if err := runSpeedup(&out, []string{p1, p2, p4}, "1,2,4", "BenchmarkSharded:1.5"); err != nil {
+		t.Fatalf("4.00x speedup failed a 1.5x assertion: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "4.00") {
+		t.Fatalf("speedup table missing the 4.00x entry:\n%s", out.String())
+	}
+	// Assertion failure: require 1.5x of the bench that only reached 1.11x.
+	out.Reset()
+	if err := runSpeedup(&out, []string{p1, p2, p4}, "1,2,4", "BenchmarkOther:1.5"); err == nil {
+		t.Fatalf("1.11x speedup passed a 1.5x assertion:\n%s", out.String())
+	}
+	// An assertion that matches nothing must fail loudly, not pass silently.
+	out.Reset()
+	if err := runSpeedup(&out, []string{p1, p4}, "", "BenchmarkMissing:1.5"); err == nil {
+		t.Fatal("assertion over no matching benches passed")
+	}
+	// An asserted bench missing from the last document (crashed or filtered
+	// run) must fail, not vacuously pass.
+	pEmpty := writeReport(t, "empty.json", mkReport("x", map[string]float64{"BenchmarkOther-4": 90}))
+	out.Reset()
+	if err := runSpeedup(&out, []string{p1, pEmpty}, "", "BenchmarkSharded:1.5"); err == nil {
+		t.Fatalf("assertion passed with no measurement in the last document:\n%s", out.String())
+	}
+	// Label count must match the document count.
+	if err := runSpeedup(&out, []string{p1, p4}, "1,2,4", ""); err == nil {
+		t.Fatal("mismatched -labels accepted")
+	}
+}
 
 func TestParseBench(t *testing.T) {
 	b, ok := parseBench("BenchmarkServerInfer-8   52452   44019 ns/op   14491 B/op   123 allocs/op")

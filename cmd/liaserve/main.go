@@ -11,7 +11,10 @@
 // beacon/sink reports on :7000 — `collector | liainfer` as one process.
 // Repeat -topo to serve several topologies; the first is the default one
 // addressed by the unprefixed /v1 routes, the rest live under
-// /v1/topologies/{name}/. Query with:
+// /v1/topologies/{name}/. Topologies whose routing matrix splits into
+// link-disjoint components are sharded automatically (or explicitly with
+// -shards k): each component keeps its own solver caches and the shards
+// rebuild concurrently, with identical estimates. Query with:
 //
 //	curl localhost:8420/v1/links
 //	curl localhost:8420/v1/status
@@ -88,6 +91,7 @@ func run(args []string) error {
 		window   = fs.Int("window", 0, "sliding moment window in snapshots (0 = cumulative)")
 		decay    = fs.Float64("decay", 0, "exponential moment decay factor in (0,1] (0 = cumulative)")
 		workers  = fs.Int("workers", 0, "phase-1/phase-2 goroutines (0 = GOMAXPROCS)")
+		shards   = fs.Int("shards", 0, "topology shards rebuilding concurrently: 0 auto-shards disconnected topologies to GOMAXPROCS, 1 forces a single engine, k caps at k")
 		strategy = fs.String("strategy", "paper", "phase-2 elimination: paper or greedy")
 		tl       = fs.Float64("tl", lia.DefaultThreshold, "congestion threshold")
 
@@ -115,7 +119,7 @@ func run(args []string) error {
 	})
 
 	var opts []lia.Option
-	opts = append(opts, lia.WithWorkers(*workers))
+	opts = append(opts, lia.WithWorkers(*workers), lia.WithShards(*shards))
 	switch *strategy {
 	case "paper":
 	case "greedy":
@@ -136,12 +140,13 @@ func run(args []string) error {
 	srv := serve.New(serve.Config{
 		RebuildEvery:    *rebuildEvery,
 		RebuildInterval: *rebuildInterval,
+		Shards:          *shards,
 	})
 
 	type topoState struct {
 		spec    serve.Topology
 		rm      *lia.RoutingMatrix
-		eng     *lia.Engine
+		eng     lia.Inferencer
 		nPaths  int
 		nProbes int
 		dropped int // fluttering paths removed from the input document
@@ -157,7 +162,7 @@ func run(args []string) error {
 		if err != nil {
 			return fmt.Errorf("-topo %s: %w", name, err)
 		}
-		eng, err := lia.NewEngine(rm, opts...)
+		eng, err := lia.New(rm, opts...)
 		if err != nil {
 			return fmt.Errorf("-topo %s: %w", name, err)
 		}
@@ -247,8 +252,13 @@ func run(args []string) error {
 		if err := srv.Add(name, st.spec); err != nil {
 			return err
 		}
-		log.Printf("liaserve: topology %s: %d paths, %d virtual links, %d sources",
-			name, st.nPaths, st.rm.NumLinks(), len(st.spec.Sources))
+		if es := st.eng.Stats(); es.Shards > 0 {
+			log.Printf("liaserve: topology %s: %d paths, %d virtual links, %d components in %d shards, %d sources",
+				name, st.nPaths, st.rm.NumLinks(), es.Components, es.Shards, len(st.spec.Sources))
+		} else {
+			log.Printf("liaserve: topology %s: %d paths, %d virtual links, %d sources",
+				name, st.nPaths, st.rm.NumLinks(), len(st.spec.Sources))
+		}
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

@@ -41,6 +41,20 @@
 // long-running engines track congestion regime changes instead of averaging
 // them away.
 //
+// Topologies whose routing matrix splits into link-disjoint components
+// (federated or multi-domain path sets) shard: New returns a ShardedEngine
+// — the same surface as Engine, abstracted by the Inferencer interface —
+// that partitions the matrix into its link-connected components (union-find
+// over the link supports, see the internal topology.Partition), scatters
+// every snapshot to per-component accumulators, and rebuilds load-balanced
+// component groups concurrently, each with its own cached Phase-1
+// factorization and Phase-2 elimination. Neither LIA phase couples paths
+// that share no links, so the decomposition is exact: per-component
+// estimates are bitwise-identical to an unsharded engine run on that
+// component alone, while the pair equations straddling components (empty
+// supports) are never enumerated at all. WithShards tunes or disables the
+// policy.
+//
 // Measurement collection is decoupled from inference through the
 // SnapshotSource interface: NewSimSource streams synthetic campaigns from
 // the packet-level simulator, NewTraceSource adapts recorded received

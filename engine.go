@@ -159,8 +159,15 @@ const consumeBatch = 64
 // exactly the source order, so results are identical to a per-snapshot
 // Ingest loop.
 func (e *Engine) Consume(ctx context.Context, src SnapshotSource) (int, error) {
+	return consumeSource(ctx, src, e.rm, e.IngestBatch)
+}
+
+// consumeSource is the shared Consume loop behind Engine and ShardedEngine:
+// drain src into batches of up to consumeBatch snapshots and fold each batch
+// through ingestBatch.
+func consumeSource(ctx context.Context, src SnapshotSource, rm *RoutingMatrix, ingestBatch func([][]float64) error) (int, error) {
 	n := 0
-	np := e.rm.NumPaths()
+	np := rm.NumPaths()
 	// One backing array, reused across batches: IngestBatch copies the
 	// vectors into the moments before returning, so the slots are free for
 	// the next batch as soon as flush returns.
@@ -170,7 +177,7 @@ func (e *Engine) Consume(ctx context.Context, src SnapshotSource) (int, error) {
 		if len(buf) == 0 {
 			return nil
 		}
-		if err := e.IngestBatch(buf); err != nil {
+		if err := ingestBatch(buf); err != nil {
 			return err
 		}
 		n += len(buf)
@@ -189,7 +196,7 @@ func (e *Engine) Consume(ctx context.Context, src SnapshotSource) (int, error) {
 		// Validate before buffering so one bad snapshot cannot poison the
 		// whole batch: the valid prefix is flushed, then the error surfaces
 		// with the same count a per-snapshot loop would report.
-		if err := checkDim(e.rm, snap.Y); err != nil {
+		if err := checkDim(rm, snap.Y); err != nil {
 			if ferr := flush(); ferr != nil {
 				return n, ferr
 			}
@@ -300,6 +307,13 @@ type Stats struct {
 	Window int
 	// Decay is the per-snapshot decay factor (WithDecay), 0 when unset.
 	Decay float64
+	// Shards is the number of concurrent rebuild groups of a ShardedEngine
+	// (0 for a plain Engine).
+	Shards int
+	// Components is the number of link-connected topology components a
+	// ShardedEngine partitioned its routing matrix into (0 for a plain
+	// Engine).
+	Components int
 }
 
 // Stats reports the engine's observability counters.

@@ -1,0 +1,203 @@
+package topology
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Component is one link-connected component of a routing matrix: a maximal
+// set of paths transitively joined by shared virtual links, together with
+// the virtual links they cover. No path outside the component traverses any
+// of its links, so the Phase-1 moment system and the Phase-2 elimination
+// restricted to a component are exactly the equations a routing matrix
+// built from the component's paths alone would produce.
+type Component struct {
+	// Paths holds the global path (row) indices, ascending.
+	Paths []int
+	// Links holds the global virtual-link (column) indices, ascending.
+	Links []int
+}
+
+// Partition splits a routing matrix into its link-connected components and
+// groups them into shards for parallel processing. It is immutable after
+// NewPartition and safe for concurrent use.
+type Partition struct {
+	rm       *RoutingMatrix
+	comps    []Component
+	pathComp []int // path index -> component index
+	linkComp []int // virtual-link index -> component index
+}
+
+// NewPartition computes the link-connected components of rm by union-find
+// over the link supports: every virtual link unions the paths traversing
+// it, and the resulting path classes (with their links) are the components.
+// Components are numbered in order of their smallest path index, so the
+// decomposition is deterministic for a given routing matrix.
+func NewPartition(rm *RoutingMatrix) *Partition {
+	np := rm.NumPaths()
+	nc := rm.NumLinks()
+	parent := make([]int, np)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]] // path halving
+			x = parent[x]
+		}
+		return x
+	}
+	union := func(a, b int) {
+		ra, rb := find(a), find(b)
+		if ra == rb {
+			return
+		}
+		// Attach the larger root under the smaller so the representative of
+		// every class is its smallest path index — convenient for the
+		// deterministic component numbering below.
+		if ra < rb {
+			parent[rb] = ra
+		} else {
+			parent[ra] = rb
+		}
+	}
+	for k := 0; k < nc; k++ {
+		ps := rm.PathsThrough(k)
+		for _, p := range ps[1:] {
+			union(ps[0], p)
+		}
+	}
+	p := &Partition{
+		rm:       rm,
+		pathComp: make([]int, np),
+		linkComp: make([]int, nc),
+	}
+	compOfRoot := make(map[int]int, 8)
+	for i := 0; i < np; i++ {
+		root := find(i)
+		c, ok := compOfRoot[root]
+		if !ok {
+			c = len(p.comps)
+			compOfRoot[root] = c
+			p.comps = append(p.comps, Component{})
+		}
+		p.pathComp[i] = c
+		p.comps[c].Paths = append(p.comps[c].Paths, i)
+	}
+	for k := 0; k < nc; k++ {
+		// Every covered link has at least one path; all of them share one
+		// component by construction.
+		c := p.pathComp[rm.PathsThrough(k)[0]]
+		p.linkComp[k] = c
+		p.comps[c].Links = append(p.comps[c].Links, k)
+	}
+	return p
+}
+
+// RoutingMatrix returns the matrix the partition decomposes.
+func (p *Partition) RoutingMatrix() *RoutingMatrix { return p.rm }
+
+// NumComponents returns the number of link-connected components.
+func (p *Partition) NumComponents() int { return len(p.comps) }
+
+// Component returns component c. The slices are shared; do not modify.
+func (p *Partition) Component(c int) Component { return p.comps[c] }
+
+// ComponentOfPath returns the component index of global path i.
+func (p *Partition) ComponentOfPath(i int) int { return p.pathComp[i] }
+
+// ComponentOfLink returns the component index of global virtual link k.
+func (p *Partition) ComponentOfLink(k int) int { return p.linkComp[k] }
+
+// PairWeight estimates the Phase-1 cost of component c as its augmented
+// pair count n(n+1)/2 — the number of covariance equations its paths
+// produce, and the superlinear term sharding erases for the pairs that
+// straddle components (their supports are empty).
+func (p *Partition) PairWeight(c int) int {
+	n := len(p.comps[c].Paths)
+	return n * (n + 1) / 2
+}
+
+// Shards groups the components into at most k shards with roughly equal
+// total pair weight, returning the component indices of each shard. The
+// grouping is the classic longest-processing-time greedy: components are
+// placed heaviest-first onto the currently lightest shard, with all ties
+// broken by index, so the layout is deterministic. Fewer than k components
+// yield one shard per component; k < 1 is treated as 1.
+func (p *Partition) Shards(k int) [][]int {
+	n := len(p.comps)
+	if k < 1 {
+		k = 1
+	}
+	if k > n {
+		k = n
+	}
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		wa, wb := p.PairWeight(order[a]), p.PairWeight(order[b])
+		if wa != wb {
+			return wa > wb
+		}
+		return order[a] < order[b]
+	})
+	shards := make([][]int, k)
+	load := make([]int, k)
+	for _, c := range order {
+		lightest := 0
+		for s := 1; s < k; s++ {
+			if load[s] < load[lightest] {
+				lightest = s
+			}
+		}
+		shards[lightest] = append(shards[lightest], c)
+		load[lightest] += p.PairWeight(c)
+	}
+	// Components within a shard process in index order; empty shards cannot
+	// occur (k ≤ n and LPT fills lightest-first).
+	for _, s := range shards {
+		sort.Ints(s)
+	}
+	return shards
+}
+
+// ComponentMatrix builds the reduced routing matrix of component c alone
+// and the index map from its local virtual links to the global ones
+// (localLinks[kl] is the global index of local link kl).
+//
+// The alias reduction is stable under restriction to a link-connected
+// component: two physical links merge locally exactly when they merge
+// globally, because every path through either link lies inside the
+// component. The local matrix therefore has the component's links one for
+// one — estimates computed on it are the estimates of a full engine run on
+// the component's paths, by construction rather than by approximation.
+// Local path row pl corresponds to global path Component(c).Paths[pl].
+func (p *Partition) ComponentMatrix(c int) (sub *RoutingMatrix, localLinks []int, err error) {
+	comp := p.comps[c]
+	paths := make([]Path, len(comp.Paths))
+	for pl, pg := range comp.Paths {
+		paths[pl] = p.rm.Path(pg)
+	}
+	sub, err = Build(paths)
+	if err != nil {
+		return nil, nil, fmt.Errorf("topology: component %d: %w", c, err)
+	}
+	if sub.NumLinks() != len(comp.Links) {
+		// Unreachable if the restriction argument above holds; guard so a
+		// violation surfaces as an error instead of silent misattribution.
+		return nil, nil, fmt.Errorf("topology: component %d reduced to %d links, expected %d",
+			c, sub.NumLinks(), len(comp.Links))
+	}
+	localLinks = make([]int, sub.NumLinks())
+	for kl := range localLinks {
+		kg, ok := p.rm.VirtualOf(sub.Members(kl)[0])
+		if !ok || p.linkComp[kg] != c {
+			return nil, nil, fmt.Errorf("topology: component %d local link %d does not map back to the component", c, kl)
+		}
+		localLinks[kl] = kg
+	}
+	return sub, localLinks, nil
+}

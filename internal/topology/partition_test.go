@@ -1,0 +1,276 @@
+package topology
+
+import (
+	"reflect"
+	"testing"
+)
+
+// starPaths builds a 2-level star component: n leaf paths sharing one root
+// link, with link IDs offset by base so several stars are link-disjoint.
+func starPaths(base, beacon, n int) []Path {
+	paths := make([]Path, n)
+	for i := range paths {
+		paths[i] = Path{Beacon: beacon, Dst: beacon + 1 + i, Links: []int{base, base + 1 + i}}
+	}
+	return paths
+}
+
+// interleave merges several path sets round-robin, so component rows are
+// non-contiguous in the global matrix and the index maps actually work.
+func interleave(sets ...[]Path) []Path {
+	var out []Path
+	for i := 0; ; i++ {
+		added := false
+		for _, s := range sets {
+			if i < len(s) {
+				out = append(out, s[i])
+				added = true
+			}
+		}
+		if !added {
+			return out
+		}
+	}
+}
+
+func TestPartitionConnectedTopology(t *testing.T) {
+	rm, err := Build(starPaths(0, 100, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := NewPartition(rm)
+	if p.NumComponents() != 1 {
+		t.Fatalf("connected star split into %d components", p.NumComponents())
+	}
+	comp := p.Component(0)
+	if len(comp.Paths) != rm.NumPaths() || len(comp.Links) != rm.NumLinks() {
+		t.Fatalf("component covers %d paths / %d links, want %d / %d",
+			len(comp.Paths), len(comp.Links), rm.NumPaths(), rm.NumLinks())
+	}
+	shards := p.Shards(4)
+	if len(shards) != 1 || len(shards[0]) != 1 {
+		t.Fatalf("Shards(4) on one component = %v, want one singleton shard", shards)
+	}
+	sub, links, err := p.ComponentMatrix(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.NumPaths() != rm.NumPaths() || sub.NumLinks() != rm.NumLinks() {
+		t.Fatalf("component matrix is %dx%d, want %dx%d",
+			sub.NumPaths(), sub.NumLinks(), rm.NumPaths(), rm.NumLinks())
+	}
+	// The rebuilt matrix of the sole component is the original matrix: same
+	// paths in the same order, so the reduction is identical.
+	for i := 0; i < rm.NumPaths(); i++ {
+		want := rm.Row(i)
+		got := make([]int, 0, len(want))
+		for _, kl := range sub.Row(i) {
+			got = append(got, links[kl])
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("path %d: component row maps to %v, want %v", i, got, want)
+		}
+	}
+}
+
+func TestPartitionDisjointComponents(t *testing.T) {
+	a := starPaths(0, 100, 4)
+	b := starPaths(1000, 200, 3)
+	c := starPaths(2000, 300, 2)
+	rm, err := Build(interleave(a, b, c))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := NewPartition(rm)
+	if p.NumComponents() != 3 {
+		t.Fatalf("3 disjoint stars split into %d components", p.NumComponents())
+	}
+	// Every path's component agrees with its links' components, and the
+	// per-component path/link lists are exactly the global index sets.
+	seenPaths, seenLinks := 0, 0
+	for ci := 0; ci < p.NumComponents(); ci++ {
+		comp := p.Component(ci)
+		seenPaths += len(comp.Paths)
+		seenLinks += len(comp.Links)
+		for _, pi := range comp.Paths {
+			if p.ComponentOfPath(pi) != ci {
+				t.Fatalf("path %d listed in component %d but maps to %d", pi, ci, p.ComponentOfPath(pi))
+			}
+			for _, k := range rm.Row(pi) {
+				if p.ComponentOfLink(k) != ci {
+					t.Fatalf("path %d (component %d) traverses link %d of component %d",
+						pi, ci, k, p.ComponentOfLink(k))
+				}
+			}
+		}
+	}
+	if seenPaths != rm.NumPaths() || seenLinks != rm.NumLinks() {
+		t.Fatalf("components cover %d paths / %d links, want %d / %d",
+			seenPaths, seenLinks, rm.NumPaths(), rm.NumLinks())
+	}
+	// Component matrices map 1:1 back onto the global virtual links.
+	for ci := 0; ci < p.NumComponents(); ci++ {
+		sub, links, err := p.ComponentMatrix(ci)
+		if err != nil {
+			t.Fatal(err)
+		}
+		comp := p.Component(ci)
+		if sub.NumLinks() != len(comp.Links) || sub.NumPaths() != len(comp.Paths) {
+			t.Fatalf("component %d matrix is %dx%d, want %dx%d",
+				ci, sub.NumPaths(), sub.NumLinks(), len(comp.Paths), len(comp.Links))
+		}
+		for kl, kg := range links {
+			if !reflect.DeepEqual(sub.Members(kl), rm.Members(kg)) {
+				t.Fatalf("component %d local link %d members %v != global link %d members %v",
+					ci, kl, sub.Members(kl), kg, rm.Members(kg))
+			}
+		}
+		for pl, pg := range comp.Paths {
+			want := rm.Row(pg)
+			got := make([]int, 0, len(want))
+			for _, kl := range sub.Row(pl) {
+				got = append(got, links[kl])
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("component %d local path %d maps to links %v, global path %d has %v",
+					ci, pl, got, pg, want)
+			}
+		}
+	}
+}
+
+func TestPartitionSinglePathComponents(t *testing.T) {
+	// Every path uses its own private links: np singleton components.
+	paths := []Path{
+		{Beacon: 0, Dst: 1, Links: []int{10, 11}},
+		{Beacon: 0, Dst: 2, Links: []int{20}},
+		{Beacon: 0, Dst: 3, Links: []int{30, 31, 32}},
+	}
+	rm, err := Build(paths)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := NewPartition(rm)
+	if p.NumComponents() != 3 {
+		t.Fatalf("3 link-disjoint paths split into %d components", p.NumComponents())
+	}
+	for ci := 0; ci < 3; ci++ {
+		comp := p.Component(ci)
+		if len(comp.Paths) != 1 || comp.Paths[0] != ci {
+			t.Fatalf("component %d holds paths %v, want [%d]", ci, comp.Paths, ci)
+		}
+		sub, _, err := p.ComponentMatrix(ci)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// An unbranched single path alias-reduces to one virtual link.
+		if sub.NumPaths() != 1 || sub.NumLinks() != 1 {
+			t.Fatalf("component %d matrix is %dx%d, want 1x1", ci, sub.NumPaths(), sub.NumLinks())
+		}
+	}
+}
+
+func TestPartitionAfterFlutteringRepair(t *testing.T) {
+	// Two routes between the same host pair disagreeing on links (route
+	// fluttering, T.2): the repair drops the later one, and the partition
+	// of the repaired set must not reference the dropped row.
+	flutter := []Path{
+		{Beacon: 0, Dst: 5, Links: []int{1, 2, 3}},
+		{Beacon: 0, Dst: 6, Links: []int{1, 9, 3}}, // meets 1, diverges, re-meets 3
+		{Beacon: 0, Dst: 7, Links: []int{1, 4}},
+		{Beacon: 9, Dst: 8, Links: []int{100}},
+	}
+	kept, removed := RemoveFluttering(flutter)
+	if len(removed) == 0 {
+		t.Fatal("fluttering path set repaired nothing")
+	}
+	rm, err := Build(kept)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := NewPartition(rm)
+	if p.NumComponents() != 2 {
+		t.Fatalf("repaired set split into %d components, want 2", p.NumComponents())
+	}
+	total := 0
+	for ci := 0; ci < p.NumComponents(); ci++ {
+		comp := p.Component(ci)
+		total += len(comp.Paths)
+		for _, pi := range comp.Paths {
+			if pi >= rm.NumPaths() {
+				t.Fatalf("component %d references row %d beyond the repaired matrix (%d rows)",
+					ci, pi, rm.NumPaths())
+			}
+		}
+		if _, _, err := p.ComponentMatrix(ci); err != nil {
+			t.Fatalf("component %d: %v", ci, err)
+		}
+	}
+	if total != len(kept) {
+		t.Fatalf("components cover %d paths, repaired set has %d", total, len(kept))
+	}
+}
+
+func TestPartitionShardsBalanceAndCap(t *testing.T) {
+	// Components of very different weight: 8, 4, 3, 1, 1 paths.
+	rm, err := Build(interleave(
+		starPaths(0, 100, 8),
+		starPaths(1000, 200, 4),
+		starPaths(2000, 300, 3),
+		starPaths(3000, 400, 1),
+		starPaths(4000, 500, 1),
+	))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := NewPartition(rm)
+	if p.NumComponents() != 5 {
+		t.Fatalf("got %d components, want 5", p.NumComponents())
+	}
+	// k beyond the component count caps at one shard per component.
+	if got := p.Shards(64); len(got) != 5 {
+		t.Fatalf("Shards(64) produced %d shards, want 5", len(got))
+	}
+	// k = 2: LPT must not put the heaviest two components together while a
+	// lighter shard exists; with weights 36, 10, 6, 1, 1 the heavy star sits
+	// alone-ish and total weight splits 36 vs 18.
+	shards := p.Shards(2)
+	if len(shards) != 2 {
+		t.Fatalf("Shards(2) produced %d shards", len(shards))
+	}
+	covered := map[int]bool{}
+	loads := make([]int, len(shards))
+	for si, s := range shards {
+		for _, c := range s {
+			if covered[c] {
+				t.Fatalf("component %d assigned twice", c)
+			}
+			covered[c] = true
+			loads[si] += p.PairWeight(c)
+		}
+		if len(s) == 0 {
+			t.Fatalf("shard %d is empty", si)
+		}
+	}
+	if len(covered) != 5 {
+		t.Fatalf("shards cover %d components, want 5", len(covered))
+	}
+	if loads[0]+loads[1] != 36+10+6+1+1 {
+		t.Fatalf("shard loads %v do not cover the total weight", loads)
+	}
+	max := loads[0]
+	if loads[1] > max {
+		max = loads[1]
+	}
+	if max != 36 {
+		t.Fatalf("max shard load %d, LPT should isolate the 36-weight component", max)
+	}
+	// Determinism: same inputs, same layout.
+	if again := p.Shards(2); !reflect.DeepEqual(again, shards) {
+		t.Fatalf("Shards(2) not deterministic: %v then %v", shards, again)
+	}
+	// k < 1 degrades to a single shard holding everything.
+	if one := p.Shards(0); len(one) != 1 || len(one[0]) != 5 {
+		t.Fatalf("Shards(0) = %v, want one shard with all 5 components", one)
+	}
+}

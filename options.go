@@ -75,6 +75,7 @@ type settings struct {
 	window   int
 	decay    float64
 	decaySet bool
+	shards   int
 }
 
 // newAccumulator builds the moment accumulator the options select:
@@ -159,6 +160,23 @@ func WithNegCovPolicy(p NegCovPolicy) Option {
 // Mutually exclusive with WithDecay.
 func WithWindow(n int) Option {
 	return func(s *settings) { s.window = n }
+}
+
+// WithShards requests topology sharding: the routing matrix is split into
+// its link-disjoint components (see topology.Partition) and the components
+// are grouped into at most k shards whose Phase-1/Phase-2 rebuilds run
+// concurrently, each with its own accumulator and caches. k = 0 (the
+// default) is the auto policy: New shards whenever the topology is
+// disconnected, sizing the shard count to GOMAXPROCS; k = 1 forces the
+// single unsharded engine; k > 1 requests up to k shards (never more than
+// the number of components — and a fully connected topology always gets
+// the plain Engine, where sharding could only add overhead). Sharding is
+// exact, not approximate: each
+// component's estimates are bitwise-identical to an unsharded engine run on
+// that component alone. The option selects the implementation New returns;
+// NewEngine ignores it and NewShardedEngine honors the count.
+func WithShards(k int) Option {
+	return func(s *settings) { s.shards = k }
 }
 
 // WithDecay exponentially decays the engine's second-order moments: before

@@ -90,6 +90,8 @@ type TopoStatus struct {
 	Rebuilds        uint64  `json:"rebuilds"`
 	ElimReuses      uint64  `json:"elim_reuses"`
 	LastRebuildMs   float64 `json:"last_rebuild_ms"`
+	Shards          int     `json:"shards"`
+	Components      int     `json:"components"`
 	Window          int     `json:"window"`
 	Decay           float64 `json:"decay"`
 	Threshold       float64 `json:"threshold"`
@@ -102,11 +104,15 @@ type TopoStatus struct {
 
 // StatusResponse is the body of GET /v1/status.
 type StatusResponse struct {
-	UptimeSeconds   float64               `json:"uptime_seconds"`
-	Default         string                `json:"default"`
-	RebuildEvery    int                   `json:"rebuild_every"`
-	RebuildInterval string                `json:"rebuild_interval"`
-	Topologies      map[string]TopoStatus `json:"topologies"`
+	UptimeSeconds   float64 `json:"uptime_seconds"`
+	Default         string  `json:"default"`
+	RebuildEvery    int     `json:"rebuild_every"`
+	RebuildInterval string  `json:"rebuild_interval"`
+	// Shards is the configured server-wide shard policy (Config.Shards:
+	// 0 = auto, 1 = unsharded, k = up to k shards); each topology reports
+	// its actual shard and component counts.
+	Shards     int                   `json:"shards"`
+	Topologies map[string]TopoStatus `json:"topologies"`
 }
 
 // HealthResponse is the body of GET /healthz.
@@ -322,6 +328,7 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 		UptimeSeconds:   time.Since(s.start).Seconds(),
 		RebuildEvery:    s.cfg.RebuildEvery,
 		RebuildInterval: s.cfg.RebuildInterval.String(),
+		Shards:          s.cfg.Shards,
 		Topologies:      make(map[string]TopoStatus, len(names)),
 	}
 	if len(names) > 0 {
@@ -343,6 +350,8 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 			Rebuilds:        st.Rebuilds,
 			ElimReuses:      st.ElimReuses,
 			LastRebuildMs:   float64(st.LastRebuild) / float64(time.Millisecond),
+			Shards:          st.Shards,
+			Components:      st.Components,
 			Window:          st.Window,
 			Decay:           st.Decay,
 			Threshold:       tp.eng.Threshold(),

@@ -37,6 +37,10 @@ var metricDefs = []metricDef{
 		func(tp *topo) float64 { return float64(tp.eng.RoutingMatrix().NumPaths()) }},
 	{"liaserve_links", "Routing-matrix virtual-link count.", "gauge",
 		func(tp *topo) float64 { return float64(tp.eng.RoutingMatrix().NumLinks()) }},
+	{"liaserve_shards", "Concurrent rebuild shards of the engine (0 = unsharded).", "gauge",
+		func(tp *topo) float64 { return float64(tp.eng.Stats().Shards) }},
+	{"liaserve_components", "Link-connected topology components (0 = unsharded engine).", "gauge",
+		func(tp *topo) float64 { return float64(tp.eng.Stats().Components) }},
 }
 
 // handleMetrics writes the Prometheus text exposition (version 0.0.4): one

@@ -59,6 +59,14 @@ type Config struct {
 	// 0 selects 250ms.
 	PollInterval time.Duration
 
+	// Shards records the shard policy the operator configured for this
+	// server's engines (the value handed to lia.WithShards when they were
+	// built: 0 = auto, 1 = unsharded, k = up to k shards). It is
+	// observability metadata — /v1/status reports it as the server-wide
+	// default next to each engine's actual shard and component counts,
+	// which come from Engine.Stats.
+	Shards int
+
 	// Logf receives operational log lines (source errors, rebuild
 	// failures). nil selects log.Printf.
 	Logf func(format string, args ...any)
@@ -66,8 +74,10 @@ type Config struct {
 
 // Topology is one named inference domain served by the Server.
 type Topology struct {
-	// Engine is the inference session (required).
-	Engine *lia.Engine
+	// Engine is the inference session (required): a *lia.Engine, or a
+	// *lia.ShardedEngine for partitioned topologies whose components
+	// rebuild concurrently.
+	Engine lia.Inferencer
 
 	// Probes is the probe count behind "frac" snapshot payloads, used to
 	// clamp zero-delivery paths in the log conversion (0 selects 1000).
@@ -81,7 +91,7 @@ type Topology struct {
 // topo is the server-side state of one registered topology.
 type topo struct {
 	name    string
-	eng     *lia.Engine
+	eng     lia.Inferencer
 	probes  int
 	sources []lia.SnapshotSource
 

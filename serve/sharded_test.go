@@ -1,0 +1,135 @@
+package serve_test
+
+// sharded_test.go serves a ShardedEngine over a two-component topology and
+// checks the API surface end to end: status and metrics report the shard
+// and component counts, ingestion scatters to the per-component
+// accumulators, and the served inference is bitwise-identical to an offline
+// sharded engine fed the same snapshots.
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http/httptest"
+	"regexp"
+	"testing"
+
+	"lia"
+	"lia/serve"
+)
+
+// twoComponentPaths joins two link-disjoint probing stars (each a shared
+// root link fanning out to leaf links) into one path set.
+func twoComponentPaths() []lia.Path {
+	var paths []lia.Path
+	for comp, base := range []int{0, 1000} {
+		for i := 0; i < 3+comp; i++ {
+			paths = append(paths, lia.Path{
+				Beacon: base,
+				Dst:    base + 1 + i,
+				Links:  []int{base + 1, base + 2 + i},
+			})
+		}
+	}
+	return paths
+}
+
+func TestServedShardedEngine(t *testing.T) {
+	rm, err := lia.NewTopology(twoComponentPaths())
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := lia.New(rm, lia.WithShards(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	se, ok := eng.(*lia.ShardedEngine)
+	if !ok {
+		t.Fatalf("two-component topology built a %T, want *lia.ShardedEngine", eng)
+	}
+	if se.NumComponents() != 2 || se.NumShards() != 2 {
+		t.Fatalf("engine has %d components in %d shards, want 2 in 2", se.NumComponents(), se.NumShards())
+	}
+	s := serve.New(serve.Config{RebuildEvery: -1, Shards: 2, Logf: t.Logf})
+	if err := s.Add("multi", serve.Topology{Engine: eng, Probes: 400}); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	// Offline reference: a second sharded engine fed the same snapshots.
+	ref, err := lia.New(rm, lia.WithShards(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ys := testVectors(t, rm, 11, 40)
+	if err := ref.IngestBatch(ys); err != nil {
+		t.Fatal(err)
+	}
+	batch := map[string]any{"snapshots": []map[string]any{}}
+	for _, y := range ys {
+		batch["snapshots"] = append(batch["snapshots"].([]map[string]any), map[string]any{"y": y})
+	}
+	if code, body := do(t, "POST", ts.URL+"/v1/snapshots", batch); code != 200 {
+		t.Fatalf("ingest: %d %s", code, body)
+	}
+
+	code, body := do(t, "GET", ts.URL+"/v1/status", nil)
+	if code != 200 {
+		t.Fatalf("status: %d %s", code, body)
+	}
+	var status serve.StatusResponse
+	if err := json.Unmarshal(body, &status); err != nil {
+		t.Fatal(err)
+	}
+	if status.Shards != 2 {
+		t.Fatalf("status reports server shard policy %d, want 2", status.Shards)
+	}
+	topo := status.Topologies["multi"]
+	if topo.Shards != 2 || topo.Components != 2 {
+		t.Fatalf("topology reports %d shards / %d components, want 2 / 2", topo.Shards, topo.Components)
+	}
+	if topo.Snapshots != len(ys) {
+		t.Fatalf("topology absorbed %d snapshots, want %d", topo.Snapshots, len(ys))
+	}
+
+	// Inference parity against the offline engine, link by link.
+	probe := testVectors(t, rm, 99, 1)[0]
+	code, body = do(t, "POST", ts.URL+"/v1/infer", map[string]any{"y": probe})
+	if code != 200 {
+		t.Fatalf("infer: %d %s", code, body)
+	}
+	var inf serve.InferResponse
+	if err := json.Unmarshal(body, &inf); err != nil {
+		t.Fatal(err)
+	}
+	want, err := ref.Infer(t.Context(), probe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(inf.Links) != rm.NumLinks() {
+		t.Fatalf("inference over %d links, want %d", len(inf.Links), rm.NumLinks())
+	}
+	for k, link := range inf.Links {
+		// JSON round-trips float64 exactly (encoding/json emits the
+		// shortest uniquely-decodable representation).
+		if link.LossRate != want.LossRates[k] || link.Variance != want.Variances[k] {
+			t.Fatalf("link %d: served (%g, %g) != offline sharded (%g, %g)",
+				k, link.LossRate, link.Variance, want.LossRates[k], want.Variances[k])
+		}
+	}
+
+	// Metrics exposition carries the shard/component gauges.
+	code, body = do(t, "GET", ts.URL+"/metrics", nil)
+	if code != 200 {
+		t.Fatalf("metrics: %d", code)
+	}
+	for _, pat := range []string{
+		`liaserve_shards\{topology="multi"\} 2`,
+		`liaserve_components\{topology="multi"\} 2`,
+		fmt.Sprintf(`liaserve_snapshots_total\{topology="multi"\} %d`, len(ys)),
+	} {
+		if !regexp.MustCompile(pat).Match(body) {
+			t.Fatalf("metrics missing %s:\n%s", pat, body)
+		}
+	}
+}

@@ -1,0 +1,500 @@
+package lia
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"lia/internal/topology"
+)
+
+// Inferencer is the behavioural surface shared by Engine and ShardedEngine:
+// everything a serving layer needs to stream learning data in and query
+// estimates out, without caring whether the topology runs as one solver or
+// as many. New returns the right implementation for a routing matrix.
+type Inferencer interface {
+	// RoutingMatrix returns the (global) matrix the engine operates on.
+	RoutingMatrix() *RoutingMatrix
+	// Snapshots returns the lifetime number of learning snapshots ingested.
+	Snapshots() int
+	// Threshold returns the effective congestion threshold tl.
+	Threshold() float64
+	// Ingest folds one learning snapshot of per-path observations.
+	Ingest(y []float64) error
+	// IngestBatch folds a batch of snapshots atomically.
+	IngestBatch(ys [][]float64) error
+	// Consume drains a source, ingesting every snapshot it yields.
+	Consume(ctx context.Context, src SnapshotSource) (int, error)
+	// Infer runs Phase 2 on one observation vector.
+	Infer(ctx context.Context, y []float64) (*Result, error)
+	// InferCongested runs Infer and classifies links against Threshold.
+	InferCongested(ctx context.Context, y []float64) ([]bool, *Result, error)
+	// Variances returns the Phase-1 per-link variance estimates.
+	Variances(ctx context.Context) ([]float64, error)
+	// Eliminated returns the Phase-2 kept/removed partition.
+	Eliminated(ctx context.Context) (kept, removed []int, err error)
+	// Steady returns one consistent steady-state learning view.
+	Steady(ctx context.Context) (*SteadyState, error)
+	// Stats reports observability counters.
+	Stats() Stats
+}
+
+// Interface conformance, checked at compile time.
+var (
+	_ Inferencer = (*Engine)(nil)
+	_ Inferencer = (*ShardedEngine)(nil)
+)
+
+// New returns the appropriate inference engine for the routing matrix: a
+// ShardedEngine when WithShards requests more than one shard or when — with
+// the default WithShards(0) auto policy — the topology splits into several
+// link-disjoint components, and a plain Engine otherwise. WithShards(1)
+// forces the single unsharded engine regardless of the topology.
+func New(rm *RoutingMatrix, options ...Option) (Inferencer, error) {
+	if rm == nil {
+		return nil, errors.New("lia: nil routing matrix")
+	}
+	var s settings
+	for _, o := range options {
+		o(&s)
+	}
+	if s.shards < 0 {
+		return nil, fmt.Errorf("lia: shard count %d must be non-negative", s.shards)
+	}
+	if s.shards == 1 {
+		return NewEngine(rm, options...)
+	}
+	part := topology.NewPartition(rm)
+	if part.NumComponents() == 1 {
+		// One component means the sharded machinery could only add scatter/
+		// gather overhead around a single inner engine; the plain Engine is
+		// equivalent (bitwise) and strictly cheaper, whatever k was asked.
+		return NewEngine(rm, options...)
+	}
+	return newShardedEngine(rm, part, &s, options)
+}
+
+// shardComponent is one link-connected component of a sharded engine: an
+// inner Engine over the component's own routing matrix plus the index maps
+// tying its local rows and columns back to the global ones.
+type shardComponent struct {
+	eng   *Engine
+	paths []int // global path indices (ascending); local row pl = paths[pl]
+	links []int // local virtual link kl -> global virtual link
+
+	// scratch and batchScratch are the scatter buffers for serialized
+	// ingestion, reused across calls under the sharded engine's ingest lock
+	// (the accumulators copy what they need before Ingest/IngestBatch
+	// return). batchScratch grows to the largest batch seen.
+	scratch      []float64
+	batchScratch []float64
+	batchSub     [][]float64
+}
+
+// scatterBatch scatters a whole batch into the component's cached batch
+// buffers and returns the per-snapshot views. Caller must hold the sharded
+// engine's ingest lock.
+func (sc *shardComponent) scatterBatch(ys [][]float64) [][]float64 {
+	np := len(sc.paths)
+	if cap(sc.batchScratch) < len(ys)*np {
+		sc.batchScratch = make([]float64, len(ys)*np)
+		sc.batchSub = make([][]float64, len(ys))
+	}
+	sub := sc.batchSub[:0]
+	for i, y := range ys {
+		sub = append(sub, sc.scatter(y, sc.batchScratch[i*np:(i+1)*np]))
+	}
+	sc.batchSub = sub
+	return sub
+}
+
+// scatter copies the component's rows out of a global observation vector
+// into dst (allocated when nil) and returns it.
+func (sc *shardComponent) scatter(y []float64, dst []float64) []float64 {
+	if dst == nil {
+		dst = make([]float64, len(sc.paths))
+	}
+	for pl, pg := range sc.paths {
+		dst[pl] = y[pg]
+	}
+	return dst
+}
+
+// ShardedEngine runs one inference session over a partitioned routing
+// matrix: the topology's link-connected components (see topology.Partition)
+// each get their own complete solver — accumulator, cached Phase-1
+// Gram/Cholesky factorization and Phase-2 elimination cache — and the
+// components are grouped into shards that rebuild concurrently. Ingested
+// snapshots are scattered to the per-component accumulators; Infer,
+// Variances, Eliminated and Steady gather the per-component results back
+// into global link order.
+//
+// Phase 1's moment system and Phase 2's elimination never couple paths that
+// share no links, so the decomposition is exact: each component's estimates
+// are bitwise-identical to a plain Engine run on that component's paths
+// alone. The win is superlinear — a component of n paths contributes
+// n(n+1)/2 covariance equations, so k equal components cost k·(n/k)² pair
+// work instead of n², and the shards rebuild on separate cores on top.
+//
+// Construct with NewShardedEngine (or New, which picks sharding
+// automatically for disconnected topologies). A ShardedEngine is safe for
+// concurrent use under the same contract as Engine.
+type ShardedEngine struct {
+	rm     *RoutingMatrix
+	part   *topology.Partition
+	comps  []*shardComponent
+	shards [][]int // component indices per concurrent rebuild group
+
+	threshold float64
+	window    int
+	decay     float64
+
+	mu    sync.Mutex // serialises ingestion so every component sees the same order
+	epoch atomic.Uint64
+}
+
+// NewShardedEngine creates a sharded engine over the routing matrix,
+// partitioning it into link-connected components and grouping them into at
+// most WithShards(k) concurrent rebuild groups (k = 0, the default, sizes
+// the group count to GOMAXPROCS; the count never exceeds the number of
+// components). All other options apply to every per-component solver
+// exactly as they would to a plain Engine.
+func NewShardedEngine(rm *RoutingMatrix, options ...Option) (*ShardedEngine, error) {
+	if rm == nil {
+		return nil, errors.New("lia: nil routing matrix")
+	}
+	var s settings
+	for _, o := range options {
+		o(&s)
+	}
+	if s.shards < 0 {
+		return nil, fmt.Errorf("lia: shard count %d must be non-negative", s.shards)
+	}
+	return newShardedEngine(rm, topology.NewPartition(rm), &s, options)
+}
+
+// newShardedEngine assembles the engine from an already-computed partition
+// (New hands over the one it used for the auto-shard decision) and the
+// resolved settings; options is re-threaded to the per-component engines.
+func newShardedEngine(rm *RoutingMatrix, part *topology.Partition, s *settings, options []Option) (*ShardedEngine, error) {
+	k := s.shards
+	if k == 0 {
+		k = runtime.GOMAXPROCS(0)
+	}
+	e := &ShardedEngine{
+		rm:     rm,
+		part:   part,
+		comps:  make([]*shardComponent, part.NumComponents()),
+		shards: part.Shards(k),
+	}
+	for c := range e.comps {
+		sub, links, err := part.ComponentMatrix(c)
+		if err != nil {
+			return nil, fmt.Errorf("lia: %w", err)
+		}
+		eng, err := NewEngine(sub, options...)
+		if err != nil {
+			return nil, err
+		}
+		e.comps[c] = &shardComponent{
+			eng:     eng,
+			paths:   part.Component(c).Paths,
+			links:   links,
+			scratch: make([]float64, sub.NumPaths()),
+		}
+	}
+	e.threshold = e.comps[0].eng.Threshold()
+	e.window = e.comps[0].eng.window
+	e.decay = e.comps[0].eng.decay
+	return e, nil
+}
+
+// RoutingMatrix returns the global matrix the engine operates on.
+func (e *ShardedEngine) RoutingMatrix() *RoutingMatrix { return e.rm }
+
+// Partition returns the topology decomposition behind the engine.
+func (e *ShardedEngine) Partition() *topology.Partition { return e.part }
+
+// NumShards returns the number of concurrent rebuild groups.
+func (e *ShardedEngine) NumShards() int { return len(e.shards) }
+
+// NumComponents returns the number of link-connected components.
+func (e *ShardedEngine) NumComponents() int { return len(e.comps) }
+
+// Snapshots returns the lifetime number of learning snapshots ingested.
+// Every snapshot scatters to every component, so the per-component counts
+// all equal this value.
+func (e *ShardedEngine) Snapshots() int { return int(e.epoch.Load()) }
+
+// Threshold returns the effective congestion threshold tl.
+func (e *ShardedEngine) Threshold() float64 { return e.threshold }
+
+// Ingest folds one learning snapshot, scattering its rows to every
+// component's accumulator. Safe for concurrent use; concurrent ingests
+// serialise so all components observe the same snapshot order.
+func (e *ShardedEngine) Ingest(y []float64) error {
+	if err := checkDim(e.rm, y); err != nil {
+		return err
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for _, sc := range e.comps {
+		if err := sc.eng.Ingest(sc.scatter(y, sc.scratch)); err != nil {
+			return err // unreachable: dimensions hold by construction
+		}
+	}
+	e.epoch.Add(1)
+	return nil
+}
+
+// IngestBatch folds a batch of snapshots under one serialisation point. All
+// vectors are validated against the global matrix before any is folded, so
+// a dimension error leaves every component's moments untouched.
+func (e *ShardedEngine) IngestBatch(ys [][]float64) error {
+	for i, y := range ys {
+		if err := checkDim(e.rm, y); err != nil {
+			return fmt.Errorf("lia: batch snapshot %d of %d (0 ingested): %w", i, len(ys), err)
+		}
+	}
+	if len(ys) == 0 {
+		return nil
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for _, sc := range e.comps {
+		if err := sc.eng.IngestBatch(sc.scatterBatch(ys)); err != nil {
+			return err // unreachable: dimensions hold by construction
+		}
+	}
+	e.epoch.Add(uint64(len(ys)))
+	return nil
+}
+
+// Consume pulls snapshots from a source until it is exhausted or the
+// context is cancelled, with the same batching semantics as Engine.Consume.
+func (e *ShardedEngine) Consume(ctx context.Context, src SnapshotSource) (int, error) {
+	return consumeSource(ctx, src, e.rm, e.IngestBatch)
+}
+
+// forEachComponent runs fn for every component, fanning the shards out on
+// their own goroutines; components within a shard run sequentially, which
+// is what bounds rebuild concurrency at the shard count. Errors join in
+// component-index order, deterministically.
+func (e *ShardedEngine) forEachComponent(fn func(c int, sc *shardComponent) error) error {
+	errs := make([]error, len(e.comps))
+	if len(e.shards) == 1 {
+		for _, c := range e.shards[0] {
+			errs[c] = fn(c, e.comps[c])
+		}
+	} else {
+		var wg sync.WaitGroup
+		for _, shard := range e.shards {
+			wg.Add(1)
+			go func(shard []int) {
+				defer wg.Done()
+				for _, c := range shard {
+					errs[c] = fn(c, e.comps[c])
+				}
+			}(shard)
+		}
+		wg.Wait()
+	}
+	return errors.Join(errs...)
+}
+
+// gatherSteady collects every component's consistent steady-state view,
+// concurrently per shard.
+func (e *ShardedEngine) gatherSteady(ctx context.Context) ([]*SteadyState, error) {
+	states := make([]*SteadyState, len(e.comps))
+	err := e.forEachComponent(func(c int, sc *shardComponent) error {
+		st, err := sc.eng.Steady(ctx)
+		states[c] = st
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	return states, nil
+}
+
+// globalEpoch reduces per-component state epochs to the global epoch the
+// gathered view represents: the minimum, i.e. the oldest state any
+// component served (they only diverge under concurrent ingestion).
+func globalEpoch(epochs []int) int {
+	min := epochs[0]
+	for _, e := range epochs[1:] {
+		if e < min {
+			min = e
+		}
+	}
+	return min
+}
+
+// Infer runs Phase 2 on one snapshot of per-path observations: each shard
+// solves its components' reduced systems concurrently, then the per-link
+// results gather back into global link order. Eliminated links report 0,
+// exactly as with Engine.Infer.
+func (e *ShardedEngine) Infer(ctx context.Context, y []float64) (*Result, error) {
+	if err := checkDim(e.rm, y); err != nil {
+		return nil, err
+	}
+	results := make([]*Result, len(e.comps))
+	err := e.forEachComponent(func(c int, sc *shardComponent) error {
+		res, err := sc.eng.Infer(ctx, sc.scatter(y, nil))
+		results[c] = res
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	nc := e.rm.NumLinks()
+	out := &Result{
+		LossRates: make([]float64, nc),
+		LogRates:  make([]float64, nc),
+		Variances: make([]float64, nc),
+	}
+	epochs := make([]int, len(results))
+	for c, res := range results {
+		links := e.comps[c].links
+		for kl, kg := range links {
+			out.LossRates[kg] = res.LossRates[kl]
+			out.LogRates[kg] = res.LogRates[kl]
+			out.Variances[kg] = res.Variances[kl]
+		}
+		for _, kl := range res.Kept {
+			out.Kept = append(out.Kept, links[kl])
+		}
+		for _, kl := range res.Removed {
+			out.Removed = append(out.Removed, links[kl])
+		}
+		epochs[c] = res.Epoch
+	}
+	sort.Ints(out.Kept)
+	sort.Ints(out.Removed)
+	out.Epoch = globalEpoch(epochs)
+	return out, nil
+}
+
+// InferCongested runs Infer and classifies every virtual link against the
+// engine's congestion threshold.
+func (e *ShardedEngine) InferCongested(ctx context.Context, y []float64) ([]bool, *Result, error) {
+	res, err := e.Infer(ctx, y)
+	if err != nil {
+		return nil, nil, err
+	}
+	return res.Congested(e.threshold), res, nil
+}
+
+// Steady returns the steady-state learning view gathered across all
+// components, in global link order. Per-component fields are mutually
+// consistent; the Epoch is the oldest component state in the view.
+func (e *ShardedEngine) Steady(ctx context.Context) (*SteadyState, error) {
+	states, err := e.gatherSteady(ctx)
+	if err != nil {
+		return nil, err
+	}
+	out := &SteadyState{Variances: make([]float64, e.rm.NumLinks())}
+	epochs := make([]int, len(states))
+	for c, st := range states {
+		links := e.comps[c].links
+		for kl, v := range st.Variances {
+			out.Variances[links[kl]] = v
+		}
+		for _, kl := range st.Kept {
+			out.Kept = append(out.Kept, links[kl])
+		}
+		for _, kl := range st.Removed {
+			out.Removed = append(out.Removed, links[kl])
+		}
+		epochs[c] = st.Epoch
+	}
+	sort.Ints(out.Kept)
+	sort.Ints(out.Removed)
+	out.Epoch = globalEpoch(epochs)
+	return out, nil
+}
+
+// Variances returns the Phase-1 per-link variance estimates in global link
+// order, rebuilding stale components (concurrently per shard) first.
+func (e *ShardedEngine) Variances(ctx context.Context) ([]float64, error) {
+	out := make([]float64, e.rm.NumLinks())
+	err := e.forEachComponent(func(c int, sc *shardComponent) error {
+		vars, err := sc.eng.Variances(ctx)
+		if err != nil {
+			return err
+		}
+		for kl, v := range vars {
+			out[sc.links[kl]] = v
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Eliminated returns the Phase-2 kept/removed partition in global link
+// order.
+func (e *ShardedEngine) Eliminated(ctx context.Context) (kept, removed []int, err error) {
+	st, err := e.Steady(ctx)
+	if err != nil {
+		return nil, nil, err
+	}
+	return st.Kept, st.Removed, nil
+}
+
+// CheckIdentifiable verifies identifiability component by component; the
+// whole matrix is identifiable exactly when every component is (the
+// augmented matrix is block-diagonal across components).
+func (e *ShardedEngine) CheckIdentifiable() error {
+	return e.forEachComponent(func(c int, sc *shardComponent) error {
+		if err := sc.eng.CheckIdentifiable(); err != nil {
+			return fmt.Errorf("component %d: %w", c, err)
+		}
+		return nil
+	})
+}
+
+// Stats aggregates the observability counters across components: Rebuilds
+// and ElimReuses sum, StateEpoch is the oldest component state (-1 before
+// every component rebuilt once), and LastRebuild is the slowest component's
+// most recent rebuild — the wall-clock floor of a full sharded rebuild.
+func (e *ShardedEngine) Stats() Stats {
+	s := Stats{
+		Snapshots:  int(e.epoch.Load()),
+		StateEpoch: -1,
+		Window:     e.window,
+		Decay:      e.decay,
+		Shards:     len(e.shards),
+		Components: len(e.comps),
+	}
+	oldest := -1
+	var last time.Duration
+	for c, sc := range e.comps {
+		cs := sc.eng.Stats()
+		s.Rebuilds += cs.Rebuilds
+		s.ElimReuses += cs.ElimReuses
+		if cs.LastRebuild > last {
+			last = cs.LastRebuild
+		}
+		if c == 0 || cs.StateEpoch < oldest {
+			oldest = cs.StateEpoch
+		}
+	}
+	s.LastRebuild = last
+	s.StateEpoch = oldest
+	if s.StateEpoch >= 0 {
+		if s.EpochLag = s.Snapshots - s.StateEpoch; s.EpochLag < 0 {
+			s.EpochLag = 0 // counters raced; lag is defined non-negative
+		}
+	} else {
+		s.EpochLag = s.Snapshots
+	}
+	return s
+}
