@@ -758,3 +758,47 @@ func BenchmarkPairIndexBuild(b *testing.B) {
 		rm.PrecomputePairSupports()
 	}
 }
+
+// BenchmarkSourceWrappers measures the per-snapshot cost the resilience
+// combinators add to a healthy stream: the same simulator source consumed
+// raw, behind RetrySource, and behind the full RetrySource+SanitizeSource
+// chain liaserve installs. With no faults to absorb, a retry attempt is one
+// delegated Next and the sanitizer one finite-check pass over the vector,
+// so the wrapped rows should sit within noise of the raw row — the paper's
+// inference math, not the armor, dominates the ingest path.
+func BenchmarkSourceWrappers(b *testing.B) {
+	rm, err := lia.NewTopology(apiTreePaths(2, 3))
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	sources := []struct {
+		name string
+		make func() lia.SnapshotSource
+	}{
+		{"raw", func() lia.SnapshotSource {
+			return lia.NewSimSource(rm, lia.SimConfig{Probes: 400, Seed: 42})
+		}},
+		{"retry", func() lia.SnapshotSource {
+			base := lia.NewSimSource(rm, lia.SimConfig{Probes: 400, Seed: 42})
+			return lia.RetrySource(base, lia.RetryPolicy{MaxAttempts: 10, Seed: 1})
+		}},
+		{"retry+sanitize", func() lia.SnapshotSource {
+			base := lia.NewSimSource(rm, lia.SimConfig{Probes: 400, Seed: 42})
+			hardened := lia.RetrySource(base, lia.RetryPolicy{MaxAttempts: 10, Seed: 1})
+			return lia.SanitizeSource(hardened, lia.SanitizeConfig{Dim: rm.NumPaths(), MaxAbs: 100})
+		}},
+	}
+	for _, tc := range sources {
+		b.Run(tc.name, func(b *testing.B) {
+			src := tc.make()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := src.Next(ctx); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,215 @@
+// Package chaos injects deterministic faults into lia snapshot streams —
+// the adversary the resilience layer is tested against.
+//
+// A chaos.Source wraps any lia.SnapshotSource with a seeded schedule of
+// the failure modes a production collector path exhibits: dropped
+// snapshots, duplicated deliveries, corrupted values (NaN poison and
+// amplitude spikes), stalls, transient errors, and mid-stream EOFs. The
+// schedule is a pure function of Config.Seed and the call sequence, so a
+// soak test replays bit-identically: the same seed produces the same
+// faults at the same positions, every run, on every machine.
+//
+// Fault probabilities compose in a fixed evaluation order per Next call —
+// transient error, mid-stream EOF, stall, then per-delivered-snapshot
+// drop, duplicate, corruption — each consuming its random draws whether or
+// not it fires, which is what keeps downstream faults aligned across runs
+// when an upstream probability is tuned to zero.
+package chaos
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"math/rand/v2"
+	"sync"
+	"time"
+
+	"lia"
+)
+
+// ErrInjected is the transient failure chaos.Source returns on an
+// error-injection tick, wrapped with the tick index; test with errors.Is.
+var ErrInjected = errors.New("chaos: injected transient error")
+
+// Config is the fault schedule of a Source. All probabilities are per
+// Next call (or per delivered snapshot, where noted) in [0, 1]; zero
+// values disable the corresponding fault, so the zero Config is a
+// transparent pass-through.
+type Config struct {
+	// Seed drives the whole schedule; the same seed reproduces the same
+	// fault sequence bit-for-bit.
+	Seed uint64
+
+	// TransientErr is the probability that Next fails with an error
+	// wrapping ErrInjected instead of delivering (the source stays usable;
+	// the snapshot is not consumed from the wrapped stream).
+	TransientErr float64
+
+	// EOF is the probability that Next reports a mid-stream io.EOF. A
+	// consumer like Engine.Consume treats it as exhaustion and returns
+	// cleanly; calling Next again resumes the stream — exactly the
+	// truncated-connection behaviour a TCP collector feed exhibits. Use
+	// Exhausted to distinguish injected EOFs from the real one.
+	EOF float64
+
+	// Stall is the probability that Next sleeps StallFor before
+	// proceeding (honouring context cancellation during the stall).
+	Stall float64
+
+	// StallFor is the stall duration (default 10ms).
+	StallFor time.Duration
+
+	// Drop is the probability that a snapshot pulled from the wrapped
+	// source is discarded and the next one delivered instead.
+	Drop float64
+
+	// Duplicate is the probability that the previously delivered snapshot
+	// is delivered again instead of pulling a new one.
+	Duplicate float64
+
+	// CorruptNaN is the probability that one entry of the delivered
+	// vector is replaced with NaN (on a private copy; the wrapped
+	// source's backing array is never touched).
+	CorruptNaN float64
+
+	// Spike is the probability that one entry is multiplied by
+	// SpikeFactor — the corrupted-magnitude case NaN checks miss.
+	Spike float64
+
+	// SpikeFactor is the spike multiplier (default 1e6).
+	SpikeFactor float64
+}
+
+// Stats counts the faults a Source has injected, by kind.
+type Stats struct {
+	Delivered  uint64 // snapshots handed to the consumer
+	Errors     uint64 // transient errors returned
+	EOFs       uint64 // mid-stream EOFs returned
+	Stalls     uint64
+	Drops      uint64
+	Duplicates uint64
+	NaNs       uint64
+	Spikes     uint64
+}
+
+// Source wraps a lia.SnapshotSource with the configured fault schedule.
+// Like every source in package lia it serialises internally and is safe to
+// hand between goroutines (one consumer at a time). It implements
+// io.Closer, propagating Close to the wrapped source.
+type Source struct {
+	src lia.SnapshotSource
+	cfg Config
+
+	mu        sync.Mutex
+	rng       *rand.Rand
+	tick      uint64
+	prev      []float64 // last delivered vector (for duplicates), owned copy
+	exhausted bool      // the wrapped source reported the real io.EOF
+	stats     Stats
+}
+
+// New wraps src with the fault schedule in cfg.
+func New(src lia.SnapshotSource, cfg Config) *Source {
+	if cfg.StallFor <= 0 {
+		cfg.StallFor = 10 * time.Millisecond
+	}
+	if cfg.SpikeFactor == 0 {
+		cfg.SpikeFactor = 1e6
+	}
+	return &Source{
+		src: src,
+		cfg: cfg,
+		rng: rand.New(rand.NewPCG(cfg.Seed, 0xC4405)),
+	}
+}
+
+// Next implements lia.SnapshotSource, applying the fault schedule.
+func (s *Source) Next(ctx context.Context) (lia.Snapshot, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.tick++
+	// Pre-delivery faults. Every branch consumes its draw unconditionally
+	// so the schedule downstream stays aligned when probabilities change.
+	injectErr := s.rng.Float64() < s.cfg.TransientErr
+	injectEOF := s.rng.Float64() < s.cfg.EOF
+	stall := s.rng.Float64() < s.cfg.Stall
+	dup := s.rng.Float64() < s.cfg.Duplicate
+	if injectErr {
+		s.stats.Errors++
+		return lia.Snapshot{}, fmt.Errorf("%w (tick %d)", ErrInjected, s.tick)
+	}
+	if injectEOF && !s.exhausted {
+		s.stats.EOFs++
+		return lia.Snapshot{}, io.EOF
+	}
+	if stall {
+		s.stats.Stalls++
+		timer := time.NewTimer(s.cfg.StallFor)
+		select {
+		case <-ctx.Done():
+			timer.Stop()
+			return lia.Snapshot{}, ctx.Err()
+		case <-timer.C:
+		}
+	}
+	if dup && s.prev != nil {
+		s.stats.Duplicates++
+		s.stats.Delivered++
+		return lia.Snapshot{Y: append([]float64(nil), s.prev...)}, nil
+	}
+	for {
+		snap, err := s.src.Next(ctx)
+		if err != nil {
+			if errors.Is(err, io.EOF) {
+				s.exhausted = true
+			}
+			return lia.Snapshot{}, err
+		}
+		if s.rng.Float64() < s.cfg.Drop {
+			s.stats.Drops++
+			continue
+		}
+		return s.deliver(snap), nil
+	}
+}
+
+// deliver applies value corruption to a private copy and records the
+// delivered vector for later duplication. Caller holds s.mu.
+func (s *Source) deliver(snap lia.Snapshot) lia.Snapshot {
+	y := append([]float64(nil), snap.Y...)
+	if len(y) > 0 {
+		if s.rng.Float64() < s.cfg.CorruptNaN {
+			y[s.rng.IntN(len(y))] = math.NaN()
+			s.stats.NaNs++
+		}
+		if s.rng.Float64() < s.cfg.Spike {
+			y[s.rng.IntN(len(y))] *= s.cfg.SpikeFactor
+			s.stats.Spikes++
+		}
+	}
+	s.prev = y
+	s.stats.Delivered++
+	return lia.Snapshot{Y: y, Truth: snap.Truth}
+}
+
+// Exhausted reports whether the wrapped source has returned its real
+// io.EOF — the signal that distinguishes a finished stream from an
+// injected mid-stream EOF, so resilient consumers know when to stop
+// re-consuming.
+func (s *Source) Exhausted() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.exhausted
+}
+
+// Stats returns the fault counters accumulated so far.
+func (s *Source) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+// Close propagates to the wrapped source when it is closeable.
+func (s *Source) Close() error { return lia.CloseSource(s.src) }

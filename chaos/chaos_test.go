@@ -1,0 +1,133 @@
+package chaos_test
+
+import (
+	"context"
+	"errors"
+	"io"
+	"math"
+	"testing"
+
+	"lia"
+	"lia/chaos"
+)
+
+// vectors builds n deterministic 3-path observation vectors.
+func vectors(n int) [][]float64 {
+	ys := make([][]float64, n)
+	for i := range ys {
+		ys[i] = []float64{-0.01 * float64(i+1), -0.02 * float64(i+1), -0.03 * float64(i+1)}
+	}
+	return ys
+}
+
+// drain pulls src to real exhaustion, resuming through injected errors and
+// EOFs, and returns the delivered vectors in order.
+func drain(t *testing.T, src *chaos.Source) [][]float64 {
+	t.Helper()
+	ctx := context.Background()
+	var out [][]float64
+	for {
+		snap, err := src.Next(ctx)
+		switch {
+		case err == nil:
+			out = append(out, snap.Y)
+		case errors.Is(err, chaos.ErrInjected):
+			// transient: retry
+		case errors.Is(err, io.EOF):
+			if src.Exhausted() {
+				return out
+			}
+			// injected mid-stream EOF: resume
+		default:
+			t.Fatalf("unexpected error: %v", err)
+		}
+	}
+}
+
+func TestChaosScheduleDeterministic(t *testing.T) {
+	cfg := chaos.Config{
+		Seed: 42, TransientErr: 0.1, EOF: 0.05, Drop: 0.1,
+		Duplicate: 0.1, CorruptNaN: 0.05, Spike: 0.05,
+	}
+	a := drain(t, chaos.New(lia.NewSliceSource(vectors(200)), cfg))
+	b := drain(t, chaos.New(lia.NewSliceSource(vectors(200)), cfg))
+	if len(a) != len(b) {
+		t.Fatalf("same seed delivered %d vs %d snapshots", len(a), len(b))
+	}
+	for i := range a {
+		for j := range a[i] {
+			if math.Float64bits(a[i][j]) != math.Float64bits(b[i][j]) {
+				t.Fatalf("snapshot %d entry %d: %v vs %v", i, j, a[i][j], b[i][j])
+			}
+		}
+	}
+	c := drain(t, chaos.New(lia.NewSliceSource(vectors(200)), chaos.Config{
+		Seed: 43, TransientErr: 0.1, EOF: 0.05, Drop: 0.1,
+		Duplicate: 0.1, CorruptNaN: 0.05, Spike: 0.05,
+	}))
+	if len(c) == len(a) {
+		same := true
+		for i := range c {
+			for j := range c[i] {
+				if math.Float64bits(c[i][j]) != math.Float64bits(a[i][j]) {
+					same = false
+				}
+			}
+		}
+		if same {
+			t.Fatal("different seeds produced an identical fault schedule")
+		}
+	}
+}
+
+func TestChaosZeroConfigIsTransparent(t *testing.T) {
+	ys := vectors(50)
+	got := drain(t, chaos.New(lia.NewSliceSource(ys), chaos.Config{Seed: 1}))
+	if len(got) != len(ys) {
+		t.Fatalf("delivered %d snapshots, want %d", len(got), len(ys))
+	}
+	for i := range ys {
+		for j := range ys[i] {
+			if math.Float64bits(got[i][j]) != math.Float64bits(ys[i][j]) {
+				t.Fatalf("snapshot %d altered by pass-through config", i)
+			}
+		}
+	}
+}
+
+func TestChaosInjectsEveryConfiguredFault(t *testing.T) {
+	src := chaos.New(lia.NewSliceSource(vectors(400)), chaos.Config{
+		Seed: 7, TransientErr: 0.1, EOF: 0.05, Drop: 0.15,
+		Duplicate: 0.1, CorruptNaN: 0.1, Spike: 0.1,
+	})
+	delivered := drain(t, src)
+	st := src.Stats()
+	if st.Errors == 0 || st.EOFs == 0 || st.Drops == 0 || st.Duplicates == 0 ||
+		st.NaNs == 0 || st.Spikes == 0 {
+		t.Fatalf("some faults never fired over 400 snapshots: %+v", st)
+	}
+	if st.Delivered != uint64(len(delivered)) {
+		t.Fatalf("Delivered counter %d, drained %d", st.Delivered, len(delivered))
+	}
+	nan := false
+	for _, y := range delivered {
+		for _, v := range y {
+			if math.IsNaN(v) {
+				nan = true
+			}
+		}
+	}
+	if !nan {
+		t.Fatal("NaN corruption counted but never observed in the stream")
+	}
+}
+
+func TestChaosClosePropagates(t *testing.T) {
+	f, err := lia.OpenFileSource("/dev/null", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := chaos.New(f, chaos.Config{}).Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+}

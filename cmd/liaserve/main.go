@@ -22,6 +22,15 @@
 //
 // SIGINT/SIGTERM drain in-flight requests and stop background ingestion
 // before exiting.
+//
+// The server degrades rather than fails: background sources are supervised
+// (a dead collector listener is re-opened with backoff), poisoned
+// snapshots are quarantined before they can reach the estimators, and
+// /v1/links keeps answering from the last successfully built state while
+// rebuilds fail. GET /readyz separates readiness (state built, sources
+// live) from /healthz liveness. The -chaos-kill-collector flag kills every
+// live collector listener once after the given delay — the fault-injection
+// hook the CI smoke test uses to verify the recovery path end to end.
 package main
 
 import (
@@ -100,6 +109,8 @@ func run(args []string) error {
 		simSeed     = fs.Uint64("sim-seed", 1, "simulator source seed")
 
 		shutdownGrace = fs.Duration("shutdown-grace", 10*time.Second, "drain window for in-flight requests on SIGINT/SIGTERM")
+
+		chaosKillCollector = fs.Duration("chaos-kill-collector", 0, "fault injection: kill every live collector listener once after this delay (0 disables; the source must reconnect on its own)")
 	)
 	fs.Var(&topos, "topo", "topology to serve, as name=file.json (repeatable; first is the default)")
 	fs.Var(&collect, "collect", "live collector listener, as name=host:port (repeatable)")
@@ -191,6 +202,7 @@ func run(args []string) error {
 		return nil
 	}
 	var closers []func() error
+	var collectors []*serve.CollectorSource
 	for _, spec := range collect {
 		st, addr, err := stateFor("collect", spec)
 		if err != nil {
@@ -209,6 +221,7 @@ func run(args []string) error {
 			return err
 		}
 		closers = append(closers, src.Close)
+		collectors = append(collectors, src)
 		st.spec.Sources = append(st.spec.Sources, src)
 		log.Printf("liaserve: accepting collector reports on %s (%d paths)", src.Addr(), st.nPaths)
 	}
@@ -269,6 +282,22 @@ func run(args []string) error {
 		defer close(runDone)
 		_ = srv.Run(ctx)
 	}()
+
+	if *chaosKillCollector > 0 && len(collectors) > 0 {
+		go func() {
+			select {
+			case <-ctx.Done():
+				return
+			case <-time.After(*chaosKillCollector):
+			}
+			for _, src := range collectors {
+				log.Printf("liaserve: CHAOS killing collector listener %s", src.Addr())
+				if err := src.InjectListenerFailure(); err != nil {
+					log.Printf("liaserve: chaos kill %s: %v", src.Addr(), err)
+				}
+			}
+		}()
+	}
 
 	httpSrv := &http.Server{Addr: *listen, Handler: srv.Handler()}
 	httpDone := make(chan error, 1)

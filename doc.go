@@ -63,11 +63,36 @@
 // collector's output stream. Malformed lines in such files surface as
 // *LineError (with the line number) and the stream resumes after them.
 //
+// Live measurement planes fail in ways recorded files do not, so sources
+// compose with resilience combinators: RetrySource retries transient Next
+// errors with seeded exponential backoff and per-attempt timeouts
+// (exhaustion surfaces as *RetryError; io.EOF and context cancellation pass
+// through untouched), and SanitizeSource quarantines snapshots that would
+// poison the moments — NaN/Inf entries, dimension mismatches, outliers past
+// a configurable bound — behind counters instead of letting them reach
+// Ingest. The lia/chaos subpackage is the test harness for that chain: a
+// deterministic fault-injecting source wrapper (drops, duplicates, NaN
+// corruption, spikes, transient errors, stalls, mid-stream EOFs) driven by
+// a seeded schedule.
+//
+// Engines degrade rather than fail: when a rebuild cannot produce a new
+// estimate (unidentifiable window, solver failure, even a panic in the
+// rebuild path), the last successfully built epoch keeps serving and the
+// failure is recorded in Stats (Degraded, RebuildFailures, LastError,
+// StateAge). ErrRebuildFailed is returned only when there is no last-good
+// state to fall back on; WithStrictRebuilds restores fail-fast semantics.
+// A ShardedEngine degrades per component: a failing component marks only
+// its own links Unresolved while the others keep resolving normally.
+//
 // The lia/serve subpackage runs engines as a monitoring service: an HTTP
 // JSON API (ingest, inference, steady-state link estimates, status,
 // Prometheus metrics) over one or more named topologies, with background
 // source consumption and a periodic rebuild policy — plus a live
 // CollectorSource that accepts the emulated overlay's beacon/sink reports
-// directly. cmd/liaserve is the ready-made binary; Engine.Stats and
+// directly and re-listens on its address if the listener dies mid-stream.
+// Server-consumed sources are supervised (restarted with backoff, surfaced
+// per source in /v1/status), and GET /readyz separates readiness — state
+// built, nothing degraded, no source in backoff — from /healthz liveness.
+// cmd/liaserve is the ready-made binary; Engine.Stats and
 // Engine.Eliminated are the observability hooks it reads.
 package lia

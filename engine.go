@@ -37,6 +37,15 @@ import (
 // exponentially-decayed moments so long-running engines track regime
 // changes.
 //
+// Rebuilds are also the engine's degraded-mode boundary: a rebuild that
+// fails (an unidentifiable windowed regime under NegDrop, say) or panics
+// does not take queries down with it. Once at least one state has been
+// built, Infer/Steady/Variances keep serving that last-good epoch while
+// every later query retries the rebuild; Stats reports the degradation
+// (Degraded, RebuildFailures, LastError, StateAge). WithStrictRebuilds
+// restores fail-fast semantics. Only an engine that has never built a
+// state surfaces the failure, wrapped in ErrRebuildFailed.
+//
 // Construct with NewEngine; the zero value is not usable.
 type Engine struct {
 	rm   *RoutingMatrix
@@ -47,6 +56,7 @@ type Engine struct {
 	// WithDecay) for observability; the acc itself enforces it.
 	window int
 	decay  float64
+	strict bool // WithStrictRebuilds: fail queries instead of degrading
 
 	mu    sync.Mutex // guards acc and the epoch advance
 	acc   stats.MomentAccumulator
@@ -60,12 +70,23 @@ type Engine struct {
 	rebuilds        atomic.Uint64
 	elimReuses      atomic.Uint64
 	lastRebuildNano atomic.Int64
+	rebuildFailures atomic.Uint64
+	degraded        atomic.Bool // serving last-good after a rebuild failure
+	lastFailure     atomic.Pointer[rebuildFailure]
+}
+
+// rebuildFailure records one failed rebuild for observability.
+type rebuildFailure struct {
+	err   error
+	at    time.Time
+	epoch uint64 // ingestion epoch the failed rebuild targeted
 }
 
 // phaseState is one immutable Phase-1 result: everything Phase 2 needs that
 // depends only on the learning data.
 type phaseState struct {
 	epoch         uint64 // ingestion epoch the state was computed at
+	builtAt       time.Time
 	vars          []float64
 	order         []int // ascending variance permutation (elimination cache key)
 	kept, removed []int
@@ -90,6 +111,7 @@ func NewEngine(rm *RoutingMatrix, options ...Option) (*Engine, error) {
 		p1:     core.NewPhase1(rm, s.opts.Variance),
 		window: s.window,
 		decay:  s.effectiveDecay(),
+		strict: s.strict,
 		acc:    acc,
 	}, nil
 }
@@ -219,6 +241,13 @@ func consumeSource(ctx context.Context, src SnapshotSource, rm *RoutingMatrix, i
 // only the frozen covariance view the right-hand-side fold needs (not the
 // whole accumulator) and reuses the cached Gram factorization whenever the
 // options allow.
+//
+// A failed (or panicking) rebuild does not fail the query when a
+// previously built state exists: the engine flags itself degraded, records
+// the failure for Stats, and serves the last-good state. The next query at
+// a newer epoch retries the rebuild, so a transient bad regime self-heals.
+// Context cancellation is the caller's deadline, not a data problem — it
+// propagates without touching the failure counters.
 func (e *Engine) currentState(ctx context.Context) (*phaseState, error) {
 	if st := e.state.Load(); st != nil && st.epoch == e.epoch.Load() {
 		return st, nil
@@ -228,17 +257,57 @@ func (e *Engine) currentState(ctx context.Context) (*phaseState, error) {
 	if st := e.state.Load(); st != nil && st.epoch == e.epoch.Load() {
 		return st, nil // a racing caller rebuilt while we waited
 	}
+	st, epoch, err := e.rebuild(ctx)
+	if err != nil {
+		// Cancellation is the caller's deadline and warm-up is not a
+		// failure: both pass through untouched (and unrecorded), keeping
+		// cold-start semantics — ErrTooFewSnapshots until two snapshots
+		// arrive — exactly as before degraded mode existed.
+		if ctx.Err() != nil || errors.Is(err, ErrTooFewSnapshots) {
+			return nil, err
+		}
+		e.rebuildFailures.Add(1)
+		e.lastFailure.Store(&rebuildFailure{err: err, at: time.Now(), epoch: epoch})
+		if prev := e.state.Load(); prev != nil && !e.strict {
+			e.degraded.Store(true)
+			return prev, nil
+		}
+		return nil, fmt.Errorf("lia: rebuild at epoch %d: %w: %w", epoch, ErrRebuildFailed, err)
+	}
+	e.degraded.Store(false)
+	e.state.Store(st)
+	return st, nil
+}
+
+// rebuildPanicHook, when non-nil, runs at the top of every rebuild. It
+// exists so tests can prove the recover path; production never sets it.
+var rebuildPanicHook func()
+
+// rebuild computes the phase state for the current ingestion epoch,
+// converting a panic anywhere in the solve into an error so a poisoned
+// moment view cannot take down the serving goroutine. It returns the epoch
+// the rebuild targeted either way, for failure records. Caller holds
+// e.rebuildMu.
+func (e *Engine) rebuild(ctx context.Context) (st *phaseState, epoch uint64, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			st, err = nil, fmt.Errorf("lia: rebuild panicked: %v", r)
+		}
+	}()
+	if rebuildPanicHook != nil {
+		rebuildPanicHook()
+	}
 	view, epoch := e.momentsView()
 	if err := ctx.Err(); err != nil {
-		return nil, err
+		return nil, epoch, err
 	}
 	start := time.Now()
 	vars, err := e.p1.Estimate(view)
 	if err != nil {
-		return nil, fmt.Errorf("lia: phase 1: %w", err)
+		return nil, epoch, fmt.Errorf("lia: phase 1: %w", err)
 	}
 	if err := ctx.Err(); err != nil {
-		return nil, err
+		return nil, epoch, err
 	}
 	// Phase-2 elimination cache: both strategies are pure functions of the
 	// ascending-variance permutation (see core.VarianceOrder), so when the
@@ -257,9 +326,10 @@ func (e *Engine) currentState(ctx context.Context) (*phaseState, error) {
 	}
 	e.lastRebuildNano.Store(time.Since(start).Nanoseconds())
 	e.rebuilds.Add(1)
-	st := &phaseState{epoch: epoch, vars: vars, order: order, kept: kept, removed: removed}
-	e.state.Store(st)
-	return st, nil
+	return &phaseState{
+		epoch: epoch, builtAt: time.Now(),
+		vars: vars, order: order, kept: kept, removed: removed,
+	}, epoch, nil
 }
 
 // momentsView snapshots the frozen covariance view and the ingestion epoch
@@ -303,6 +373,20 @@ type Stats struct {
 	// LastRebuild is the duration of the most recent rebuild (Phase 1 +
 	// elimination); 0 before the first.
 	LastRebuild time.Duration
+	// RebuildFailures counts rebuilds that errored or panicked over the
+	// engine's life (context cancellations are not failures).
+	RebuildFailures uint64
+	// Degraded reports that the most recent rebuild attempt failed and
+	// queries are being served from the last-good state. It clears on the
+	// next successful rebuild.
+	Degraded bool
+	// LastError is the message of the most recent rebuild failure ("" when
+	// none has occurred); LastFailure is when it happened.
+	LastError   string
+	LastFailure time.Time
+	// StateAge is how long ago the served Phase-1 state was built — the
+	// staleness bound of degraded answers. 0 before the first rebuild.
+	StateAge time.Duration
 	// Window is the sliding-window length (WithWindow), 0 when cumulative.
 	Window int
 	// Decay is the per-snapshot decay factor (WithDecay), 0 when unset.
@@ -314,21 +398,34 @@ type Stats struct {
 	// ShardedEngine partitioned its routing matrix into (0 for a plain
 	// Engine).
 	Components int
+	// DegradedComponents counts the components of a ShardedEngine that are
+	// currently unhealthy — serving stale state or failing with none built
+	// (0 for a plain Engine, where Degraded alone tells the story).
+	DegradedComponents int
 }
 
 // Stats reports the engine's observability counters.
 func (e *Engine) Stats() Stats {
 	s := Stats{
-		Snapshots:   int(e.epoch.Load()),
-		StateEpoch:  -1,
-		Rebuilds:    e.rebuilds.Load(),
-		ElimReuses:  e.elimReuses.Load(),
-		LastRebuild: time.Duration(e.lastRebuildNano.Load()),
-		Window:      e.window,
-		Decay:       e.decay,
+		Snapshots:       int(e.epoch.Load()),
+		StateEpoch:      -1,
+		Rebuilds:        e.rebuilds.Load(),
+		ElimReuses:      e.elimReuses.Load(),
+		LastRebuild:     time.Duration(e.lastRebuildNano.Load()),
+		RebuildFailures: e.rebuildFailures.Load(),
+		Degraded:        e.degraded.Load(),
+		Window:          e.window,
+		Decay:           e.decay,
+	}
+	if f := e.lastFailure.Load(); f != nil {
+		s.LastError = f.err.Error()
+		s.LastFailure = f.at
 	}
 	if st := e.state.Load(); st != nil {
 		s.StateEpoch = int(st.epoch)
+		if !st.builtAt.IsZero() {
+			s.StateAge = time.Since(st.builtAt)
+		}
 	}
 	if s.StateEpoch >= 0 {
 		if s.EpochLag = s.Snapshots - s.StateEpoch; s.EpochLag < 0 {
@@ -361,6 +458,10 @@ type SteadyState struct {
 	Epoch         int
 	Variances     []float64
 	Kept, Removed []int
+	// Unresolved lists global virtual links whose owning sharded component
+	// failed to produce a state: their variances read zero and they belong
+	// to neither Kept nor Removed. Always nil for a plain Engine.
+	Unresolved []int
 }
 
 // Steady returns the steady-state learning view at the current ingestion

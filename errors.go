@@ -1,6 +1,8 @@
 package lia
 
 import (
+	"errors"
+
 	"lia/internal/core"
 	"lia/internal/topology"
 )
@@ -29,3 +31,12 @@ var (
 	// matrices (and engines) instead.
 	ErrTopologyTooLarge = topology.ErrPairIndexOverflow
 )
+
+// ErrRebuildFailed: a Phase-1 state rebuild failed (or panicked) and no
+// previously built state exists to fall back on. Engines that have served
+// at least one epoch degrade instead — queries keep answering from the
+// last-good state (see Stats.Degraded) — so this sentinel only surfaces
+// when there is nothing to serve at all, or under WithStrictRebuilds. The
+// wrapped chain keeps the underlying cause, so errors.Is(err,
+// ErrUnidentifiable) etc. still work through it.
+var ErrRebuildFailed = errors.New("lia: rebuild failed")

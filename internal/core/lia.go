@@ -119,6 +119,11 @@ type Result struct {
 	// Variances, when the producer tracks one (lia.Engine does); 0
 	// otherwise.
 	Epoch int
+	// Unresolved lists links whose owning sharded component failed to
+	// produce estimates (see lia.ShardedEngine.Infer): their entries above
+	// are zero and they appear in neither Kept nor Removed. Nil everywhere
+	// else — a plain engine's Result never carries unresolved links.
+	Unresolved []int
 }
 
 // Congested classifies every virtual link against the threshold tl.

@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net"
 	"sync"
@@ -167,14 +168,20 @@ func (b *Beacon) Conn() *net.UDPConn { return b.conn }
 // Close releases the beacon socket.
 func (b *Beacon) Close() error { return b.conn.Close() }
 
+// ErrCollectorClosed reports that a wait on a Collector ended because the
+// collector was shut down (or its listener died), not because the caller's
+// context expired — the signal a reconnecting consumer keys on.
+var ErrCollectorClosed = errors.New("emunet: collector closed")
+
 // Collector is the central server: it accepts newline-delimited JSON
 // reports over TCP and assembles them into per-snapshot received counts.
 type Collector struct {
-	ln   net.Listener
-	mu   sync.Mutex
-	data map[[2]int]Report // (path, snapshot) -> last report
-	wg   sync.WaitGroup
-	done chan struct{}
+	ln        net.Listener
+	mu        sync.Mutex
+	data      map[[2]int]Report // (path, snapshot) -> last report
+	wg        sync.WaitGroup
+	done      chan struct{}
+	closeOnce sync.Once
 }
 
 // NewCollector starts a TCP collector on loopback.
@@ -283,6 +290,8 @@ func (c *Collector) AwaitSnapshot(ctx context.Context, snapshot, numPaths int, s
 		select {
 		case <-ctx.Done():
 			return nil, fmt.Errorf("emunet: snapshot %d incomplete: %w", snapshot, ctx.Err())
+		case <-c.done:
+			return nil, fmt.Errorf("emunet: snapshot %d: %w", snapshot, ErrCollectorClosed)
 		case <-time.After(2 * time.Millisecond):
 		}
 	}
@@ -290,6 +299,8 @@ func (c *Collector) AwaitSnapshot(ctx context.Context, snapshot, numPaths int, s
 		select {
 		case <-ctx.Done():
 			return nil, fmt.Errorf("emunet: snapshot %d settle: %w", snapshot, ctx.Err())
+		case <-c.done:
+			return nil, fmt.Errorf("emunet: snapshot %d settle: %w", snapshot, ErrCollectorClosed)
 		case <-time.After(settle):
 		}
 	}
@@ -300,11 +311,19 @@ func (c *Collector) AwaitSnapshot(ctx context.Context, snapshot, numPaths int, s
 	return frac, nil
 }
 
-// Close stops the collector.
+// Done is closed when the collector shuts down — the hook waiters use to
+// fail promptly (see ErrCollectorClosed) instead of polling a dead
+// listener until their own deadline.
+func (c *Collector) Done() <-chan struct{} { return c.done }
+
+// Close stops the collector. Safe to call more than once.
 func (c *Collector) Close() error {
-	close(c.done)
-	err := c.ln.Close()
-	c.wg.Wait()
+	var err error
+	c.closeOnce.Do(func() {
+		close(c.done)
+		err = c.ln.Close()
+		c.wg.Wait()
+	})
 	return err
 }
 

@@ -76,6 +76,7 @@ type settings struct {
 	decay    float64
 	decaySet bool
 	shards   int
+	strict   bool
 }
 
 // newAccumulator builds the moment accumulator the options select:
@@ -177,6 +178,15 @@ func WithWindow(n int) Option {
 // NewEngine ignores it and NewShardedEngine honors the count.
 func WithShards(k int) Option {
 	return func(s *settings) { s.shards = k }
+}
+
+// WithStrictRebuilds disables degraded-mode serving: a failed or panicking
+// Phase-1 rebuild fails the query (wrapped in ErrRebuildFailed) instead of
+// answering from the last successfully built state. Use it in batch and
+// test contexts where a stale answer is worse than no answer; long-running
+// services generally want the default degraded behaviour (see Engine).
+func WithStrictRebuilds() Option {
+	return func(s *settings) { s.strict = true }
 }
 
 // WithDecay exponentially decays the engine's second-order moments: before

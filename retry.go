@@ -1,0 +1,207 @@
+package lia
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand/v2"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// RetryPolicy tunes the exponential backoff of RetrySource (and of the
+// serve package's source supervisor). The zero value selects the defaults
+// documented per field; every delay draw is deterministic in Seed, so a
+// fixed seed reproduces the exact retry schedule — the property the chaos
+// soak tests rely on.
+type RetryPolicy struct {
+	// MaxAttempts bounds the tries per snapshot (the first call plus
+	// retries). 0 selects 8; negative retries forever (until the context
+	// cancels).
+	MaxAttempts int
+
+	// InitialBackoff is the delay after the first failure (default 100ms).
+	InitialBackoff time.Duration
+
+	// MaxBackoff caps the exponential growth (default 10s).
+	MaxBackoff time.Duration
+
+	// Multiplier grows the delay between attempts (default 2; values
+	// below 1 are treated as 1, i.e. constant backoff).
+	Multiplier float64
+
+	// Jitter spreads each delay uniformly over [d·(1−Jitter), d]; 0
+	// selects 0.2, negative disables jitter. Draws come from a PCG seeded
+	// with Seed, never from the global source, so the schedule is
+	// reproducible.
+	Jitter float64
+
+	// Seed drives the jitter stream (same seed, same schedule).
+	Seed uint64
+
+	// AttemptTimeout, when positive, bounds each individual Next attempt
+	// with a context deadline, so one stalled attempt cannot absorb the
+	// whole retry budget.
+	AttemptTimeout time.Duration
+}
+
+// withDefaults resolves the documented zero-value defaults.
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.MaxAttempts == 0 {
+		p.MaxAttempts = 8
+	}
+	if p.InitialBackoff <= 0 {
+		p.InitialBackoff = 100 * time.Millisecond
+	}
+	if p.MaxBackoff <= 0 {
+		p.MaxBackoff = 10 * time.Second
+	}
+	if p.Multiplier < 1 {
+		if p.Multiplier == 0 {
+			p.Multiplier = 2
+		} else {
+			p.Multiplier = 1
+		}
+	}
+	if p.Jitter == 0 {
+		p.Jitter = 0.2
+	}
+	if p.Jitter < 0 {
+		p.Jitter = 0
+	}
+	return p
+}
+
+// Backoff returns the delay before retry attempt (1-based: attempt 1 is
+// the delay after the first failure), jittered by rng when non-nil. The
+// exponential curve is computed from the attempt index, not accumulated,
+// so concurrent users of one policy agree on the schedule.
+func (p RetryPolicy) Backoff(attempt int, rng *rand.Rand) time.Duration {
+	p = p.withDefaults()
+	d := float64(p.InitialBackoff)
+	for i := 1; i < attempt; i++ {
+		d *= p.Multiplier
+		if d >= float64(p.MaxBackoff) {
+			d = float64(p.MaxBackoff)
+			break
+		}
+	}
+	if d > float64(p.MaxBackoff) {
+		d = float64(p.MaxBackoff)
+	}
+	if p.Jitter > 0 && rng != nil {
+		d *= 1 - p.Jitter*rng.Float64()
+	}
+	return time.Duration(d)
+}
+
+// RetryError reports that RetrySource exhausted its attempt budget for one
+// snapshot. It wraps the last underlying error, so errors.Is/As keep
+// working through it.
+type RetryError struct {
+	// Attempts is how many times the wrapped source's Next was tried.
+	Attempts int
+	// Err is the error of the final attempt.
+	Err error
+}
+
+func (e *RetryError) Error() string {
+	return fmt.Sprintf("lia: source failed after %d attempts: %v", e.Attempts, e.Err)
+}
+
+func (e *RetryError) Unwrap() error { return e.Err }
+
+// retrySource is the SnapshotSource returned by RetrySource.
+type retrySource struct {
+	src    SnapshotSource
+	policy RetryPolicy
+
+	retries atomic.Uint64 // lifetime retry attempts (excluding first tries)
+
+	mu  sync.Mutex // serialises the rng and the wrapped source
+	rng *rand.Rand
+}
+
+// RetrySource wraps a source so that transient Next failures are retried
+// with exponential backoff and deterministic seeded jitter instead of
+// surfacing to the consumer — the combinator that keeps a lossy collector
+// link from killing an ingestion loop. io.EOF and context
+// cancellation/deadline errors pass through untouched (they are
+// terminal/intentional, not transient); every other error is retried up to
+// Policy.MaxAttempts, after which Next returns a *RetryError carrying the
+// attempt count and the last error.
+//
+// The returned source implements io.Closer, propagating Close to the
+// wrapped source when it is closeable (see CloseSource).
+func RetrySource(src SnapshotSource, policy RetryPolicy) SnapshotSource {
+	p := policy.withDefaults()
+	return &retrySource{
+		src:    src,
+		policy: p,
+		rng:    rand.New(rand.NewPCG(p.Seed, 0x5e77f)),
+	}
+}
+
+// Next implements SnapshotSource.
+func (r *retrySource) Next(ctx context.Context) (Snapshot, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var lastErr error
+	for attempt := 1; ; attempt++ {
+		snap, err := r.attempt(ctx)
+		switch {
+		case err == nil:
+			return snap, nil
+		case errors.Is(err, io.EOF),
+			errors.Is(err, context.Canceled),
+			errors.Is(err, context.DeadlineExceeded) && ctx.Err() != nil:
+			// Stream exhaustion and caller cancellation are not transient.
+			return Snapshot{}, err
+		}
+		lastErr = err
+		if r.policy.MaxAttempts > 0 && attempt >= r.policy.MaxAttempts {
+			return Snapshot{}, &RetryError{Attempts: attempt, Err: lastErr}
+		}
+		r.retries.Add(1)
+		delay := r.policy.Backoff(attempt, r.rng)
+		timer := time.NewTimer(delay)
+		select {
+		case <-ctx.Done():
+			timer.Stop()
+			return Snapshot{}, ctx.Err()
+		case <-timer.C:
+		}
+	}
+}
+
+// attempt runs one Next call against the wrapped source, bounded by the
+// per-attempt timeout when one is configured.
+func (r *retrySource) attempt(ctx context.Context) (Snapshot, error) {
+	if r.policy.AttemptTimeout <= 0 {
+		return r.src.Next(ctx)
+	}
+	actx, cancel := context.WithTimeout(ctx, r.policy.AttemptTimeout)
+	defer cancel()
+	return r.src.Next(actx)
+}
+
+// Retries returns the lifetime number of retry attempts the source has
+// performed (first tries excluded).
+func (r *retrySource) Retries() uint64 { return r.retries.Load() }
+
+// Close propagates to the wrapped source when it is closeable.
+func (r *retrySource) Close() error { return CloseSource(r.src) }
+
+// CloseSource releases a source's underlying resources when it has any:
+// sources that wrap files, sockets or other sources implement io.Closer by
+// convention (FileSource, CollectorSource, and the Limit / RetrySource /
+// SanitizeSource / chaos.Source combinators, which all propagate Close
+// inward). Sources without resources are a no-op.
+func CloseSource(src SnapshotSource) error {
+	if c, ok := src.(io.Closer); ok {
+		return c.Close()
+	}
+	return nil
+}

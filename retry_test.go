@@ -1,0 +1,188 @@
+package lia_test
+
+// retry_test.go covers the resilience source combinators: RetrySource's
+// backoff/attempt accounting and terminal-error passthrough,
+// SanitizeSource's quarantine rules and counters, and the io.Closer
+// propagation convention shared by every wrapping source.
+
+import (
+	"context"
+	"errors"
+	"io"
+	"math"
+	"math/rand/v2"
+	"sync"
+	"testing"
+	"time"
+
+	"lia"
+)
+
+// flakySource fails deterministically: each snapshot takes failures+1
+// attempts to deliver, then the source yields ys in order and EOF.
+type flakySource struct {
+	mu       sync.Mutex
+	ys       [][]float64
+	failures int
+	attempt  int
+	pos      int
+	calls    int
+}
+
+var errFlaky = errors.New("transient network failure")
+
+func (f *flakySource) Next(ctx context.Context) (lia.Snapshot, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.calls++
+	if f.pos >= len(f.ys) {
+		return lia.Snapshot{}, io.EOF
+	}
+	if f.attempt < f.failures {
+		f.attempt++
+		return lia.Snapshot{}, errFlaky
+	}
+	f.attempt = 0
+	y := f.ys[f.pos]
+	f.pos++
+	return lia.Snapshot{Y: y}, nil
+}
+
+func TestRetrySourceRecoversTransientErrors(t *testing.T) {
+	ys := [][]float64{{-0.1}, {-0.2}, {-0.3}}
+	src := lia.RetrySource(
+		&flakySource{ys: ys, failures: 2},
+		lia.RetryPolicy{MaxAttempts: 5, InitialBackoff: time.Microsecond, Seed: 1},
+	)
+	ctx := context.Background()
+	for i, want := range ys {
+		snap, err := src.Next(ctx)
+		if err != nil {
+			t.Fatalf("snapshot %d: %v", i, err)
+		}
+		if snap.Y[0] != want[0] {
+			t.Fatalf("snapshot %d = %v, want %v", i, snap.Y, want)
+		}
+	}
+	if _, err := src.Next(ctx); !errors.Is(err, io.EOF) {
+		t.Fatalf("after stream end: %v, want io.EOF", err)
+	}
+}
+
+func TestRetrySourceExhaustsBudgetWithTypedError(t *testing.T) {
+	inner := &flakySource{ys: [][]float64{{-0.1}}, failures: 100}
+	src := lia.RetrySource(inner, lia.RetryPolicy{MaxAttempts: 3, InitialBackoff: time.Microsecond, Seed: 1})
+	_, err := src.Next(context.Background())
+	var re *lia.RetryError
+	if !errors.As(err, &re) {
+		t.Fatalf("error %v (%T), want *lia.RetryError", err, err)
+	}
+	if re.Attempts != 3 {
+		t.Fatalf("RetryError.Attempts = %d, want 3", re.Attempts)
+	}
+	if !errors.Is(err, errFlaky) {
+		t.Fatalf("RetryError does not wrap the underlying cause: %v", err)
+	}
+	if inner.calls != 3 {
+		t.Fatalf("wrapped source tried %d times, want 3", inner.calls)
+	}
+}
+
+func TestRetrySourcePassesThroughCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	src := lia.RetrySource(lia.NewSliceSource([][]float64{{-0.1}}),
+		lia.RetryPolicy{InitialBackoff: time.Microsecond})
+	if _, err := src.Next(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled Next = %v, want context.Canceled", err)
+	}
+}
+
+func TestRetryPolicyBackoffDeterministicAndBounded(t *testing.T) {
+	p := lia.RetryPolicy{InitialBackoff: 10 * time.Millisecond, MaxBackoff: 80 * time.Millisecond,
+		Multiplier: 2, Jitter: 0.5, Seed: 7}
+	a := rand.New(rand.NewPCG(7, 1))
+	b := rand.New(rand.NewPCG(7, 1))
+	for attempt := 1; attempt <= 8; attempt++ {
+		da, db := p.Backoff(attempt, a), p.Backoff(attempt, b)
+		if da != db {
+			t.Fatalf("attempt %d: same seed produced %v vs %v", attempt, da, db)
+		}
+		if da > 80*time.Millisecond {
+			t.Fatalf("attempt %d: delay %v exceeds MaxBackoff", attempt, da)
+		}
+		if da < 5*time.Millisecond {
+			t.Fatalf("attempt %d: delay %v fell below InitialBackoff·(1−Jitter)", attempt, da)
+		}
+	}
+}
+
+func TestSanitizeSourceQuarantinesPoison(t *testing.T) {
+	clean1, clean2 := []float64{-0.1, -0.2}, []float64{-0.3, -0.4}
+	src := lia.SanitizeSource(lia.NewSliceSource([][]float64{
+		clean1,
+		{math.NaN(), -0.2},  // non-finite
+		{math.Inf(1), -0.2}, // non-finite
+		{-0.1},              // wrong dimension
+		{-0.1, -0.2, -0.3},  // wrong dimension
+		{},                  // empty
+		{-1e9, -0.2},        // outlier beyond MaxAbs
+		clean2,
+	}), lia.SanitizeConfig{Dim: 2, MaxAbs: 50})
+	ctx := context.Background()
+	for i, want := range [][]float64{clean1, clean2} {
+		snap, err := src.Next(ctx)
+		if err != nil {
+			t.Fatalf("clean snapshot %d: %v", i, err)
+		}
+		for j := range want {
+			if math.Float64bits(snap.Y[j]) != math.Float64bits(want[j]) {
+				t.Fatalf("clean snapshot %d altered: %v, want %v", i, snap.Y, want)
+			}
+		}
+	}
+	if _, err := src.Next(ctx); !errors.Is(err, io.EOF) {
+		t.Fatalf("after stream end: %v, want io.EOF", err)
+	}
+	st := src.Stats()
+	want := lia.SanitizeStats{Passed: 2, Quarantined: 6, NonFinite: 2, Dimension: 3, Outlier: 1}
+	if st != want {
+		t.Fatalf("sanitize stats = %+v, want %+v", st, want)
+	}
+}
+
+// closeRecorder is a source that records whether Close reached it.
+type closeRecorder struct {
+	lia.SnapshotSource
+	closed bool
+}
+
+func (c *closeRecorder) Close() error { c.closed = true; return nil }
+
+func TestCloseSourcePropagatesThroughWrappers(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		wrap func(lia.SnapshotSource) lia.SnapshotSource
+	}{
+		{"limit", func(s lia.SnapshotSource) lia.SnapshotSource { return lia.Limit(s, 3) }},
+		{"retry", func(s lia.SnapshotSource) lia.SnapshotSource { return lia.RetrySource(s, lia.RetryPolicy{}) }},
+		{"sanitize", func(s lia.SnapshotSource) lia.SnapshotSource {
+			return lia.SanitizeSource(s, lia.SanitizeConfig{})
+		}},
+		{"limit(retry(sanitize))", func(s lia.SnapshotSource) lia.SnapshotSource {
+			return lia.Limit(lia.RetrySource(lia.SanitizeSource(s, lia.SanitizeConfig{}), lia.RetryPolicy{}), 3)
+		}},
+	} {
+		inner := &closeRecorder{SnapshotSource: lia.NewSliceSource(nil)}
+		if err := lia.CloseSource(tc.wrap(inner)); err != nil {
+			t.Fatalf("%s: Close: %v", tc.name, err)
+		}
+		if !inner.closed {
+			t.Fatalf("%s: Close did not propagate to the wrapped source", tc.name)
+		}
+	}
+	// A source without resources is a no-op, not an error.
+	if err := lia.CloseSource(lia.NewSliceSource(nil)); err != nil {
+		t.Fatalf("CloseSource on a plain source: %v", err)
+	}
+}

@@ -1,0 +1,119 @@
+package lia
+
+import (
+	"context"
+	"math"
+	"sync/atomic"
+)
+
+// SanitizeConfig tunes SanitizeSource's quarantine rules.
+type SanitizeConfig struct {
+	// Dim, when positive, quarantines snapshots whose observation vector
+	// is not exactly this long (the routing matrix's path count). 0 skips
+	// the check.
+	Dim int
+
+	// MaxAbs, when positive, quarantines snapshots containing an entry
+	// with |v| > MaxAbs — a cheap spike filter for corrupted measurements
+	// (a log transmission rate of −10 is already a loss rate above
+	// 99.99%). 0 disables the bound.
+	MaxAbs float64
+}
+
+// SanitizeStats are SanitizeSource's quarantine counters, one per rule
+// plus the total. Counters are cumulative over the source's lifetime.
+type SanitizeStats struct {
+	// Passed counts snapshots delivered to the consumer.
+	Passed uint64
+	// Quarantined is the total number of snapshots withheld.
+	Quarantined uint64
+	// NonFinite counts snapshots containing NaN or ±Inf entries.
+	NonFinite uint64
+	// Dimension counts snapshots with the wrong vector length (or an
+	// empty vector, counted regardless of Dim).
+	Dimension uint64
+	// Outlier counts snapshots exceeding the MaxAbs bound.
+	Outlier uint64
+}
+
+// Sanitizer is the SnapshotSource returned by SanitizeSource.
+type Sanitizer struct {
+	src SnapshotSource
+	cfg SanitizeConfig
+
+	passed, quarantined        atomic.Uint64
+	nonFinite, badDim, outlier atomic.Uint64
+}
+
+// SanitizeSource wraps a source so that poisoned snapshots — NaN/Inf
+// entries, wrong dimensions, out-of-range spikes — are quarantined behind
+// counters instead of reaching the engine's moment accumulators, where a
+// single NaN would contaminate every covariance (and with it every later
+// variance estimate) irreversibly under Welford folding. Quarantined
+// snapshots are counted by rule (see Stats) and silently skipped: Next
+// pulls from the wrapped source until a clean snapshot arrives, so the
+// consumer only ever observes sane data. Clean snapshots pass through
+// untouched — the wrapper never alters values, so estimates over a clean
+// stream are bitwise-identical with or without it.
+//
+// The returned source implements io.Closer, propagating Close to the
+// wrapped source when it is closeable.
+func SanitizeSource(src SnapshotSource, cfg SanitizeConfig) *Sanitizer {
+	return &Sanitizer{src: src, cfg: cfg}
+}
+
+// Next implements SnapshotSource: it returns the next clean snapshot,
+// counting and skipping quarantined ones.
+func (s *Sanitizer) Next(ctx context.Context) (Snapshot, error) {
+	for {
+		snap, err := s.src.Next(ctx)
+		if err != nil {
+			return Snapshot{}, err
+		}
+		if reason := s.check(snap.Y); reason != nil {
+			reason.Add(1)
+			s.quarantined.Add(1)
+			continue
+		}
+		s.passed.Add(1)
+		return snap, nil
+	}
+}
+
+// check classifies one observation vector, returning the counter of the
+// violated rule (nil for a clean vector). Rules are checked in severity
+// order: dimension, finiteness, bounds.
+func (s *Sanitizer) check(y []float64) *atomic.Uint64 {
+	if len(y) == 0 || (s.cfg.Dim > 0 && len(y) != s.cfg.Dim) {
+		return &s.badDim
+	}
+	for _, v := range y {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return &s.nonFinite
+		}
+	}
+	if s.cfg.MaxAbs > 0 {
+		for _, v := range y {
+			if math.Abs(v) > s.cfg.MaxAbs {
+				return &s.outlier
+			}
+		}
+	}
+	return nil
+}
+
+// Stats reports the quarantine counters. Safe for concurrent use with
+// Next; a read during a concurrent skip is approximate to within the
+// in-flight snapshot.
+func (s *Sanitizer) Stats() SanitizeStats {
+	return SanitizeStats{
+		Passed:      s.passed.Load(),
+		Quarantined: s.quarantined.Load(),
+		NonFinite:   s.nonFinite.Load(),
+		Dimension:   s.badDim.Load(),
+		Outlier:     s.outlier.Load(),
+	}
+}
+
+// Close propagates to the wrapped source when it is closeable.
+func (s *Sanitizer) Close() error { return CloseSource(s.src) }

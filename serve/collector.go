@@ -2,6 +2,7 @@ package serve
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"io"
 	"sync"
@@ -48,14 +49,29 @@ type CollectorConfig struct {
 // Snapshots are delivered strictly in order (0, 1, 2, ...), matching the
 // snapshot indices the agents stamp on their reports. Next is safe for one
 // consumer at a time, like every source in package lia.
+//
+// The source auto-reconnects: when the underlying listener dies, the Next
+// call that observes the death surfaces the error (so a supervisor sees
+// the outage), and the following Next re-listens on the same address and
+// resumes awaiting the same snapshot index — mid-stream, nothing skipped.
+// Wrap it in lia.RetrySource to get redial-with-backoff as a single
+// self-healing source; under serve.Server.Run the source supervisor
+// provides the backoff instead. Reconnects reports the redial count.
 type CollectorSource struct {
-	coll *emunet.Collector
 	cfg  CollectorConfig
+	addr string // concrete listen address, reused across reconnects
 
-	closed atomic.Bool
+	closed     atomic.Bool
+	reconnects atomic.Uint64
 
-	mu   sync.Mutex
+	// cmu guards the collector pointer alone, so Close and
+	// InjectListenerFailure can reach it while Next holds mu in a wait.
+	cmu  sync.Mutex
+	coll *emunet.Collector
+
+	mu   sync.Mutex // serialises Next: snapshot cursor and death/redial state
 	next int
+	dead bool // the listener died; next Next re-listens before awaiting
 }
 
 // NewCollectorSource starts the TCP report listener on addr (host:port;
@@ -77,21 +93,50 @@ func NewCollectorSource(addr string, cfg CollectorConfig) (*CollectorSource, err
 	if err != nil {
 		return nil, fmt.Errorf("serve: collector source: %w", err)
 	}
-	return &CollectorSource{coll: coll, cfg: cfg}, nil
+	return &CollectorSource{cfg: cfg, addr: coll.Addr(), coll: coll}, nil
 }
 
-// Addr returns the TCP address agents report to.
-func (s *CollectorSource) Addr() string { return s.coll.Addr() }
+// Addr returns the TCP address agents report to. It is stable across
+// reconnects: the source always re-listens on the same address.
+func (s *CollectorSource) Addr() string { return s.addr }
+
+// Reconnects returns how many times the source re-listened after its
+// collector died.
+func (s *CollectorSource) Reconnects() uint64 { return s.reconnects.Load() }
+
+// collector returns the current underlying collector.
+func (s *CollectorSource) collector() *emunet.Collector {
+	s.cmu.Lock()
+	defer s.cmu.Unlock()
+	return s.coll
+}
 
 // Next implements lia.SnapshotSource: it blocks until the next snapshot in
 // sequence is complete (every path reported, settle window elapsed) and
 // returns its log transmission rates. It reports io.EOF once the configured
-// snapshot cap is reached or the source is closed.
+// snapshot cap is reached or the source is closed. When the collector
+// listener has died, Next re-listens first (see CollectorSource) and picks
+// up at the snapshot index the outage interrupted.
 func (s *CollectorSource) Next(ctx context.Context) (lia.Snapshot, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed.Load() || (s.cfg.Snapshots > 0 && s.next >= s.cfg.Snapshots) {
 		return lia.Snapshot{}, io.EOF
+	}
+	if s.dead {
+		coll, err := emunet.NewCollectorAddr(s.addr)
+		if err != nil {
+			return lia.Snapshot{}, fmt.Errorf("serve: collector source re-listen %s: %w", s.addr, err)
+		}
+		s.cmu.Lock()
+		s.coll = coll
+		s.cmu.Unlock()
+		s.dead = false
+		s.reconnects.Add(1)
+		if s.closed.Load() { // Close raced the swap: shut the new listener too
+			_ = coll.Close()
+			return lia.Snapshot{}, io.EOF
+		}
 	}
 	settle := s.cfg.Settle
 	if settle < 0 {
@@ -101,10 +146,15 @@ func (s *CollectorSource) Next(ctx context.Context) (lia.Snapshot, error) {
 	// completion and gets its own budget on top.
 	waitCtx, cancel := context.WithTimeout(ctx, s.cfg.Timeout+settle)
 	defer cancel()
-	frac, err := s.coll.AwaitSnapshot(waitCtx, s.next, s.cfg.Paths, settle)
+	frac, err := s.collector().AwaitSnapshot(waitCtx, s.next, s.cfg.Paths, settle)
 	if err != nil {
 		if s.closed.Load() {
 			return lia.Snapshot{}, io.EOF
+		}
+		if errors.Is(err, emunet.ErrCollectorClosed) {
+			// The listener died under us: flag for re-listen and surface the
+			// outage so supervisors can count and pace the recovery.
+			s.dead = true
 		}
 		return lia.Snapshot{}, fmt.Errorf("serve: collector source: %w", err)
 	}
@@ -112,11 +162,22 @@ func (s *CollectorSource) Next(ctx context.Context) (lia.Snapshot, error) {
 	return lia.Snapshot{Y: lia.LogRates(frac, s.cfg.Probes)}, nil
 }
 
+// InjectListenerFailure kills the underlying report listener without
+// closing the source — exactly what a crashed collector process looks like
+// to consumers. The in-flight or next Next observes the death and the
+// source then re-listens on the same address. A fault-injection hook for
+// resilience tests and the -chaos-kill-collector smoke flag; production
+// code has no reason to call it.
+func (s *CollectorSource) InjectListenerFailure() error {
+	return s.collector().Close()
+}
+
 // Close stops the report listener. A Next call blocked on an incomplete
-// snapshot returns once its per-snapshot timeout (or context) expires;
-// subsequent calls report io.EOF.
+// snapshot returns once it observes the closed collector (promptly — the
+// collector's done channel short-circuits the wait); subsequent calls
+// report io.EOF.
 func (s *CollectorSource) Close() error {
 	// Flag first, and not under the mutex: Next holds it while waiting.
 	s.closed.Store(true)
-	return s.coll.Close()
+	return s.collector().Close()
 }

@@ -46,60 +46,92 @@ type ErrorResponse struct {
 }
 
 // LinkResult is one virtual link's inference in an InferResponse.
+// Unresolved marks a link whose owning sharded component failed to produce
+// estimates — its values read zero and it is neither kept nor removed.
 type LinkResult struct {
-	Members   []int   `json:"members"`
-	LossRate  float64 `json:"loss_rate"`
-	Variance  float64 `json:"variance"`
-	Kept      bool    `json:"kept"`
-	Congested bool    `json:"congested"`
+	Members    []int   `json:"members"`
+	LossRate   float64 `json:"loss_rate"`
+	Variance   float64 `json:"variance"`
+	Kept       bool    `json:"kept"`
+	Congested  bool    `json:"congested"`
+	Unresolved bool    `json:"unresolved,omitempty"`
 }
 
-// InferResponse is the body of POST /v1/infer.
+// InferResponse is the body of POST /v1/infer. Unresolved counts links
+// whose sharded component is failing (0 in healthy operation).
 type InferResponse struct {
-	Topology  string       `json:"topology"`
-	Epoch     int          `json:"epoch"`
-	Kept      int          `json:"kept"`
-	Removed   int          `json:"removed"`
-	Threshold float64      `json:"threshold"`
-	Links     []LinkResult `json:"links"`
+	Topology   string       `json:"topology"`
+	Epoch      int          `json:"epoch"`
+	Kept       int          `json:"kept"`
+	Removed    int          `json:"removed"`
+	Unresolved int          `json:"unresolved,omitempty"`
+	Threshold  float64      `json:"threshold"`
+	Links      []LinkResult `json:"links"`
 }
 
 // LinkState is one virtual link's steady-state learning summary.
 type LinkState struct {
-	Members  []int   `json:"members"`
-	Variance float64 `json:"variance"`
-	Kept     bool    `json:"kept"`
+	Members    []int   `json:"members"`
+	Variance   float64 `json:"variance"`
+	Kept       bool    `json:"kept"`
+	Unresolved bool    `json:"unresolved,omitempty"`
 }
 
 // LinksResponse is the body of GET /v1/links: the Phase-1 estimates and
-// elimination partition of the current epoch cache.
+// elimination partition of the current epoch cache. Unresolved counts
+// links whose sharded component is failing (0 in healthy operation).
 type LinksResponse struct {
-	Topology  string      `json:"topology"`
-	Epoch     int         `json:"epoch"`
-	Snapshots int         `json:"snapshots"`
-	Links     []LinkState `json:"links"`
+	Topology   string      `json:"topology"`
+	Epoch      int         `json:"epoch"`
+	Snapshots  int         `json:"snapshots"`
+	Unresolved int         `json:"unresolved,omitempty"`
+	Links      []LinkState `json:"links"`
 }
 
-// TopoStatus is one topology's entry in a StatusResponse.
+// SourceStatus is one background source's supervision record in a
+// TopoStatus: its consumption state, restart count, quarantine counter and
+// last error (empty when it never failed).
+type SourceStatus struct {
+	State       string `json:"state"`
+	Restarts    uint64 `json:"restarts"`
+	Quarantined uint64 `json:"quarantined"`
+	LastError   string `json:"last_error,omitempty"`
+	LastErrorAt string `json:"last_error_at,omitempty"`
+}
+
+// TopoStatus is one topology's entry in a StatusResponse. The degradation
+// block (Degraded through StateAgeMs) mirrors lia.Stats: a degraded
+// topology is still serving, from the last-good epoch, while rebuilds fail.
 type TopoStatus struct {
-	Paths           int     `json:"paths"`
-	Links           int     `json:"links"`
-	Snapshots       int     `json:"snapshots"`
-	StateEpoch      int     `json:"state_epoch"`
-	EpochLag        int     `json:"epoch_lag"`
-	Rebuilds        uint64  `json:"rebuilds"`
-	ElimReuses      uint64  `json:"elim_reuses"`
-	LastRebuildMs   float64 `json:"last_rebuild_ms"`
-	Shards          int     `json:"shards"`
-	Components      int     `json:"components"`
-	Window          int     `json:"window"`
-	Decay           float64 `json:"decay"`
-	Threshold       float64 `json:"threshold"`
-	Probes          int     `json:"probes"`
-	Sources         int     `json:"sources"`
-	HTTPSnapshots   uint64  `json:"http_snapshots"`
-	SourceSnapshots uint64  `json:"source_snapshots"`
-	Inferences      uint64  `json:"inferences"`
+	Paths         int     `json:"paths"`
+	Links         int     `json:"links"`
+	Snapshots     int     `json:"snapshots"`
+	StateEpoch    int     `json:"state_epoch"`
+	EpochLag      int     `json:"epoch_lag"`
+	Rebuilds      uint64  `json:"rebuilds"`
+	ElimReuses    uint64  `json:"elim_reuses"`
+	LastRebuildMs float64 `json:"last_rebuild_ms"`
+
+	Degraded           bool    `json:"degraded"`
+	DegradedComponents int     `json:"degraded_components,omitempty"`
+	RebuildFailures    uint64  `json:"rebuild_failures"`
+	LastError          string  `json:"last_error,omitempty"`
+	LastFailure        string  `json:"last_failure,omitempty"`
+	StateAgeMs         float64 `json:"state_age_ms"`
+
+	Shards          int            `json:"shards"`
+	Components      int            `json:"components"`
+	Window          int            `json:"window"`
+	Decay           float64        `json:"decay"`
+	Threshold       float64        `json:"threshold"`
+	Probes          int            `json:"probes"`
+	Sources         int            `json:"sources"`
+	SourceRestarts  uint64         `json:"source_restarts"`
+	Quarantined     uint64         `json:"quarantined"`
+	SourceDetail    []SourceStatus `json:"source_detail,omitempty"`
+	HTTPSnapshots   uint64         `json:"http_snapshots"`
+	SourceSnapshots uint64         `json:"source_snapshots"`
+	Inferences      uint64         `json:"inferences"`
 }
 
 // StatusResponse is the body of GET /v1/status.
@@ -121,12 +153,23 @@ type HealthResponse struct {
 	Topologies int    `json:"topologies"`
 }
 
+// ReadyResponse is the body of GET /readyz: 200 when every topology has a
+// built state, no engine is degraded and no source is in failure backoff;
+// 503 otherwise, with the violations listed in Reasons. Liveness
+// (/healthz) stays 200 either way — a degraded server is up, just not
+// fully serving fresh state.
+type ReadyResponse struct {
+	Status  string   `json:"status"`
+	Reasons []string `json:"reasons,omitempty"`
+}
+
 // Handler builds the HTTP API over the registered topologies. The handler
 // is safe for concurrent use and may be mounted before or while Run is
 // active.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("GET /readyz", s.handleReady)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /v1/status", s.handleStatus)
 	mux.HandleFunc("POST /v1/snapshots", s.handleIngest)
@@ -152,13 +195,17 @@ func writeError(w http.ResponseWriter, code int, err error) {
 }
 
 // errorCode classifies engine errors for HTTP: client payload problems are
-// 400s, not-learned-yet is 409 (retry after more snapshots), the rest 500.
+// 400s, not-learned-yet is 409 (retry after more snapshots), a rebuild
+// failure with nothing to serve is 503 (the service is unavailable until
+// healthier data arrives), the rest 500.
 func errorCode(err error) int {
 	switch {
 	case errors.Is(err, lia.ErrDimensionMismatch):
 		return http.StatusBadRequest
 	case errors.Is(err, lia.ErrTooFewSnapshots):
 		return http.StatusConflict
+	case errors.Is(err, lia.ErrRebuildFailed):
+		return http.StatusServiceUnavailable
 	default:
 		return http.StatusInternalServerError
 	}
@@ -195,6 +242,15 @@ func (tp *topo) vector(p SnapshotPayload) ([]float64, error) {
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, HealthResponse{Status: "ok", Topologies: len(s.names())})
+}
+
+func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
+	ready, reasons := s.readiness()
+	if !ready {
+		writeJSON(w, http.StatusServiceUnavailable, ReadyResponse{Status: "degraded", Reasons: reasons})
+		return
+	}
+	writeJSON(w, http.StatusOK, ReadyResponse{Status: "ok"})
 }
 
 func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
@@ -269,21 +325,27 @@ func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
 	for _, k := range res.Kept {
 		keptSet[k] = true
 	}
+	unresolvedSet := make(map[int]bool, len(res.Unresolved))
+	for _, k := range res.Unresolved {
+		unresolvedSet[k] = true
+	}
 	out := InferResponse{
-		Topology:  tp.name,
-		Epoch:     res.Epoch,
-		Kept:      len(res.Kept),
-		Removed:   len(res.Removed),
-		Threshold: tp.eng.Threshold(),
-		Links:     make([]LinkResult, rm.NumLinks()),
+		Topology:   tp.name,
+		Epoch:      res.Epoch,
+		Kept:       len(res.Kept),
+		Removed:    len(res.Removed),
+		Unresolved: len(res.Unresolved),
+		Threshold:  tp.eng.Threshold(),
+		Links:      make([]LinkResult, rm.NumLinks()),
 	}
 	for k := 0; k < rm.NumLinks(); k++ {
 		out.Links[k] = LinkResult{
-			Members:   rm.Members(k),
-			LossRate:  res.LossRates[k],
-			Variance:  res.Variances[k],
-			Kept:      keptSet[k],
-			Congested: congested[k],
+			Members:    rm.Members(k),
+			LossRate:   res.LossRates[k],
+			Variance:   res.Variances[k],
+			Kept:       keptSet[k],
+			Congested:  congested[k],
+			Unresolved: unresolvedSet[k],
 		}
 	}
 	writeJSON(w, http.StatusOK, out)
@@ -305,18 +367,24 @@ func (s *Server) handleLinks(w http.ResponseWriter, r *http.Request) {
 	for _, k := range st.Kept {
 		keptSet[k] = true
 	}
+	unresolvedSet := make(map[int]bool, len(st.Unresolved))
+	for _, k := range st.Unresolved {
+		unresolvedSet[k] = true
+	}
 	rm := tp.eng.RoutingMatrix()
 	out := LinksResponse{
-		Topology:  tp.name,
-		Epoch:     st.Epoch,
-		Snapshots: tp.eng.Snapshots(),
-		Links:     make([]LinkState, rm.NumLinks()),
+		Topology:   tp.name,
+		Epoch:      st.Epoch,
+		Snapshots:  tp.eng.Snapshots(),
+		Unresolved: len(st.Unresolved),
+		Links:      make([]LinkState, rm.NumLinks()),
 	}
 	for k := 0; k < rm.NumLinks(); k++ {
 		out.Links[k] = LinkState{
-			Members:  rm.Members(k),
-			Variance: st.Variances[k],
-			Kept:     keptSet[k],
+			Members:    rm.Members(k),
+			Variance:   st.Variances[k],
+			Kept:       keptSet[k],
+			Unresolved: unresolvedSet[k],
 		}
 	}
 	writeJSON(w, http.StatusOK, out)
@@ -341,15 +409,22 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 		}
 		st := tp.eng.Stats()
 		rm := tp.eng.RoutingMatrix()
-		out.Topologies[name] = TopoStatus{
-			Paths:           rm.NumPaths(),
-			Links:           rm.NumLinks(),
-			Snapshots:       st.Snapshots,
-			StateEpoch:      st.StateEpoch,
-			EpochLag:        st.EpochLag,
-			Rebuilds:        st.Rebuilds,
-			ElimReuses:      st.ElimReuses,
-			LastRebuildMs:   float64(st.LastRebuild) / float64(time.Millisecond),
+		ts := TopoStatus{
+			Paths:         rm.NumPaths(),
+			Links:         rm.NumLinks(),
+			Snapshots:     st.Snapshots,
+			StateEpoch:    st.StateEpoch,
+			EpochLag:      st.EpochLag,
+			Rebuilds:      st.Rebuilds,
+			ElimReuses:    st.ElimReuses,
+			LastRebuildMs: float64(st.LastRebuild) / float64(time.Millisecond),
+
+			Degraded:           st.Degraded,
+			DegradedComponents: st.DegradedComponents,
+			RebuildFailures:    st.RebuildFailures,
+			LastError:          st.LastError,
+			StateAgeMs:         float64(st.StateAge) / float64(time.Millisecond),
+
 			Shards:          st.Shards,
 			Components:      st.Components,
 			Window:          st.Window,
@@ -357,10 +432,29 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 			Threshold:       tp.eng.Threshold(),
 			Probes:          tp.probes,
 			Sources:         len(tp.sources),
+			SourceRestarts:  tp.sourceRestarts(),
+			Quarantined:     tp.quarantined(),
 			HTTPSnapshots:   tp.httpSnapshots.Load(),
 			SourceSnapshots: tp.sourceSnapshots.Load(),
 			Inferences:      tp.inferences.Load(),
 		}
+		if !st.LastFailure.IsZero() {
+			ts.LastFailure = st.LastFailure.UTC().Format(time.RFC3339Nano)
+		}
+		for _, ss := range tp.sources {
+			state, lastErr, lastErrAt := ss.health()
+			det := SourceStatus{
+				State:       state,
+				Restarts:    ss.restarts.Load(),
+				Quarantined: ss.sanitizer.Stats().Quarantined,
+				LastError:   lastErr,
+			}
+			if !lastErrAt.IsZero() {
+				det.LastErrorAt = lastErrAt.UTC().Format(time.RFC3339Nano)
+			}
+			ts.SourceDetail = append(ts.SourceDetail, det)
+		}
+		out.Topologies[name] = ts
 	}
 	writeJSON(w, http.StatusOK, out)
 }

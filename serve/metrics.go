@@ -41,6 +41,23 @@ var metricDefs = []metricDef{
 		func(tp *topo) float64 { return float64(tp.eng.Stats().Shards) }},
 	{"liaserve_components", "Link-connected topology components (0 = unsharded engine).", "gauge",
 		func(tp *topo) float64 { return float64(tp.eng.Stats().Components) }},
+	{"liaserve_rebuild_failures_total", "Phase-1 rebuild attempts that failed or panicked.", "counter",
+		func(tp *topo) float64 { return float64(tp.eng.Stats().RebuildFailures) }},
+	{"liaserve_degraded", "1 while the engine serves its last-good state through rebuild failures.", "gauge",
+		func(tp *topo) float64 {
+			if tp.eng.Stats().Degraded {
+				return 1
+			}
+			return 0
+		}},
+	{"liaserve_degraded_components", "Sharded components currently failing (their links read unresolved).", "gauge",
+		func(tp *topo) float64 { return float64(tp.eng.Stats().DegradedComponents) }},
+	{"liaserve_state_age_seconds", "Age of the served Phase-1 state.", "gauge",
+		func(tp *topo) float64 { return tp.eng.Stats().StateAge.Seconds() }},
+	{"liaserve_source_restarts_total", "Background source restarts by the supervisor.", "counter",
+		func(tp *topo) float64 { return float64(tp.sourceRestarts()) }},
+	{"liaserve_snapshots_quarantined_total", "Source snapshots quarantined by sanitization (NaN/Inf, dimension, outlier).", "counter",
+		func(tp *topo) float64 { return float64(tp.quarantined()) }},
 }
 
 // handleMetrics writes the Prometheus text exposition (version 0.0.4): one

@@ -8,9 +8,18 @@
 //	POST /v1/snapshots   ingest one snapshot or a batch (learning data)
 //	POST /v1/infer       Phase-2 inference on one observation vector
 //	GET  /v1/links       latest steady-state per-link estimates (epoch cache)
-//	GET  /v1/status      epochs, rebuild latency, moment configuration
-//	GET  /healthz        liveness
+//	GET  /v1/status      epochs, rebuild latency, degradation, source health
+//	GET  /healthz        liveness (the process is up)
+//	GET  /readyz         readiness (state built, engines healthy, sources live)
 //	GET  /metrics        Prometheus text exposition
+//
+// The server is built to degrade rather than fail: background sources are
+// supervised (a dead source restarts with exponential backoff and its last
+// error shows in /v1/status), every source is sanitized (poisoned
+// snapshots are quarantined behind counters instead of reaching the moment
+// accumulators), and the engines serve their last-good state through
+// rebuild failures — so /v1/links answers 200 from the freshest healthy
+// epoch while /readyz reports the degradation.
 //
 // The unprefixed routes address the default topology (the first one added);
 // /v1/topologies/{topo}/... addresses any registered topology by name, so
@@ -28,6 +37,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
 	"log"
 	"regexp"
 	"sync"
@@ -67,6 +77,15 @@ type Config struct {
 	// which come from Engine.Stats.
 	Shards int
 
+	// RestartBackoff is the delay before a failed background source is
+	// restarted; it doubles per consecutive no-progress failure up to
+	// RestartMaxBackoff and resets once a restart ingests snapshots.
+	// 0 selects 500ms.
+	RestartBackoff time.Duration
+
+	// RestartMaxBackoff caps the restart backoff growth. 0 selects 30s.
+	RestartMaxBackoff time.Duration
+
 	// Logf receives operational log lines (source errors, rebuild
 	// failures). nil selects log.Printf.
 	Logf func(format string, args ...any)
@@ -84,8 +103,50 @@ type Topology struct {
 	Probes int
 
 	// Sources are consumed concurrently in the background while the server
-	// runs; each snapshot they yield is ingested as learning data.
+	// runs; each snapshot they yield is ingested as learning data. Every
+	// source is supervised (restarted with backoff when it fails) and
+	// sanitized (snapshots with NaN/Inf entries or wrong dimensions are
+	// quarantined, never ingested — see lia.SanitizeSource).
 	Sources []lia.SnapshotSource
+
+	// SanitizeMaxAbs, when positive, additionally quarantines source
+	// snapshots containing an entry with |v| > SanitizeMaxAbs — the spike
+	// filter for corrupted magnitudes. 0 disables the bound.
+	SanitizeMaxAbs float64
+}
+
+// supervisedSource is the server-side state of one background source: the
+// sanitized consumption chain plus the restart/health record the
+// supervisor maintains and /v1/status reports.
+type supervisedSource struct {
+	src       lia.SnapshotSource // counting(sanitize(raw)): what Consume reads
+	sanitizer *lia.Sanitizer
+	restarts  atomic.Uint64
+
+	mu        sync.Mutex
+	state     string // pending → running / backoff / exhausted / stopped
+	lastErr   string
+	lastErrAt time.Time
+}
+
+func (ss *supervisedSource) setState(state string) {
+	ss.mu.Lock()
+	ss.state = state
+	ss.mu.Unlock()
+}
+
+func (ss *supervisedSource) recordError(err error) {
+	ss.mu.Lock()
+	ss.lastErr = err.Error()
+	ss.lastErrAt = time.Now()
+	ss.mu.Unlock()
+}
+
+// health returns one consistent view of the source's supervision record.
+func (ss *supervisedSource) health() (state, lastErr string, lastErrAt time.Time) {
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	return ss.state, ss.lastErr, ss.lastErrAt
 }
 
 // topo is the server-side state of one registered topology.
@@ -93,11 +154,31 @@ type topo struct {
 	name    string
 	eng     lia.Inferencer
 	probes  int
-	sources []lia.SnapshotSource
+	sources []*supervisedSource
 
 	httpSnapshots   atomic.Uint64 // ingested via POST /v1/snapshots
 	sourceSnapshots atomic.Uint64 // ingested from background sources
 	inferences      atomic.Uint64 // POST /v1/infer calls served
+}
+
+// sourceRestarts sums the supervisor restarts across the topology's
+// sources.
+func (tp *topo) sourceRestarts() uint64 {
+	var n uint64
+	for _, ss := range tp.sources {
+		n += ss.restarts.Load()
+	}
+	return n
+}
+
+// quarantined sums the sanitizer quarantine counters across the
+// topology's sources.
+func (tp *topo) quarantined() uint64 {
+	var n uint64
+	for _, ss := range tp.sources {
+		n += ss.sanitizer.Stats().Quarantined
+	}
+	return n
 }
 
 // Server wires named topologies behind the HTTP API. Register topologies
@@ -119,6 +200,12 @@ func New(cfg Config) *Server {
 	}
 	if cfg.PollInterval <= 0 {
 		cfg.PollInterval = 250 * time.Millisecond
+	}
+	if cfg.RestartBackoff <= 0 {
+		cfg.RestartBackoff = 500 * time.Millisecond
+	}
+	if cfg.RestartMaxBackoff <= 0 {
+		cfg.RestartMaxBackoff = 30 * time.Second
 	}
 	if cfg.Logf == nil {
 		cfg.Logf = log.Printf
@@ -152,12 +239,25 @@ func (s *Server) Add(name string, t Topology) error {
 	if _, dup := s.topos[name]; dup {
 		return fmt.Errorf("serve: topology %q already registered", name)
 	}
-	s.topos[name] = &topo{
-		name:    name,
-		eng:     t.Engine,
-		probes:  probes,
-		sources: t.Sources,
+	tp := &topo{
+		name:   name,
+		eng:    t.Engine,
+		probes: probes,
 	}
+	// Each source is consumed through counting(sanitize(raw)): the
+	// sanitizer quarantines poisoned snapshots before they can reach the
+	// moment accumulators, and the counter then sees only what is actually
+	// ingested.
+	np := t.Engine.RoutingMatrix().NumPaths()
+	for _, src := range t.Sources {
+		san := lia.SanitizeSource(src, lia.SanitizeConfig{Dim: np, MaxAbs: t.SanitizeMaxAbs})
+		tp.sources = append(tp.sources, &supervisedSource{
+			src:       &countingSource{src: san, n: &tp.sourceSnapshots},
+			sanitizer: san,
+			state:     "pending",
+		})
+	}
+	s.topos[name] = tp
 	s.order = append(s.order, name)
 	return nil
 }
@@ -188,8 +288,10 @@ func (s *Server) names() []string {
 
 // Run consumes every topology's sources and enforces the rebuild policy
 // until ctx is cancelled, then waits for its workers and returns nil.
-// Source errors other than stream exhaustion and cancellation are logged
-// through Config.Logf; they never stop the server.
+// Sources are supervised: a source that fails is restarted with
+// exponential backoff (see Config.RestartBackoff) until it exhausts or the
+// server stops, with its last error and restart count surfaced through
+// /v1/status and /metrics. Failures never stop the server.
 func (s *Server) Run(ctx context.Context) error {
 	var wg sync.WaitGroup
 	for _, name := range s.names() {
@@ -197,20 +299,12 @@ func (s *Server) Run(ctx context.Context) error {
 		if err != nil {
 			continue
 		}
-		for i, src := range tp.sources {
+		for i, ss := range tp.sources {
 			wg.Add(1)
-			go func(i int, src lia.SnapshotSource) {
+			go func(i int, ss *supervisedSource) {
 				defer wg.Done()
-				n, err := tp.eng.Consume(ctx, &countingSource{src: src, n: &tp.sourceSnapshots})
-				switch {
-				case err == nil:
-					s.cfg.Logf("serve: topology %s source %d exhausted after %d snapshots", tp.name, i, n)
-				case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
-					// Shutdown.
-				default:
-					s.cfg.Logf("serve: topology %s source %d failed after %d snapshots: %v", tp.name, i, n, err)
-				}
-			}(i, src)
+				s.superviseSource(ctx, tp, i, ss)
+			}(i, ss)
 		}
 		wg.Add(1)
 		go func() {
@@ -221,6 +315,97 @@ func (s *Server) Run(ctx context.Context) error {
 	<-ctx.Done()
 	wg.Wait()
 	return nil
+}
+
+// superviseSource consumes one background source until it exhausts or the
+// context cancels, restarting it with exponential backoff after failures.
+// A restart that makes progress (ingests at least one snapshot) resets the
+// backoff curve, so a source that limps is retried briskly while one that
+// is down backs off toward RestartMaxBackoff.
+func (s *Server) superviseSource(ctx context.Context, tp *topo, i int, ss *supervisedSource) {
+	backoff := s.cfg.RestartBackoff
+	for {
+		ss.setState("running")
+		n, err := consumeLive(ctx, tp.eng, ss.src)
+		switch {
+		case err == nil:
+			ss.setState("exhausted")
+			s.cfg.Logf("serve: topology %s source %d exhausted after %d snapshots", tp.name, i, n)
+			return
+		case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) || ctx.Err() != nil:
+			ss.setState("stopped")
+			return
+		default:
+			ss.recordError(err)
+			restarts := ss.restarts.Add(1)
+			if n > 0 {
+				backoff = s.cfg.RestartBackoff
+			}
+			ss.setState("backoff")
+			s.cfg.Logf("serve: topology %s source %d failed after %d snapshots (restart %d in %v): %v",
+				tp.name, i, n, restarts, backoff, err)
+			select {
+			case <-ctx.Done():
+				ss.setState("stopped")
+				return
+			case <-time.After(backoff):
+			}
+			if backoff *= 2; backoff > s.cfg.RestartMaxBackoff {
+				backoff = s.cfg.RestartMaxBackoff
+			}
+		}
+	}
+}
+
+// consumeLive drains src one snapshot at a time, folding each into the
+// engine as it arrives. Engine.Consume's 64-snapshot batching amortizes
+// the ingest lock for high-rate offline sources, but a live measurement
+// plane yields one snapshot per probe round — buffered, those would stay
+// invisible to the served state (and to /readyz) until a batch fills,
+// minutes later. io.EOF is clean exhaustion, like Consume.
+func consumeLive(ctx context.Context, eng lia.Inferencer, src lia.SnapshotSource) (int, error) {
+	n := 0
+	for {
+		snap, err := src.Next(ctx)
+		if err != nil {
+			if errors.Is(err, io.EOF) {
+				return n, nil
+			}
+			return n, err
+		}
+		if err := eng.Ingest(snap.Y); err != nil {
+			return n, err
+		}
+		n++
+	}
+}
+
+// readiness evaluates GET /readyz: the server is ready when every topology
+// has a built inference state, no engine is degraded, and no source is in
+// failure backoff. The reasons list names each violation.
+func (s *Server) readiness() (bool, []string) {
+	var reasons []string
+	for _, name := range s.names() {
+		tp, err := s.lookup(name)
+		if err != nil {
+			continue
+		}
+		st := tp.eng.Stats()
+		switch {
+		case st.Degraded:
+			reasons = append(reasons, fmt.Sprintf("topology %s: degraded (%s)", name, st.LastError))
+		case st.StateEpoch < 0 && st.RebuildFailures > 0:
+			reasons = append(reasons, fmt.Sprintf("topology %s: no state built, rebuilds failing (%s)", name, st.LastError))
+		case st.StateEpoch < 0:
+			reasons = append(reasons, fmt.Sprintf("topology %s: no inference state built yet", name))
+		}
+		for i, ss := range tp.sources {
+			if state, lastErr, _ := ss.health(); state == "backoff" {
+				reasons = append(reasons, fmt.Sprintf("topology %s: source %d restarting (%s)", name, i, lastErr))
+			}
+		}
+	}
+	return len(reasons) == 0, reasons
 }
 
 // rebuildLoop keeps tp's served Phase-1 state warm: it polls the engine's
@@ -271,3 +456,7 @@ func (c *countingSource) Next(ctx context.Context) (lia.Snapshot, error) {
 	}
 	return snap, err
 }
+
+// Close propagates to the wrapped source when it is closeable, honoring
+// the package lia wrapping convention.
+func (c *countingSource) Close() error { return lia.CloseSource(c.src) }

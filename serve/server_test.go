@@ -261,6 +261,8 @@ func normalizeStatus(t *testing.T, body []byte) []byte {
 	for _, v := range topos {
 		if tm, ok := v.(map[string]any); ok {
 			tm["last_rebuild_ms"] = 0
+			tm["state_age_ms"] = 0
+			delete(tm, "last_failure")
 		}
 	}
 	out, err := json.MarshalIndent(m, "", "  ")
@@ -270,7 +272,7 @@ func normalizeStatus(t *testing.T, body []byte) []byte {
 	return append(out, '\n')
 }
 
-var volatileMetric = regexp.MustCompile(`(?m)^(liaserve_(?:uptime_seconds|rebuild_last_seconds)(?:\{[^}]*\})?) .*$`)
+var volatileMetric = regexp.MustCompile(`(?m)^(liaserve_(?:uptime_seconds|rebuild_last_seconds|state_age_seconds)(?:\{[^}]*\})?) .*$`)
 
 // normalizeMetrics zeroes the timing-valued series of a metrics body.
 func normalizeMetrics(body []byte) []byte {

@@ -281,11 +281,12 @@ func (e *ShardedEngine) Consume(ctx context.Context, src SnapshotSource) (int, e
 	return consumeSource(ctx, src, e.rm, e.IngestBatch)
 }
 
-// forEachComponent runs fn for every component, fanning the shards out on
+// runComponents runs fn for every component, fanning the shards out on
 // their own goroutines; components within a shard run sequentially, which
-// is what bounds rebuild concurrency at the shard count. Errors join in
-// component-index order, deterministically.
-func (e *ShardedEngine) forEachComponent(fn func(c int, sc *shardComponent) error) error {
+// is what bounds rebuild concurrency at the shard count. The returned
+// slice holds each component's error (nil on success) in component-index
+// order, deterministically.
+func (e *ShardedEngine) runComponents(fn func(c int, sc *shardComponent) error) []error {
 	errs := make([]error, len(e.comps))
 	if len(e.shards) == 1 {
 		for _, c := range e.shards[0] {
@@ -304,22 +305,47 @@ func (e *ShardedEngine) forEachComponent(fn func(c int, sc *shardComponent) erro
 		}
 		wg.Wait()
 	}
+	return errs
+}
+
+// forEachComponent is the all-or-nothing variant of runComponents: any
+// component error fails the whole pass (errors join in component order).
+func (e *ShardedEngine) forEachComponent(fn func(c int, sc *shardComponent) error) error {
+	return errors.Join(e.runComponents(fn)...)
+}
+
+// gatherError decides the fate of a tolerant gather from its per-component
+// errors: caller cancellation always propagates, and a gather where every
+// component failed has nothing to serve, so the joined error surfaces
+// (preserving ErrTooFewSnapshots cold-start semantics — warm-up is
+// synchronized across components, they all fail together). Any other mix
+// of failures degrades only the failing components' links.
+func gatherError(ctx context.Context, errs []error) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	for _, err := range errs {
+		if err == nil {
+			return nil
+		}
+	}
 	return errors.Join(errs...)
 }
 
 // gatherSteady collects every component's consistent steady-state view,
-// concurrently per shard.
-func (e *ShardedEngine) gatherSteady(ctx context.Context) ([]*SteadyState, error) {
+// concurrently per shard, tolerating per-component failures: a failed
+// component's slot stays nil and its error is reported alongside.
+func (e *ShardedEngine) gatherSteady(ctx context.Context) ([]*SteadyState, []error, error) {
 	states := make([]*SteadyState, len(e.comps))
-	err := e.forEachComponent(func(c int, sc *shardComponent) error {
+	errs := e.runComponents(func(c int, sc *shardComponent) error {
 		st, err := sc.eng.Steady(ctx)
 		states[c] = st
 		return err
 	})
-	if err != nil {
-		return nil, err
+	if err := gatherError(ctx, errs); err != nil {
+		return nil, nil, err
 	}
-	return states, nil
+	return states, errs, nil
 }
 
 // globalEpoch reduces per-component state epochs to the global epoch the
@@ -339,17 +365,24 @@ func globalEpoch(epochs []int) int {
 // solves its components' reduced systems concurrently, then the per-link
 // results gather back into global link order. Eliminated links report 0,
 // exactly as with Engine.Infer.
+//
+// Component failures are isolated: a component whose solve fails (one that
+// never built a Phase-1 state, or a strict engine in a bad regime) degrades
+// only its own links — they report zero, join neither Kept nor Removed, and
+// are listed in Result.Unresolved — while every healthy component's values
+// stay bitwise what they would be with no failure anywhere. Only a gather
+// in which every component fails returns an error.
 func (e *ShardedEngine) Infer(ctx context.Context, y []float64) (*Result, error) {
 	if err := checkDim(e.rm, y); err != nil {
 		return nil, err
 	}
 	results := make([]*Result, len(e.comps))
-	err := e.forEachComponent(func(c int, sc *shardComponent) error {
+	errs := e.runComponents(func(c int, sc *shardComponent) error {
 		res, err := sc.eng.Infer(ctx, sc.scatter(y, nil))
 		results[c] = res
 		return err
 	})
-	if err != nil {
+	if err := gatherError(ctx, errs); err != nil {
 		return nil, err
 	}
 	nc := e.rm.NumLinks()
@@ -358,9 +391,13 @@ func (e *ShardedEngine) Infer(ctx context.Context, y []float64) (*Result, error)
 		LogRates:  make([]float64, nc),
 		Variances: make([]float64, nc),
 	}
-	epochs := make([]int, len(results))
+	var epochs []int
 	for c, res := range results {
 		links := e.comps[c].links
+		if errs[c] != nil {
+			out.Unresolved = append(out.Unresolved, links...)
+			continue
+		}
 		for kl, kg := range links {
 			out.LossRates[kg] = res.LossRates[kl]
 			out.LogRates[kg] = res.LogRates[kl]
@@ -372,10 +409,11 @@ func (e *ShardedEngine) Infer(ctx context.Context, y []float64) (*Result, error)
 		for _, kl := range res.Removed {
 			out.Removed = append(out.Removed, links[kl])
 		}
-		epochs[c] = res.Epoch
+		epochs = append(epochs, res.Epoch)
 	}
 	sort.Ints(out.Kept)
 	sort.Ints(out.Removed)
+	sort.Ints(out.Unresolved)
 	out.Epoch = globalEpoch(epochs)
 	return out, nil
 }
@@ -392,16 +430,22 @@ func (e *ShardedEngine) InferCongested(ctx context.Context, y []float64) ([]bool
 
 // Steady returns the steady-state learning view gathered across all
 // components, in global link order. Per-component fields are mutually
-// consistent; the Epoch is the oldest component state in the view.
+// consistent; the Epoch is the oldest healthy component state in the view.
+// Failed components degrade only their own links (zero variances, listed
+// in Unresolved — see Infer); only a total failure returns an error.
 func (e *ShardedEngine) Steady(ctx context.Context) (*SteadyState, error) {
-	states, err := e.gatherSteady(ctx)
+	states, errs, err := e.gatherSteady(ctx)
 	if err != nil {
 		return nil, err
 	}
 	out := &SteadyState{Variances: make([]float64, e.rm.NumLinks())}
-	epochs := make([]int, len(states))
+	var epochs []int
 	for c, st := range states {
 		links := e.comps[c].links
+		if errs[c] != nil {
+			out.Unresolved = append(out.Unresolved, links...)
+			continue
+		}
 		for kl, v := range st.Variances {
 			out.Variances[links[kl]] = v
 		}
@@ -411,19 +455,23 @@ func (e *ShardedEngine) Steady(ctx context.Context) (*SteadyState, error) {
 		for _, kl := range st.Removed {
 			out.Removed = append(out.Removed, links[kl])
 		}
-		epochs[c] = st.Epoch
+		epochs = append(epochs, st.Epoch)
 	}
 	sort.Ints(out.Kept)
 	sort.Ints(out.Removed)
+	sort.Ints(out.Unresolved)
 	out.Epoch = globalEpoch(epochs)
 	return out, nil
 }
 
 // Variances returns the Phase-1 per-link variance estimates in global link
-// order, rebuilding stale components (concurrently per shard) first.
+// order, rebuilding stale components (concurrently per shard) first. A
+// failed component's links report zero, with every healthy component's
+// estimates bitwise unaffected; use Steady or Stats to see which links are
+// unresolved. Only a total failure returns an error.
 func (e *ShardedEngine) Variances(ctx context.Context) ([]float64, error) {
 	out := make([]float64, e.rm.NumLinks())
-	err := e.forEachComponent(func(c int, sc *shardComponent) error {
+	errs := e.runComponents(func(c int, sc *shardComponent) error {
 		vars, err := sc.eng.Variances(ctx)
 		if err != nil {
 			return err
@@ -433,14 +481,15 @@ func (e *ShardedEngine) Variances(ctx context.Context) ([]float64, error) {
 		}
 		return nil
 	})
-	if err != nil {
+	if err := gatherError(ctx, errs); err != nil {
 		return nil, err
 	}
 	return out, nil
 }
 
 // Eliminated returns the Phase-2 kept/removed partition in global link
-// order.
+// order. A failed component's links appear in neither slice (they are
+// unresolved — see Steady).
 func (e *ShardedEngine) Eliminated(ctx context.Context) (kept, removed []int, err error) {
 	st, err := e.Steady(ctx)
 	if err != nil {
@@ -461,10 +510,15 @@ func (e *ShardedEngine) CheckIdentifiable() error {
 	})
 }
 
-// Stats aggregates the observability counters across components: Rebuilds
-// and ElimReuses sum, StateEpoch is the oldest component state (-1 before
-// every component rebuilt once), and LastRebuild is the slowest component's
-// most recent rebuild — the wall-clock floor of a full sharded rebuild.
+// Stats aggregates the observability counters across components: Rebuilds,
+// ElimReuses and RebuildFailures sum, StateEpoch is the oldest component
+// state (-1 before every component rebuilt once), LastRebuild is the
+// slowest component's most recent rebuild — the wall-clock floor of a full
+// sharded rebuild — and the degradation surface reports componentwise:
+// Degraded is true while any component is unhealthy, DegradedComponents
+// counts them, LastError/LastFailure carry the most recent component
+// failure, and StateAge is the stalest served component state. Use
+// ComponentStats for the per-component breakdown.
 func (e *ShardedEngine) Stats() Stats {
 	s := Stats{
 		Snapshots:  int(e.epoch.Load()),
@@ -480,6 +534,16 @@ func (e *ShardedEngine) Stats() Stats {
 		cs := sc.eng.Stats()
 		s.Rebuilds += cs.Rebuilds
 		s.ElimReuses += cs.ElimReuses
+		s.RebuildFailures += cs.RebuildFailures
+		if componentUnhealthy(cs) {
+			s.DegradedComponents++
+		}
+		if cs.LastFailure.After(s.LastFailure) {
+			s.LastFailure, s.LastError = cs.LastFailure, cs.LastError
+		}
+		if cs.StateAge > s.StateAge {
+			s.StateAge = cs.StateAge
+		}
 		if cs.LastRebuild > last {
 			last = cs.LastRebuild
 		}
@@ -487,6 +551,7 @@ func (e *ShardedEngine) Stats() Stats {
 			oldest = cs.StateEpoch
 		}
 	}
+	s.Degraded = s.DegradedComponents > 0
 	s.LastRebuild = last
 	s.StateEpoch = oldest
 	if s.StateEpoch >= 0 {
@@ -497,4 +562,23 @@ func (e *ShardedEngine) Stats() Stats {
 		s.EpochLag = s.Snapshots
 	}
 	return s
+}
+
+// componentUnhealthy classifies one inner engine's stats for the sharded
+// degradation surface: serving stale after a failed rebuild (Degraded), or
+// failing with nothing built yet (failures recorded, no state epoch).
+func componentUnhealthy(cs Stats) bool {
+	return cs.Degraded || (cs.StateEpoch < 0 && cs.RebuildFailures > 0)
+}
+
+// ComponentStats reports each component's own observability counters, in
+// component-index order — the per-component breakdown behind the aggregate
+// Stats, for pinpointing which component is degraded and how stale its
+// served state is.
+func (e *ShardedEngine) ComponentStats() []Stats {
+	out := make([]Stats, len(e.comps))
+	for c, sc := range e.comps {
+		out[c] = sc.eng.Stats()
+	}
+	return out
 }

@@ -1,0 +1,157 @@
+package lia_test
+
+// soak_test.go drives the full resilience chain under deterministic fault
+// injection: sim → chaos (drops, duplicates, NaN poison, spikes, transient
+// errors, stalls, mid-stream EOFs) → retry → sanitize → windowed engine,
+// with concurrent readers hammering the epoch cache. The acceptance bar is
+// exact: no panic, monotone epoch progression, and a final estimate
+// bitwise-identical to replaying the surviving snapshots through a plain
+// engine — chaos may starve the stream, but it must never skew it.
+
+import (
+	"context"
+	"errors"
+	"math"
+	"sync"
+	"testing"
+	"time"
+
+	"lia"
+	"lia/chaos"
+)
+
+// recordingSource remembers every snapshot it delivers, so the soak test
+// can replay the exact survivors through a reference engine.
+type recordingSource struct {
+	src      lia.SnapshotSource
+	recorded [][]float64
+}
+
+func (r *recordingSource) Next(ctx context.Context) (lia.Snapshot, error) {
+	snap, err := r.src.Next(ctx)
+	if err == nil {
+		r.recorded = append(r.recorded, append([]float64(nil), snap.Y...))
+	}
+	return snap, err
+}
+
+func TestEngineSoakUnderChaos(t *testing.T) {
+	rm, err := lia.NewTopology(apiTreePaths(2, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const total = 400
+	base := lia.NewSimSource(rm, lia.SimConfig{Probes: 400, Seed: 42, Snapshots: total})
+	chaotic := chaos.New(base, chaos.Config{
+		Seed:         7,
+		TransientErr: 0.05,
+		EOF:          0.02,
+		Stall:        0.01,
+		StallFor:     time.Millisecond,
+		Drop:         0.05,
+		Duplicate:    0.05,
+		CorruptNaN:   0.03,
+		Spike:        0.02,
+	})
+	hardened := lia.RetrySource(chaotic, lia.RetryPolicy{
+		MaxAttempts:    10,
+		InitialBackoff: time.Millisecond,
+		MaxBackoff:     4 * time.Millisecond,
+		Seed:           1,
+	})
+	san := lia.SanitizeSource(hardened, lia.SanitizeConfig{Dim: rm.NumPaths(), MaxAbs: 100})
+	rec := &recordingSource{src: san}
+
+	eng, err := lia.NewEngine(rm, lia.WithWindow(64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+
+	// Concurrent readers: every successful read must observe a
+	// non-decreasing epoch; warm-up is the only tolerated error.
+	done := make(chan struct{})
+	var readers sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			last := -1
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				st, err := eng.Steady(ctx)
+				if err != nil {
+					if errors.Is(err, lia.ErrTooFewSnapshots) {
+						time.Sleep(100 * time.Microsecond)
+						continue
+					}
+					t.Errorf("reader: %v", err)
+					return
+				}
+				if st.Epoch < last {
+					t.Errorf("epoch went backwards: %d after %d", st.Epoch, last)
+					return
+				}
+				last = st.Epoch
+			}
+		}()
+	}
+
+	// Consume until the wrapped stream is truly dry: injected mid-stream
+	// EOFs end a Consume cleanly, Exhausted distinguishes them from the
+	// real one.
+	for !chaotic.Exhausted() {
+		if _, err := eng.Consume(ctx, rec); err != nil {
+			t.Fatalf("consume under chaos: %v", err)
+		}
+	}
+	close(done)
+	readers.Wait()
+
+	// The schedule must actually have exercised every fault class.
+	cs := chaotic.Stats()
+	if cs.Errors == 0 || cs.EOFs == 0 || cs.Stalls == 0 || cs.Drops == 0 ||
+		cs.Duplicates == 0 || cs.NaNs == 0 || cs.Spikes == 0 {
+		t.Fatalf("fault schedule left a class untested: %+v", cs)
+	}
+	ss := san.Stats()
+	if ss.Quarantined == 0 || ss.NonFinite == 0 {
+		t.Fatalf("sanitizer saw no poison: %+v", ss)
+	}
+	if got := uint64(len(rec.recorded)); got != ss.Passed {
+		t.Fatalf("recorded %d snapshots, sanitizer passed %d", got, ss.Passed)
+	}
+	if eng.Snapshots() != len(rec.recorded) {
+		t.Fatalf("engine ingested %d, survivors %d", eng.Snapshots(), len(rec.recorded))
+	}
+	if st := eng.Stats(); st.Degraded || st.RebuildFailures != 0 {
+		t.Fatalf("sanitized chaos must not degrade the engine: %+v", st)
+	}
+
+	// Bitwise parity: the chaotic run's final estimate equals a plain
+	// engine replaying the surviving snapshots.
+	vars, err := eng.Variances(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	replay, err := lia.NewEngine(rm, lia.WithWindow(64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := replay.IngestBatch(rec.recorded); err != nil {
+		t.Fatal(err)
+	}
+	want, err := replay.Variances(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := range want {
+		if math.Float64bits(vars[k]) != math.Float64bits(want[k]) {
+			t.Fatalf("link %d: chaotic %g != replay %g (not bitwise)", k, vars[k], want[k])
+		}
+	}
+}

@@ -34,6 +34,11 @@ type Snapshot struct {
 // Implementations must be safe for use by one consumer at a time; the
 // sources in this package additionally serialise internally, so handing a
 // source between goroutines needs no extra locking.
+//
+// Sources holding resources (files, sockets) implement io.Closer by
+// convention, and wrapping sources (Limit, RetrySource, SanitizeSource,
+// chaos.Source) propagate Close inward; CloseSource releases any source
+// without a type assertion at the call site.
 type SnapshotSource interface {
 	Next(ctx context.Context) (Snapshot, error)
 }
@@ -344,10 +349,17 @@ type limitedSource struct {
 
 // Limit wraps a source so it reports io.EOF after n snapshots — e.g. to
 // Consume a learning prefix of an unbounded SimSource and keep the stream
-// position for the inference snapshot.
+// position for the inference snapshot. The returned source implements
+// io.Closer, propagating Close to the wrapped source when it is closeable
+// (see CloseSource).
 func Limit(src SnapshotSource, n int) SnapshotSource {
 	return &limitedSource{src: src, left: n}
 }
+
+// Close propagates to the wrapped source when it is closeable, so a
+// limited view over a file or collector source still releases the
+// underlying handle on shutdown.
+func (l *limitedSource) Close() error { return CloseSource(l.src) }
 
 // Next implements SnapshotSource.
 func (l *limitedSource) Next(ctx context.Context) (Snapshot, error) {
