@@ -1,0 +1,69 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+
+	"lia"
+)
+
+// writeJSON writes a JSON response body with the given status.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// writeError writes the protocol error body. code carries the sentinel wire
+// code when one applies ("" otherwise).
+func writeError(w http.ResponseWriter, status int, code string, err error) {
+	writeJSON(w, status, ErrorResponse{Error: err.Error(), Code: code})
+}
+
+// errStatus maps an engine error to the protocol's HTTP status: malformed
+// observations are the caller's fault, a cold engine is a retryable
+// conflict, anything else is internal.
+func errStatus(err error) int {
+	switch {
+	case errors.Is(err, lia.ErrDimensionMismatch):
+		return http.StatusBadRequest
+	case errors.Is(err, lia.ErrTooFewSnapshots):
+		return http.StatusConflict
+	}
+	return http.StatusInternalServerError
+}
+
+func readerFor(body []byte) io.Reader { return bytes.NewReader(body) }
+
+// decodeErrorResponse turns a non-2xx protocol response into an error,
+// preserving the remote sentinel identity when the body carries a wire
+// code.
+func decodeErrorResponse(resp *http.Response) error {
+	var er ErrorResponse
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<16)).Decode(&er); err != nil || er.Error == "" {
+		return fmt.Errorf("http %d from %s", resp.StatusCode, resp.Request.URL)
+	}
+	return fmt.Errorf("http %d from %s: %w", resp.StatusCode, resp.Request.URL, decodeError(er.Error, er.Code))
+}
+
+// getJSON fetches a URL and decodes the JSON response into v.
+func getJSON(ctx context.Context, client *http.Client, url string, v any) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		return decodeErrorResponse(resp)
+	}
+	return json.NewDecoder(resp.Body).Decode(v)
+}

@@ -31,6 +31,25 @@
 // live) from /healthz liveness. The -chaos-kill-collector flag kills every
 // live collector listener once after the given delay — the fault-injection
 // hook the CI smoke test uses to verify the recovery path end to end.
+//
+// The same binary also runs as a multi-process cluster. A coordinator
+//
+//	liaserve -listen :8420 -topo default=topo.json -coordinator 2
+//
+// waits for two nodes, places the topology's link-connected components
+// across them (deterministically, independent of join order), scatters
+// every ingested snapshot to the owning nodes over persistent NDJSON
+// streams, and serves the full /v1 API by gathering per-component results
+// — bitwise-identical to the single-process engine. Nodes are started as
+//
+//	liaserve -listen :8421 -join http://coordinator:8420 -node-id a
+//
+// and need no topology file; their components arrive from the coordinator,
+// and a restarted node (same -node-id) is re-assigned and re-learns. While
+// a node is down only its components' links read unresolved; /readyz on
+// the coordinator names the degradation. GET /v1/watch streams epoch
+// updates (NDJSON, heartbeats included) for both single-process and
+// cluster serving.
 package main
 
 import (
@@ -49,6 +68,7 @@ import (
 	"time"
 
 	"lia"
+	"lia/cluster"
 	"lia/serve"
 )
 
@@ -111,6 +131,11 @@ func run(args []string) error {
 		shutdownGrace = fs.Duration("shutdown-grace", 10*time.Second, "drain window for in-flight requests on SIGINT/SIGTERM")
 
 		chaosKillCollector = fs.Duration("chaos-kill-collector", 0, "fault injection: kill every live collector listener once after this delay (0 disables; the source must reconnect on its own)")
+
+		coordinator = fs.Int("coordinator", 0, "run as a cluster coordinator placing the topology's components across this many nodes (requires exactly one -topo)")
+		join        = fs.String("join", "", "run as a cluster node: base URL of the coordinator to register with (ignores -topo; components arrive from the coordinator)")
+		nodeID      = fs.String("node-id", "", "stable cluster node identity surviving restarts (default: the -listen address)")
+		advertise   = fs.String("advertise", "", "base URL the coordinator dials this node back on (default http://<listen>)")
 	)
 	fs.Var(&topos, "topo", "topology to serve, as name=file.json (repeatable; first is the default)")
 	fs.Var(&collect, "collect", "live collector listener, as name=host:port (repeatable)")
@@ -119,8 +144,17 @@ func run(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if *join != "" {
+		if *coordinator > 0 {
+			return errors.New("-join and -coordinator are mutually exclusive")
+		}
+		return runNode(*listen, *join, *nodeID, *advertise, *shutdownGrace)
+	}
 	if len(topos) == 0 {
 		return errors.New("at least one -topo name=file.json is required")
+	}
+	if *coordinator > 0 && len(topos) != 1 {
+		return errors.New("-coordinator requires exactly one -topo")
 	}
 	tlSet := false
 	fs.Visit(func(f *flag.Flag) {
@@ -164,6 +198,7 @@ func run(args []string) error {
 	}
 	states := make(map[string]*topoState)
 	var order []string
+	var fleet *cluster.Fleet
 	for _, spec := range topos {
 		name, file := splitSpec(spec)
 		if _, dup := states[name]; dup {
@@ -173,7 +208,24 @@ func run(args []string) error {
 		if err != nil {
 			return fmt.Errorf("-topo %s: %w", name, err)
 		}
-		eng, err := lia.New(rm, opts...)
+		var eng lia.Inferencer
+		if *coordinator > 0 {
+			fleet, err = cluster.NewFleet(rm, cluster.FleetConfig{
+				Size: *coordinator,
+				Options: cluster.EngineOptions{
+					Strategy:     *strategy,
+					Threshold:    *tl,
+					ThresholdSet: tlSet,
+					Window:       *window,
+					Decay:        *decay,
+					Workers:      *workers,
+				},
+				Logf: log.Printf,
+			})
+			eng = fleet
+		} else {
+			eng, err = lia.New(rm, opts...)
+		}
 		if err != nil {
 			return fmt.Errorf("-topo %s: %w", name, err)
 		}
@@ -202,6 +254,9 @@ func run(args []string) error {
 		return nil
 	}
 	var closers []func() error
+	if fleet != nil {
+		closers = append(closers, fleet.Close)
+	}
 	var collectors []*serve.CollectorSource
 	for _, spec := range collect {
 		st, addr, err := stateFor("collect", spec)
@@ -299,7 +354,17 @@ func run(args []string) error {
 		}()
 	}
 
-	httpSrv := &http.Server{Addr: *listen, Handler: srv.Handler()}
+	handler := srv.Handler()
+	if fleet != nil {
+		// The coordinator mounts the node-registration protocol next to the
+		// serving API on one listener.
+		mux := http.NewServeMux()
+		mux.Handle("/cluster/v1/", fleet.Handler())
+		mux.Handle("/", handler)
+		handler = mux
+		log.Printf("liaserve: coordinating a fleet of %d nodes for topology %q", *coordinator, order[0])
+	}
+	httpSrv := &http.Server{Addr: *listen, Handler: handler}
 	httpDone := make(chan error, 1)
 	go func() { httpDone <- httpSrv.ListenAndServe() }()
 	log.Printf("liaserve: serving on http://%s (default topology %q)", *listen, order[0])
@@ -317,6 +382,57 @@ func run(args []string) error {
 	err := httpSrv.Shutdown(shutCtx)
 	<-runDone
 	if err != nil {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	log.Printf("liaserve: bye")
+	return nil
+}
+
+// runNode runs the process as a cluster worker: it serves the node side of
+// the cluster protocol on -listen, registers with the coordinator (retrying
+// until it is up), and then runs whatever components the coordinator
+// assigns until SIGINT/SIGTERM.
+func runNode(listen, coordinatorURL, id, advertiseURL string, grace time.Duration) error {
+	if id == "" {
+		id = listen
+	}
+	if advertiseURL == "" {
+		advertiseURL = "http://" + listen
+	}
+	node := cluster.NewNode(id)
+	node.Logf = log.Printf
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	httpSrv := &http.Server{Addr: listen, Handler: node.Handler()}
+	httpDone := make(chan error, 1)
+	go func() { httpDone <- httpSrv.ListenAndServe() }()
+	log.Printf("liaserve: cluster node %q on http://%s, joining %s", id, listen, coordinatorURL)
+
+	regDone := make(chan error, 1)
+	go func() { regDone <- node.Register(ctx, nil, coordinatorURL, advertiseURL) }()
+
+	select {
+	case err := <-httpDone:
+		stop()
+		return fmt.Errorf("http server: %w", err)
+	case err := <-regDone:
+		if err != nil {
+			return fmt.Errorf("register with %s: %w", coordinatorURL, err)
+		}
+		select {
+		case err := <-httpDone:
+			stop()
+			return fmt.Errorf("http server: %w", err)
+		case <-ctx.Done():
+		}
+	case <-ctx.Done():
+	}
+	log.Printf("liaserve: node %q shutting down (draining for up to %v)", id, grace)
+	shutCtx, cancel := context.WithTimeout(context.Background(), grace)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutCtx); err != nil {
 		return fmt.Errorf("shutdown: %w", err)
 	}
 	log.Printf("liaserve: bye")

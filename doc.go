@@ -94,5 +94,21 @@
 // per source in /v1/status), and GET /readyz separates readiness — state
 // built, nothing degraded, no source in backoff — from /healthz liveness.
 // cmd/liaserve is the ready-made binary; Engine.Stats and
-// Engine.Eliminated are the observability hooks it reads.
+// Engine.Eliminated are the observability hooks it reads. GET /v1/watch
+// pushes epoch-advance events to long-lived clients as an NDJSON stream,
+// so dashboards learn of new estimates without polling.
+//
+// The lia/cluster subpackage stretches the sharding decomposition across
+// processes: a coordinator (liaserve -coordinator N) computes the same
+// link-connected partition, places component groups on registered nodes
+// (liaserve -join, longest-processing-time over pair-equation weight, so
+// placement is deterministic and independent of join order), scatters each
+// ingested snapshot's per-component projections over persistent streaming
+// connections, and gathers Infer/Links/Status from the fleet back into
+// global link order. Because the decomposition is exact, the gathered
+// estimates are bitwise-identical to a single process on the same
+// snapshots — for any node count. Degradation stays per-component: an
+// unreachable node marks only the links it hosts Unresolved while the
+// rest of the fleet keeps serving, /readyz names the missing node, and a
+// node that rejoins under the same identity is re-placed and re-fed.
 package lia

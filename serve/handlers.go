@@ -173,11 +173,15 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /v1/status", s.handleStatus)
 	mux.HandleFunc("POST /v1/snapshots", s.handleIngest)
+	mux.HandleFunc("POST /v1/snapshots/stream", s.handleStreamIngest)
 	mux.HandleFunc("POST /v1/infer", s.handleInfer)
 	mux.HandleFunc("GET /v1/links", s.handleLinks)
+	mux.HandleFunc("GET /v1/watch", s.handleWatch)
 	mux.HandleFunc("POST /v1/topologies/{topo}/snapshots", s.handleIngest)
+	mux.HandleFunc("POST /v1/topologies/{topo}/snapshots/stream", s.handleStreamIngest)
 	mux.HandleFunc("POST /v1/topologies/{topo}/infer", s.handleInfer)
 	mux.HandleFunc("GET /v1/topologies/{topo}/links", s.handleLinks)
+	mux.HandleFunc("GET /v1/topologies/{topo}/watch", s.handleWatch)
 	return mux
 }
 
@@ -263,28 +267,10 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("decode request: %w", err))
 		return
 	}
-	single := len(req.Y) > 0 || len(req.Frac) > 0
-	if single && len(req.Snapshots) > 0 {
-		writeError(w, http.StatusBadRequest,
-			errors.New(`use either an inline snapshot or "snapshots", not both`))
+	ys, err := tp.ingestVectors(req)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
 		return
-	}
-	payloads := req.Snapshots
-	if single {
-		payloads = []SnapshotPayload{req.SnapshotPayload}
-	}
-	if len(payloads) == 0 {
-		writeError(w, http.StatusBadRequest, errors.New("no snapshots in request"))
-		return
-	}
-	ys := make([][]float64, len(payloads))
-	for i, p := range payloads {
-		y, err := tp.vector(p)
-		if err != nil {
-			writeError(w, http.StatusBadRequest, fmt.Errorf("snapshot %d: %w", i, err))
-			return
-		}
-		ys[i] = y
 	}
 	if err := tp.eng.IngestBatch(ys); err != nil {
 		zero := 0

@@ -2,6 +2,7 @@ package serve
 
 import (
 	"fmt"
+	"math"
 	"net/http"
 	"strings"
 	"time"
@@ -58,6 +59,44 @@ var metricDefs = []metricDef{
 		func(tp *topo) float64 { return float64(tp.sourceRestarts()) }},
 	{"liaserve_snapshots_quarantined_total", "Source snapshots quarantined by sanitization (NaN/Inf, dimension, outlier).", "counter",
 		func(tp *topo) float64 { return float64(tp.quarantined()) }},
+	{"liaserve_watchers", "GET /v1/watch push streams currently connected.", "gauge",
+		func(tp *topo) float64 { return float64(tp.watchers.Load()) }},
+	// The cluster gauges apply only to engines with a node fleet behind them
+	// (cluster.Fleet); other engines skip the series entirely (NaN sentinel).
+	{"liaserve_cluster_nodes", "Nodes registered with the clustered engine's fleet.", "gauge",
+		func(tp *topo) float64 {
+			if cn, ok := tp.eng.(clusterNoder); ok {
+				total, _ := cn.ClusterNodes()
+				return float64(total)
+			}
+			return math.NaN()
+		}},
+	{"liaserve_cluster_nodes_live", "Fleet nodes with healthy ingest and watch streams.", "gauge",
+		func(tp *topo) float64 {
+			if cn, ok := tp.eng.(clusterNoder); ok {
+				_, live := cn.ClusterNodes()
+				return float64(live)
+			}
+			return math.NaN()
+		}},
+	{"liaserve_cluster_snapshots_missed_total", "Snapshot deliveries dropped on the way to down or backlogged fleet nodes.", "counter",
+		func(tp *topo) float64 {
+			if cm, ok := tp.eng.(clusterMisser); ok {
+				return float64(cm.Missed())
+			}
+			return math.NaN()
+		}},
+}
+
+// clusterNoder is the optional fleet-size interface a clustered engine
+// (cluster.Fleet) implements; plain and sharded engines do not.
+type clusterNoder interface {
+	ClusterNodes() (total, live int)
+}
+
+// clusterMisser exposes the fleet's dropped-delivery counter.
+type clusterMisser interface {
+	Missed() int64
 }
 
 // handleMetrics writes the Prometheus text exposition (version 0.0.4): one
@@ -70,14 +109,26 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(&b, "liaserve_uptime_seconds %g\n", time.Since(s.start).Seconds())
 	names := s.names()
 	for _, def := range metricDefs {
-		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s %s\n", def.name, def.help, def.name, def.kind)
+		// A NaN value means the metric does not apply to the topology's
+		// engine (e.g. cluster gauges on a single-process engine); emit the
+		// family only for topologies it applies to.
+		var lines []string
 		for _, name := range names {
 			tp, err := s.lookup(name)
 			if err != nil {
 				continue
 			}
-			fmt.Fprintf(&b, "%s{topology=%q} %g\n", def.name, tp.name, def.value(tp))
+			v := def.value(tp)
+			if math.IsNaN(v) {
+				continue
+			}
+			lines = append(lines, fmt.Sprintf("%s{topology=%q} %g\n", def.name, tp.name, v))
 		}
+		if len(lines) == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s %s\n", def.name, def.help, def.name, def.kind)
+		b.WriteString(strings.Join(lines, ""))
 	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	w.WriteHeader(http.StatusOK)

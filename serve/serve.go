@@ -86,6 +86,15 @@ type Config struct {
 	// RestartMaxBackoff caps the restart backoff growth. 0 selects 30s.
 	RestartMaxBackoff time.Duration
 
+	// WatchPoll is how often GET /v1/watch streams poll their engine for a
+	// state change worth pushing. 0 selects 100ms.
+	WatchPoll time.Duration
+
+	// WatchHeartbeat is the idle interval after which a /v1/watch stream
+	// emits a heartbeat event so readers can tell a quiet topology from a
+	// dead connection. 0 selects 15s.
+	WatchHeartbeat time.Duration
+
 	// Logf receives operational log lines (source errors, rebuild
 	// failures). nil selects log.Printf.
 	Logf func(format string, args ...any)
@@ -156,9 +165,10 @@ type topo struct {
 	probes  int
 	sources []*supervisedSource
 
-	httpSnapshots   atomic.Uint64 // ingested via POST /v1/snapshots
+	httpSnapshots   atomic.Uint64 // ingested via POST /v1/snapshots[/stream]
 	sourceSnapshots atomic.Uint64 // ingested from background sources
 	inferences      atomic.Uint64 // POST /v1/infer calls served
+	watchers        atomic.Int64  // GET /v1/watch streams currently connected
 }
 
 // sourceRestarts sums the supervisor restarts across the topology's
@@ -206,6 +216,12 @@ func New(cfg Config) *Server {
 	}
 	if cfg.RestartMaxBackoff <= 0 {
 		cfg.RestartMaxBackoff = 30 * time.Second
+	}
+	if cfg.WatchPoll <= 0 {
+		cfg.WatchPoll = 100 * time.Millisecond
+	}
+	if cfg.WatchHeartbeat <= 0 {
+		cfg.WatchHeartbeat = 15 * time.Second
 	}
 	if cfg.Logf == nil {
 		cfg.Logf = log.Printf
@@ -314,7 +330,27 @@ func (s *Server) Run(ctx context.Context) error {
 	}
 	<-ctx.Done()
 	wg.Wait()
+	s.closeSources()
 	return nil
+}
+
+// closeSources releases every configured source's underlying resources
+// (files, listeners) on the server's own exit path, honoring the package lia
+// io.Closer convention: each supervised chain forwards Close inward to the
+// raw source. Run calls it after its workers drain, so no source is closed
+// while a consume loop still reads it.
+func (s *Server) closeSources() {
+	for _, name := range s.names() {
+		tp, err := s.lookup(name)
+		if err != nil {
+			continue
+		}
+		for i, ss := range tp.sources {
+			if err := lia.CloseSource(ss.src); err != nil {
+				s.cfg.Logf("serve: topology %s source %d close: %v", name, i, err)
+			}
+		}
+	}
 }
 
 // superviseSource consumes one background source until it exhausts or the

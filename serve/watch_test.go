@@ -1,0 +1,431 @@
+package serve_test
+
+// watch_test.go covers the push-stream surface added with /v1/watch and
+// /v1/snapshots/stream: the NDJSON event schema (golden-pinned), push
+// semantics (state changes arrive without polling, heartbeats fill idle
+// gaps), watcher-count accounting across disconnects, a -race stress run
+// with concurrent watchers, ingesters and rebuild-triggering queries, and
+// the Run exit path closing every configured source.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"regexp"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"lia"
+	"lia/serve"
+)
+
+// newWatchServer builds a single-topology server with fast watch timing so
+// tests observe pushes and heartbeats quickly.
+func newWatchServer(t testing.TB, heartbeat time.Duration) (*lia.RoutingMatrix, *httptest.Server) {
+	t.Helper()
+	rm, err := lia.NewTopology(treePaths(2, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := lia.NewEngine(rm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := serve.New(serve.Config{
+		RebuildEvery:   -1,
+		WatchPoll:      2 * time.Millisecond,
+		WatchHeartbeat: heartbeat,
+		Logf:           t.Logf,
+	})
+	if err := s.Add("default", serve.Topology{Engine: eng, Probes: 400}); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return rm, ts
+}
+
+// watchStream opens GET /v1/watch and returns a decoder over its NDJSON
+// events plus a closer that severs the connection.
+func watchStream(t testing.TB, base string) (*json.Decoder, func()) {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/v1/watch", nil)
+	if err != nil {
+		cancel()
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		cancel()
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		cancel()
+		t.Fatalf("watch: status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		cancel()
+		t.Fatalf("watch: content type %q", ct)
+	}
+	return json.NewDecoder(resp.Body), func() {
+		cancel()
+		resp.Body.Close()
+	}
+}
+
+// nextEvent decodes one event, failing the test on stream errors.
+func nextEvent(t testing.TB, dec *json.Decoder) serve.WatchEvent {
+	t.Helper()
+	var ev serve.WatchEvent
+	if err := dec.Decode(&ev); err != nil {
+		t.Fatalf("watch stream: %v", err)
+	}
+	return ev
+}
+
+// TestWatchGolden pins the exact NDJSON bytes of the first watch event on a
+// fresh topology and of the epoch event after one deterministic batch — the
+// event schema contract for external watchers.
+func TestWatchGolden(t *testing.T) {
+	rm, ts := newWatchServer(t, 10*time.Second)
+	dec, closeStream := watchStream(t, ts.URL)
+	defer closeStream()
+
+	var first json.RawMessage
+	if err := dec.Decode(&first); err != nil {
+		t.Fatal(err)
+	}
+	compareGolden(t, "watch_first.golden", append(first, '\n'))
+
+	// One atomic batch: exactly one state transition, so exactly one
+	// deterministic epoch event follows the connect event.
+	var batch serve.IngestRequest
+	for _, y := range testVectors(t, rm, 42, 40) {
+		batch.Snapshots = append(batch.Snapshots, serve.SnapshotPayload{Y: y})
+	}
+	if code, body := do(t, http.MethodPost, ts.URL+"/v1/snapshots", batch); code != http.StatusOK {
+		t.Fatalf("ingest: %d %s", code, body)
+	}
+	var after json.RawMessage
+	if err := dec.Decode(&after); err != nil {
+		t.Fatal(err)
+	}
+	compareGolden(t, "watch_after_ingest.golden", append(after, '\n'))
+}
+
+// TestWatchPush checks push semantics: the current state arrives on
+// connect, ingestion produces an epoch event without the client polling,
+// and idle streams carry heartbeats with the same state.
+func TestWatchPush(t *testing.T) {
+	rm, ts := newWatchServer(t, 20*time.Millisecond)
+	dec, closeStream := watchStream(t, ts.URL)
+	defer closeStream()
+
+	first := nextEvent(t, dec)
+	if first.Type != "epoch" || first.Snapshots != 0 || first.Topology != "default" {
+		t.Fatalf("first event: %+v", first)
+	}
+
+	ys := testVectors(t, rm, 7, 5)
+	ingestAll(t, ts.URL, "/v1", ys)
+	// Heartbeats from before the ingest may interleave; the epoch event
+	// carrying the new count must arrive without the client asking.
+	var ev serve.WatchEvent
+	for ev = nextEvent(t, dec); ev.Snapshots != len(ys); ev = nextEvent(t, dec) {
+		if ev.Type != "heartbeat" {
+			t.Fatalf("unexpected event before ingest landed: %+v", ev)
+		}
+	}
+	if ev.Type != "epoch" {
+		t.Fatalf("after ingest: %+v", ev)
+	}
+
+	hb := nextEvent(t, dec)
+	if hb.Type != "heartbeat" {
+		t.Fatalf("expected heartbeat while idle, got %+v", hb)
+	}
+	if hb.Snapshots != ev.Snapshots || hb.Epoch != ev.Epoch {
+		t.Fatalf("heartbeat changed state: %+v vs %+v", hb, ev)
+	}
+}
+
+// watcherGauge scrapes liaserve_watchers for the default topology.
+func watcherGauge(t testing.TB, base string) int {
+	t.Helper()
+	_, body := do(t, http.MethodGet, base+"/metrics", nil)
+	m := regexp.MustCompile(`liaserve_watchers\{topology="default"\} (\d+)`).FindSubmatch(body)
+	if m == nil {
+		t.Fatalf("no liaserve_watchers series in:\n%s", body)
+	}
+	n := 0
+	fmt.Sscanf(string(m[1]), "%d", &n)
+	return n
+}
+
+// waitGauge polls the watcher gauge until it reports want.
+func waitGauge(t testing.TB, base string, want int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if got := watcherGauge(t, base); got == want {
+			return
+		} else if time.Now().After(deadline) {
+			t.Fatalf("liaserve_watchers: got %d, want %d", got, want)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestWatchDisconnectCleanup checks that every watcher is counted while
+// connected and released when its connection drops.
+func TestWatchDisconnectCleanup(t *testing.T) {
+	_, ts := newWatchServer(t, 10*time.Second)
+	var closers []func()
+	for i := 0; i < 3; i++ {
+		dec, closeStream := watchStream(t, ts.URL)
+		nextEvent(t, dec) // stream established
+		closers = append(closers, closeStream)
+	}
+	waitGauge(t, ts.URL, 3)
+	for _, c := range closers {
+		c()
+	}
+	waitGauge(t, ts.URL, 0)
+}
+
+// TestWatchConcurrent hammers the stream under -race: watchers decode
+// events while ingesters fold snapshots and query goroutines force
+// rebuilds. Every watcher must observe a monotone snapshot count that
+// reaches the total, and the watcher gauge must return to zero.
+func TestWatchConcurrent(t *testing.T) {
+	rm, ts := newWatchServer(t, 50*time.Millisecond)
+	const (
+		watchers  = 6
+		ingesters = 4
+		batches   = 5
+		batchLen  = 4
+	)
+	total := ingesters * batches * batchLen
+	ys := testVectors(t, rm, 11, total)
+
+	// Streams open in the main goroutine and register cleanup closers, so a
+	// failing assertion can never leave a watcher pinning the test server.
+	var wg sync.WaitGroup
+	errc := make(chan error, watchers+ingesters)
+	var closers []func()
+	for w := 0; w < watchers; w++ {
+		dec, closeStream := watchStream(t, ts.URL)
+		t.Cleanup(closeStream)
+		closers = append(closers, closeStream)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			seen := -1
+			for {
+				var ev serve.WatchEvent
+				if err := dec.Decode(&ev); err != nil {
+					errc <- fmt.Errorf("watch stream: %w", err)
+					return
+				}
+				if ev.Snapshots < seen {
+					errc <- fmt.Errorf("watch went backwards: %d after %d", ev.Snapshots, seen)
+					return
+				}
+				seen = ev.Snapshots
+				if seen == total {
+					return
+				}
+			}
+		}()
+	}
+	for g := 0; g < ingesters; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			part := ys[g*batches*batchLen : (g+1)*batches*batchLen]
+			for b := 0; b < batches; b++ {
+				var req serve.IngestRequest
+				for _, y := range part[b*batchLen : (b+1)*batchLen] {
+					req.Snapshots = append(req.Snapshots, serve.SnapshotPayload{Y: y})
+				}
+				if code, body := do(t, http.MethodPost, ts.URL+"/v1/snapshots", req); code != http.StatusOK {
+					errc <- fmt.Errorf("ingest: %d %s", code, body)
+					return
+				}
+			}
+		}(g)
+	}
+	stopQueries := make(chan struct{})
+	var queryWG sync.WaitGroup
+	queryWG.Add(1)
+	go func() {
+		defer queryWG.Done()
+		for {
+			select {
+			case <-stopQueries:
+				return
+			default:
+			}
+			do(t, http.MethodGet, ts.URL+"/v1/links", nil)
+		}
+	}()
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		wg.Wait()
+	}()
+	select {
+	case <-done:
+	case err := <-errc:
+		t.Fatal(err)
+	case <-time.After(60 * time.Second):
+		t.Fatal("watchers or ingesters never finished")
+	}
+	close(stopQueries)
+	queryWG.Wait()
+	select {
+	case err := <-errc:
+		t.Fatal(err)
+	default:
+	}
+	for _, c := range closers {
+		c()
+	}
+	waitGauge(t, ts.URL, 0)
+}
+
+// TestStreamIngest drives POST /v1/snapshots/stream: NDJSON records fold in
+// as they arrive, the summary reports the totals, and a bad record aborts
+// the stream naming its index and the count ingested before it.
+func TestStreamIngest(t *testing.T) {
+	rm, ts := newWatchServer(t, 10*time.Second)
+	ys := testVectors(t, rm, 21, 10)
+
+	var b strings.Builder
+	enc := json.NewEncoder(&b)
+	// Mix framings: one single snapshot, then a batch record of the rest.
+	if err := enc.Encode(serve.IngestRequest{SnapshotPayload: serve.SnapshotPayload{Y: ys[0]}}); err != nil {
+		t.Fatal(err)
+	}
+	var batch serve.IngestRequest
+	for _, y := range ys[1:] {
+		batch.Snapshots = append(batch.Snapshots, serve.SnapshotPayload{Y: y})
+	}
+	if err := enc.Encode(batch); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+"/v1/snapshots/stream", "application/x-ndjson", strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum serve.StreamIngestResponse
+	if err := json.NewDecoder(resp.Body).Decode(&sum); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || sum.Ingested != len(ys) || sum.Snapshots != len(ys) {
+		t.Fatalf("stream ingest: %d %+v", resp.StatusCode, sum)
+	}
+
+	// A record with the wrong dimension aborts the stream, reporting the
+	// record index and how much of the stream was folded before it.
+	b.Reset()
+	if err := enc.Encode(serve.IngestRequest{SnapshotPayload: serve.SnapshotPayload{Y: ys[0]}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := enc.Encode(serve.IngestRequest{SnapshotPayload: serve.SnapshotPayload{Y: []float64{0.5}}}); err != nil {
+		t.Fatal(err)
+	}
+	resp, err = http.Post(ts.URL+"/v1/snapshots/stream", "application/x-ndjson", strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fail serve.ErrorResponse
+	if err := json.NewDecoder(resp.Body).Decode(&fail); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad record: status %d", resp.StatusCode)
+	}
+	if !strings.Contains(fail.Error, "stream record 1") {
+		t.Fatalf("bad record error does not name its index: %q", fail.Error)
+	}
+	if fail.Ingested == nil || *fail.Ingested != 1 {
+		t.Fatalf("bad record ingested count: %+v", fail.Ingested)
+	}
+}
+
+// closeRecordingSource wraps a snapshot source and records Close calls.
+type closeRecordingSource struct {
+	src    lia.SnapshotSource
+	closed atomic.Int32
+}
+
+func (c *closeRecordingSource) Next(ctx context.Context) (lia.Snapshot, error) {
+	return c.src.Next(ctx)
+}
+
+func (c *closeRecordingSource) Close() error {
+	c.closed.Add(1)
+	return lia.CloseSource(c.src)
+}
+
+// TestRunClosesSources checks the shutdown contract: when Run drains, every
+// configured source is closed exactly once — no leaked files or listeners.
+func TestRunClosesSources(t *testing.T) {
+	rm, err := lia.NewTopology(treePaths(2, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := lia.NewEngine(rm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srcs := []*closeRecordingSource{
+		{src: lia.NewSimSource(rm, lia.SimConfig{Probes: 400, Seed: 1})},
+		{src: lia.NewSimSource(rm, lia.SimConfig{Probes: 400, Seed: 2})},
+	}
+	s := serve.New(serve.Config{RebuildEvery: -1, Logf: t.Logf})
+	if err := s.Add("default", serve.Topology{
+		Engine:  eng,
+		Probes:  400,
+		Sources: []lia.SnapshotSource{srcs[0], srcs[1]},
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	runDone := make(chan error, 1)
+	go func() { runDone <- s.Run(ctx) }()
+
+	// Let the sources make progress, then drain.
+	deadline := time.Now().Add(5 * time.Second)
+	for eng.Snapshots() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("sources never ingested")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	cancel()
+	select {
+	case err := <-runDone:
+		if err != nil {
+			t.Fatalf("run: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("run never returned")
+	}
+	for i, src := range srcs {
+		if got := src.closed.Load(); got != 1 {
+			t.Fatalf("source %d closed %d times, want 1", i, got)
+		}
+	}
+}

@@ -37,6 +37,28 @@ func RemoveFluttering(paths []Path) (kept []Path, removed []int) {
 	return topology.RemoveFluttering(paths)
 }
 
+// Partition is a routing matrix's decomposition into link-connected
+// components — the exact unit of distribution: no covariance equation and no
+// elimination decision ever couples two components, so estimates computed
+// per component are the whole-matrix estimates by construction. ShardedEngine
+// uses it to spread components across goroutines; the lia/cluster package
+// uses the same decomposition (and its deterministic LPT Shards grouping) to
+// place components across machines.
+type Partition = topology.Partition
+
+// Component is one link-connected component of a Partition: the global path
+// (row) and virtual-link (column) indices it owns.
+type Component = topology.Component
+
+// NewPartition computes the link-connected components of the routing matrix.
+// The decomposition is deterministic: components are numbered in order of
+// their smallest path index, so every process that builds the same routing
+// matrix computes the same partition — the property distributed placement
+// relies on.
+func NewPartition(rm *RoutingMatrix) *Partition {
+	return topology.NewPartition(rm)
+}
+
 // Identifiable reports whether the per-link variances are statistically
 // identifiable from end-to-end measurements on this routing matrix, i.e.
 // whether the augmented matrix A of Definition 1 has full column rank
