@@ -23,6 +23,7 @@ import (
 	"io"
 	"math"
 	"math/rand/v2"
+	"sort"
 	"sync"
 	"time"
 
@@ -213,3 +214,31 @@ func (s *Source) Stats() Stats {
 
 // Close propagates to the wrapped source when it is closeable.
 func (s *Source) Close() error { return lia.CloseSource(s.src) }
+
+// KillSchedule returns kills distinct crash points, sorted ascending, each
+// strictly inside (0, total) — the ingestion epochs at which a kill-restart
+// soak test abandons its process (simulating SIGKILL) before recovering and
+// continuing. Like every schedule in this package it is a pure function of
+// its inputs: the same seed yields the same crash points on every run and
+// machine. kills is clamped to total-1 (there are only that many interior
+// epochs); total < 2 yields an empty schedule.
+func KillSchedule(seed uint64, total, kills int) []int {
+	if total < 2 || kills <= 0 {
+		return nil
+	}
+	if kills > total-1 {
+		kills = total - 1
+	}
+	rng := rand.New(rand.NewPCG(seed, 0x5191c1))
+	picked := make(map[int]bool, kills)
+	out := make([]int, 0, kills)
+	for len(out) < kills {
+		k := 1 + rng.IntN(total-1)
+		if !picked[k] {
+			picked[k] = true
+			out = append(out, k)
+		}
+	}
+	sort.Ints(out)
+	return out
+}

@@ -131,3 +131,28 @@ func TestChaosClosePropagates(t *testing.T) {
 		t.Fatalf("Close: %v", err)
 	}
 }
+
+func TestKillSchedule(t *testing.T) {
+	a := chaos.KillSchedule(9, 100, 5)
+	b := chaos.KillSchedule(9, 100, 5)
+	if len(a) != 5 {
+		t.Fatalf("schedule %v", a)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("not deterministic: %v vs %v", a, b)
+		}
+		if a[i] <= 0 || a[i] >= 100 {
+			t.Fatalf("kill point %d outside (0, 100)", a[i])
+		}
+		if i > 0 && a[i] <= a[i-1] {
+			t.Fatalf("not sorted/distinct: %v", a)
+		}
+	}
+	if got := chaos.KillSchedule(1, 4, 99); len(got) != 3 {
+		t.Fatalf("clamp: %v", got)
+	}
+	if got := chaos.KillSchedule(1, 1, 3); got != nil {
+		t.Fatalf("degenerate: %v", got)
+	}
+}

@@ -103,8 +103,18 @@ type testCluster struct {
 // startNode boots a worker with the given identity and registers it.
 func (tc *testCluster) startNode(t testing.TB, id string) *testNode {
 	t.Helper()
+	return tc.startNodeWith(t, id, nil)
+}
+
+// startNodeWith boots a worker, applying configure (may be nil) before it
+// starts serving — e.g. to give the node a durable StateDir.
+func (tc *testCluster) startNodeWith(t testing.TB, id string, configure func(*cluster.Node)) *testNode {
+	t.Helper()
 	n := cluster.NewNode(id)
 	n.WatchPoll = 5 * time.Millisecond
+	if configure != nil {
+		configure(n)
+	}
 	tn := &testNode{id: id, node: n, srv: httptest.NewServer(n.Handler())}
 	tc.nodes[id] = tn
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
@@ -118,6 +128,12 @@ func (tc *testCluster) startNode(t testing.TB, id string) *testNode {
 // startCluster boots a fleet of len(ids) nodes, registering them in the
 // given order, and waits until every node holds its assignment.
 func startCluster(t testing.TB, rm *lia.RoutingMatrix, ids []string) *testCluster {
+	t.Helper()
+	return startClusterWith(t, rm, ids, nil)
+}
+
+// startClusterWith is startCluster with a per-node configure hook.
+func startClusterWith(t testing.TB, rm *lia.RoutingMatrix, ids []string, configure func(id string, n *cluster.Node)) *testCluster {
 	t.Helper()
 	fleet, err := cluster.NewFleet(rm, cluster.FleetConfig{
 		Size:         len(ids),
@@ -137,7 +153,12 @@ func startCluster(t testing.TB, rm *lia.RoutingMatrix, ids []string) *testCluste
 		}
 	})
 	for _, id := range ids {
-		tc.startNode(t, id)
+		if configure != nil {
+			id := id
+			tc.startNodeWith(t, id, func(n *cluster.Node) { configure(id, n) })
+		} else {
+			tc.startNode(t, id)
+		}
 	}
 	deadline := time.Now().Add(10 * time.Second)
 	for _, tn := range tc.nodes {
@@ -512,5 +533,113 @@ func TestNodeRejectsForeignAssignment(t *testing.T) {
 	time.Sleep(300 * time.Millisecond)
 	if got := n.Assignment(); got != 0 {
 		t.Errorf("node accepted a foreign assignment (generation %d)", got)
+	}
+}
+
+// TestFleetNodeRestartRestoresState is the cluster leg of the durability
+// invariant: a node with a StateDir is killed (listener severed, engines
+// abandoned without Close — everything acked is on disk, as after SIGKILL)
+// and a fresh process with the same identity and StateDir rejoins. Its
+// placed components restore from local state, so the cluster's answers are
+// bitwise-identical to never having lost the node — no re-teaching batch
+// required.
+func TestFleetNodeRestartRestoresState(t *testing.T) {
+	ctx := context.Background()
+	rm, snaps := workload(t)
+	probe := synthSnapshots(rm, 1, 1234)[0]
+
+	stateDirs := map[string]string{"a": t.TempDir(), "b": t.TempDir()}
+	durable := func(id string, n *cluster.Node) {
+		n.StateDir = stateDirs[id]
+		n.Durability = lia.DurabilityOptions{CheckpointEvery: 16}
+		n.Logf = t.Logf
+	}
+	tc := startClusterWith(t, rm, []string{"a", "b"}, durable)
+	if err := tc.fleet.IngestBatch(snaps); err != nil {
+		t.Fatal(err)
+	}
+	tc.sync(t)
+	baseline, err := tc.fleet.Infer(ctx, probe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(baseline.Unresolved) != 0 {
+		t.Fatalf("healthy cluster has unresolved links: %v", baseline.Unresolved)
+	}
+
+	// Kill node b without closing its engines: the WAL has every acked
+	// batch (appends are unbuffered write syscalls), exactly like SIGKILL.
+	tc.nodes["b"].srv.CloseClientConnections()
+	tc.nodes["b"].srv.Close()
+
+	// Rejoin with the same identity AND the same state directory.
+	tc.startNodeWith(t, "b", func(n *cluster.Node) { durable("b", n) })
+	deadline := time.Now().Add(10 * time.Second)
+	for tc.nodes["b"].node.Assignment() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("restarted node never received its assignment")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if got := tc.nodes["b"].node.Snapshots(); got != len(snaps) {
+		t.Fatalf("restarted node reports %d snapshots, want %d restored", got, len(snaps))
+	}
+
+	// No new snapshots: the restored state alone must answer, bitwise.
+	rec, err := tc.fleet.Infer(ctx, probe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Unresolved) != 0 {
+		t.Fatalf("restored node left links unresolved: %v", rec.Unresolved)
+	}
+	for k := 0; k < rm.NumLinks(); k++ {
+		if math.Float64bits(rec.Variances[k]) != math.Float64bits(baseline.Variances[k]) ||
+			math.Float64bits(rec.LossRates[k]) != math.Float64bits(baseline.LossRates[k]) {
+			t.Fatalf("link %d differs after restart-with-state", k)
+		}
+	}
+
+	// The stream continues: later snapshots fold on top of the restored
+	// moments, staying bitwise-equal to an uninterrupted reference. Wait for
+	// the fleet's ingest stream to node b to re-establish first — deliveries
+	// against a still-reconnecting stream are dropped by design.
+	for {
+		if total, live := tc.fleet.ClusterNodes(); total == 2 && live == 2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("fleet streams to the restarted node never went live")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	snaps2 := synthSnapshots(rm, 40, 8)
+	if err := tc.fleet.IngestBatch(snaps2); err != nil {
+		t.Fatal(err)
+	}
+	tc.sync(t)
+	if got, want := tc.nodes["b"].node.Snapshots(), len(snaps)+len(snaps2); got != want {
+		t.Fatalf("node b has %d snapshots after the post-restart stream, want %d", got, want)
+	}
+	final, err := tc.fleet.Infer(ctx, probe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := lia.New(rm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ref.IngestBatch(append(append([][]float64{}, snaps...), snaps2...)); err != nil {
+		t.Fatal(err)
+	}
+	want, err := ref.Infer(ctx, probe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k < rm.NumLinks(); k++ {
+		if math.Float64bits(final.Variances[k]) != math.Float64bits(want.Variances[k]) ||
+			math.Float64bits(final.LossRates[k]) != math.Float64bits(want.LossRates[k]) {
+			t.Fatalf("link %d differs after post-restart stream", k)
+		}
 	}
 }

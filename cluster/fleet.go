@@ -499,6 +499,11 @@ func (f *Fleet) ingestOnce(nc *nodeClient) (wrote int, err error) {
 		resp, err := f.cfg.Client.Do(req)
 		done <- reply{resp, err}
 	}()
+	// The node answered the probe on the right assignment and the stream
+	// request is under way: deliveries now reach the node rather than being
+	// dropped, which is what ingest-liveness means to ClusterNodes readers
+	// (e.g. an operator waiting out a node restart before streaming).
+	nc.ingestLive.Store(true)
 	finish := func(cause error) (int, error) {
 		_ = pw.CloseWithError(cause)
 		r := <-done
@@ -982,13 +987,16 @@ func (f *Fleet) Stats() lia.Stats {
 }
 
 // ClusterNodes reports the fleet size view for metrics: total registered
-// nodes and how many have a live watch stream.
+// nodes and how many have both a live ingest stream and a live watch
+// stream. Waiting for live == total after a node restart guarantees that
+// subsequent IngestBatch deliveries are not dropped against a
+// still-reconnecting stream.
 func (f *Fleet) ClusterNodes() (total, live int) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	for _, nc := range f.nodes {
 		total++
-		if nc.watchLive.Load() {
+		if nc.watchLive.Load() && nc.ingestLive.Load() {
 			live++
 		}
 	}

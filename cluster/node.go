@@ -7,6 +7,8 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"os"
+	"path/filepath"
 	"reflect"
 	"sync"
 	"sync/atomic"
@@ -15,15 +17,17 @@ import (
 	"lia"
 )
 
-// nodeComponent is one assigned component running on a node: a plain
-// lia.Engine over the component's own routing matrix (rebuilt node-side
-// from the coordinator's paths — Build is deterministic, so the local link
-// order matches the coordinator's Partition.ComponentMatrix exactly).
+// nodeComponent is one assigned component running on a node: an engine over
+// the component's own routing matrix (rebuilt node-side from the
+// coordinator's paths — Build is deterministic, so the local link order
+// matches the coordinator's Partition.ComponentMatrix exactly). The engine
+// is a plain lia.Engine, or a lia.DurableEngine around one when the node
+// has a StateDir.
 type nodeComponent struct {
 	component int   // global component index
 	links     []int // local virtual link -> global virtual link
 	npaths    int
-	eng       *lia.Engine
+	eng       lia.Inferencer
 }
 
 // placement is one immutable assignment generation: handlers snapshot it
@@ -51,6 +55,21 @@ type Node struct {
 	// (defaults 50ms / 10s).
 	WatchPoll      time.Duration
 	WatchHeartbeat time.Duration
+
+	// StateDir, when non-empty, makes every placed component durable: its
+	// engine journals snapshots and checkpoints moments under
+	// StateDir/component-%04d (keyed by global component index), and a
+	// restarted node that receives the same placement back restores each
+	// component's moments from local disk — bitwise-identical to the state
+	// at the kill — before the coordinator resumes its stream. A component
+	// whose local state is unsalvageable or belongs to a different
+	// placement shape is wiped and boots cold (the log records it); the
+	// node never refuses an assignment over dead state. Set before serving.
+	StateDir string
+
+	// Durability tunes the per-component WAL and checkpoint cadence when
+	// StateDir is set (zero value = lia defaults).
+	Durability lia.DurabilityOptions
 
 	// Logf receives supervision logs (default log is discarded).
 	Logf func(format string, args ...any)
@@ -108,6 +127,32 @@ func (n *Node) Snapshots() int {
 	return 0
 }
 
+// Close releases the active placement's engines after the node's HTTP
+// server has drained. For a durable node (StateDir set) this writes each
+// component's final checkpoint, so the next boot restores without WAL
+// replay; a node killed without Close recovers the same state, just by
+// replaying the journal tail. A later assignment builds fresh engines.
+func (n *Node) Close() error {
+	n.mu.Lock()
+	p := n.place
+	n.place = nil
+	n.mu.Unlock()
+	if p == nil {
+		return nil
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var first error
+	for _, nc := range p.comps {
+		if c, ok := nc.eng.(io.Closer); ok {
+			if err := c.Close(); err != nil && first == nil {
+				first = err
+			}
+		}
+	}
+	return first
+}
+
 // apply installs a new placement from an assignment request, discarding any
 // older generation's engines and their learning state.
 func (n *Node) apply(req AssignRequest) (*placement, error) {
@@ -128,7 +173,7 @@ func (n *Node) apply(req AssignRequest) (*placement, error) {
 		if got := rm.NumLinks(); got != len(ca.Links) {
 			return nil, fmt.Errorf("component %d: rebuilt %d virtual links, coordinator placed %d — path set is not one link-connected component", ca.Component, got, len(ca.Links))
 		}
-		eng, err := lia.NewEngine(rm, opts...)
+		eng, err := n.buildEngine(rm, ca.Component, opts)
 		if err != nil {
 			return nil, fmt.Errorf("component %d: %w", ca.Component, err)
 		}
@@ -140,11 +185,35 @@ func (n *Node) apply(req AssignRequest) (*placement, error) {
 		})
 		p.totalPaths += rm.NumPaths()
 	}
+	if n.StateDir != "" && len(p.comps) > 0 {
+		// A restored placement resumes at its components' recovered epoch.
+		// Components journal independently, so a crash between component
+		// folds of one batch can leave them one epoch apart; the placement
+		// reports the minimum (the epoch every component has reached).
+		minSnaps := -1
+		for _, nc := range p.comps {
+			if s := nc.eng.Snapshots(); minSnaps < 0 || s < minSnaps {
+				minSnaps = s
+			}
+		}
+		p.epoch.Store(uint64(minSnaps))
+	}
 	n.mu.Lock()
 	old := n.place
 	n.place = p
 	n.mu.Unlock()
 	if old != nil {
+		// Release the superseded generation's durable resources: a final
+		// checkpoint lands and its WAL handle closes, so the state on disk
+		// is consistent right up to the handover (and an in-flight old-
+		// generation stream fails fast instead of journalling into it).
+		for _, nc := range old.comps {
+			if c, ok := nc.eng.(io.Closer); ok {
+				if err := c.Close(); err != nil {
+					n.Logf("cluster node %s: closing superseded component %d: %v", n.ID, nc.component, err)
+				}
+			}
+		}
 		n.Logf("cluster node %s: assignment %d supersedes %d (%d components, %d paths)",
 			n.ID, p.assignment, old.assignment, len(p.comps), p.totalPaths)
 	} else {
@@ -152,6 +221,43 @@ func (n *Node) apply(req AssignRequest) (*placement, error) {
 			n.ID, p.assignment, len(p.comps), p.totalPaths)
 	}
 	return p, nil
+}
+
+// buildEngine constructs one placed component's engine: a plain lia.Engine,
+// or — when the node has a StateDir — a durable engine rooted at
+// StateDir/component-%04d that restores the moments a previous process of
+// this node persisted for the same component. Unsalvageable or
+// wrong-shape state (the placement changed while the node was down) is
+// wiped for a cold boot rather than refusing the assignment: the
+// coordinator's stream re-teaches a cold component, a node stuck rejecting
+// assignments teaches nothing.
+func (n *Node) buildEngine(rm *lia.RoutingMatrix, component int, opts []lia.Option) (lia.Inferencer, error) {
+	if n.StateDir == "" {
+		return lia.NewEngine(rm, opts...)
+	}
+	dir := filepath.Join(n.StateDir, fmt.Sprintf("component-%04d", component))
+	// WithShards(1) pins the inner engine to the plain implementation — a
+	// placed component is one link-connected unit by construction.
+	dopts := append(append([]lia.Option{}, opts...),
+		lia.WithShards(1), lia.WithDurability(dir, n.Durability))
+	eng, err := lia.New(rm, dopts...)
+	var corrupt *lia.CorruptStateError
+	if errors.As(err, &corrupt) {
+		n.Logf("cluster node %s: component %d state in %s unsalvageable, booting cold: %v",
+			n.ID, component, dir, err)
+		if err := os.RemoveAll(dir); err != nil {
+			return nil, fmt.Errorf("clearing corrupt state dir: %w", err)
+		}
+		eng, err = lia.New(rm, dopts...)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if ds := eng.(*lia.DurableEngine).DurabilityStats(); ds.RecoveredEpoch > 0 || ds.ReplayedSnapshots > 0 {
+		n.Logf("cluster node %s: component %d restored epoch %d (+%d replayed) from %s",
+			n.ID, component, ds.RecoveredEpoch, ds.ReplayedSnapshots, dir)
+	}
+	return eng, nil
 }
 
 func (n *Node) handleAssign(w http.ResponseWriter, r *http.Request) {

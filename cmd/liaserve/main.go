@@ -32,6 +32,20 @@
 // live collector listener once after the given delay — the fault-injection
 // hook the CI smoke test uses to verify the recovery path end to end.
 //
+// With -state-dir the accumulated moments survive the process: every
+// sanitizer-surviving snapshot is journaled to a write-ahead log before it
+// is folded, the moments are checkpointed periodically (-checkpoint-every /
+// -checkpoint-interval), and a restarted server restores the newest valid
+// checkpoint plus the WAL tail before sources start — bitwise-identical to
+// never having crashed. -fsync picks the WAL durability/throughput
+// tradeoff (batch, interval, off). NDJSON -stream sources resume at their
+// persisted byte offset instead of re-ingesting from line 1, and recovery
+// is visible in /v1/status ("durability") and /metrics
+// (liaserve_checkpoints_total, liaserve_wal_bytes,
+// liaserve_recovery_replayed_snapshots). Cluster nodes take the same flags:
+// each placed component journals under its own subdirectory, and a
+// restarted node returns with its moments instead of re-learning.
+//
 // The same binary also runs as a multi-process cluster. A coordinator
 //
 //	liaserve -listen :8420 -topo default=topo.json -coordinator 2
@@ -58,10 +72,12 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strconv"
 	"strings"
 	"syscall"
@@ -70,6 +86,7 @@ import (
 	"lia"
 	"lia/cluster"
 	"lia/serve"
+	"lia/wal"
 )
 
 // topoDoc is the topology file schema (liainfer's -topo document; any
@@ -132,6 +149,12 @@ func run(args []string) error {
 
 		chaosKillCollector = fs.Duration("chaos-kill-collector", 0, "fault injection: kill every live collector listener once after this delay (0 disables; the source must reconnect on its own)")
 
+		stateDir           = fs.String("state-dir", "", "durable state root: moments are checkpointed and snapshots journaled per topology (server mode) or per placed component (node mode), and restored on boot before sources start (empty = in-memory only)")
+		checkpointEvery    = fs.Int("checkpoint-every", 0, "with -state-dir, checkpoint after this many journaled snapshots (0 = library default, negative disables count-based checkpoints)")
+		checkpointInterval = fs.Duration("checkpoint-interval", 0, "with -state-dir, also checkpoint when this much time has passed since the last one and new snapshots arrived (0 disables)")
+		fsyncPolicy        = fs.String("fsync", "batch", "with -state-dir, WAL fsync policy: batch (fsync every append batch), interval (background cadence, see -fsync-interval), off (page cache only)")
+		fsyncInterval      = fs.Duration("fsync-interval", 0, "with -fsync interval, fsync the WAL at least this often (0 = library default)")
+
 		coordinator = fs.Int("coordinator", 0, "run as a cluster coordinator placing the topology's components across this many nodes (requires exactly one -topo)")
 		join        = fs.String("join", "", "run as a cluster node: base URL of the coordinator to register with (ignores -topo; components arrive from the coordinator)")
 		nodeID      = fs.String("node-id", "", "stable cluster node identity surviving restarts (default: the -listen address)")
@@ -144,11 +167,29 @@ func run(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	dur := lia.DurabilityOptions{
+		CheckpointEvery:    *checkpointEvery,
+		CheckpointInterval: *checkpointInterval,
+		FsyncInterval:      *fsyncInterval,
+	}
+	switch *fsyncPolicy {
+	case "batch":
+		dur.Fsync = wal.SyncBatch
+	case "interval":
+		dur.Fsync = wal.SyncInterval
+	case "off":
+		dur.Fsync = wal.SyncOff
+	default:
+		return fmt.Errorf("unknown -fsync %q (batch, interval, or off)", *fsyncPolicy)
+	}
 	if *join != "" {
 		if *coordinator > 0 {
 			return errors.New("-join and -coordinator are mutually exclusive")
 		}
-		return runNode(*listen, *join, *nodeID, *advertise, *shutdownGrace)
+		return runNode(*listen, *join, *nodeID, *advertise, *shutdownGrace, *stateDir, dur)
+	}
+	if *coordinator > 0 && *stateDir != "" {
+		return errors.New("-state-dir applies where the moments live: pass it to the cluster nodes (-join mode), not the coordinator")
 	}
 	if len(topos) == 0 {
 		return errors.New("at least one -topo name=file.json is required")
@@ -224,7 +265,16 @@ func run(args []string) error {
 			})
 			eng = fleet
 		} else {
-			eng, err = lia.New(rm, opts...)
+			topts := opts
+			if *stateDir != "" {
+				topts = append(append([]lia.Option{}, opts...),
+					lia.WithDurability(filepath.Join(*stateDir, name), dur))
+			}
+			eng, err = lia.New(rm, topts...)
+			var corrupt *lia.CorruptStateError
+			if errors.As(err, &corrupt) {
+				return fmt.Errorf("-topo %s: %w (repair or remove the state directory to boot cold)", name, err)
+			}
 		}
 		if err != nil {
 			return fmt.Errorf("-topo %s: %w", name, err)
@@ -257,6 +307,20 @@ func run(args []string) error {
 	if fleet != nil {
 		closers = append(closers, fleet.Close)
 	}
+	for _, name := range order {
+		st := states[name]
+		ds, ok := st.eng.(interface{ DurabilityStats() lia.DurabilityStats })
+		if !ok {
+			continue
+		}
+		// Graceful shutdown writes a final checkpoint, so the next boot
+		// restores without WAL replay; an unclean kill recovers identically,
+		// just replaying the journal tail.
+		closers = append(closers, st.eng.(io.Closer).Close)
+		d := ds.DurabilityStats()
+		log.Printf("liaserve: topology %s: durable state in %s (fsync %s), restored epoch %d (%d snapshots replayed from the WAL)",
+			name, d.Dir, d.SyncPolicy, d.RecoveredEpoch, d.ReplayedSnapshots)
+	}
 	var collectors []*serve.CollectorSource
 	for _, spec := range collect {
 		st, addr, err := stateFor("collect", spec)
@@ -280,6 +344,7 @@ func run(args []string) error {
 		st.spec.Sources = append(st.spec.Sources, src)
 		log.Printf("liaserve: accepting collector reports on %s (%d paths)", src.Addr(), st.nPaths)
 	}
+	streamIdx := make(map[string]int)
 	for _, spec := range streams {
 		st, file, err := stateFor("stream", spec)
 		if err != nil {
@@ -288,12 +353,33 @@ func run(args []string) error {
 		if err := externallyIndexed("stream", spec, st); err != nil {
 			return err
 		}
-		src, err := lia.OpenFileSource(file, st.nProbes)
+		if *stateDir == "" {
+			src, err := lia.OpenFileSource(file, st.nProbes)
+			if err != nil {
+				return err
+			}
+			closers = append(closers, src.Close)
+			st.spec.Sources = append(st.spec.Sources, src)
+			continue
+		}
+		// With durable state the NDJSON stream resumes where the previous
+		// process left off instead of re-folding the whole file into the
+		// restored moments: the consumed byte offset is persisted in a
+		// sidecar next to the topology's checkpoints.
+		name, _ := splitSpec(spec)
+		sidecar := filepath.Join(*stateDir, name, fmt.Sprintf("stream-%02d.offset", streamIdx[name]))
+		streamIdx[name]++
+		offset := readOffsetSidecar(sidecar)
+		src, err := lia.OpenFileSourceAt(file, offset, st.nProbes)
 		if err != nil {
 			return err
 		}
-		closers = append(closers, src.Close)
-		st.spec.Sources = append(st.spec.Sources, src)
+		if offset > 0 {
+			log.Printf("liaserve: topology %s: resuming %s at byte offset %d", name, file, offset)
+		}
+		tracked := &offsetSidecarSource{src: src, sidecar: sidecar}
+		closers = append(closers, tracked.Close)
+		st.spec.Sources = append(st.spec.Sources, tracked)
 	}
 	for _, spec := range sims {
 		st, nStr, err := stateFor("sim", spec)
@@ -392,7 +478,7 @@ func run(args []string) error {
 // the cluster protocol on -listen, registers with the coordinator (retrying
 // until it is up), and then runs whatever components the coordinator
 // assigns until SIGINT/SIGTERM.
-func runNode(listen, coordinatorURL, id, advertiseURL string, grace time.Duration) error {
+func runNode(listen, coordinatorURL, id, advertiseURL string, grace time.Duration, stateDir string, dur lia.DurabilityOptions) error {
 	if id == "" {
 		id = listen
 	}
@@ -401,6 +487,12 @@ func runNode(listen, coordinatorURL, id, advertiseURL string, grace time.Duratio
 	}
 	node := cluster.NewNode(id)
 	node.Logf = log.Printf
+	if stateDir != "" {
+		// Placed components journal and checkpoint under stateDir and restore
+		// on rejoin, so this node returns with its moments instead of cold.
+		node.StateDir = stateDir
+		node.Durability = dur
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -432,11 +524,69 @@ func runNode(listen, coordinatorURL, id, advertiseURL string, grace time.Duratio
 	log.Printf("liaserve: node %q shutting down (draining for up to %v)", id, grace)
 	shutCtx, cancel := context.WithTimeout(context.Background(), grace)
 	defer cancel()
-	if err := httpSrv.Shutdown(shutCtx); err != nil {
+	err := httpSrv.Shutdown(shutCtx)
+	if cerr := node.Close(); cerr != nil {
+		log.Printf("liaserve: node %q close: %v", id, cerr)
+	}
+	if err != nil {
 		return fmt.Errorf("shutdown: %w", err)
 	}
 	log.Printf("liaserve: bye")
 	return nil
+}
+
+// offsetSidecarSource persists the wrapped NDJSON file source's consumed
+// byte offset to a sidecar file after every snapshot it yields, so the next
+// boot resumes the stream past everything this process already read. The
+// offset is written when a snapshot is handed to the ingestion pump, which
+// is just before it reaches the engine's journal — so a kill in that window
+// skips (never double-folds) at most one snapshot per source; a graceful
+// shutdown is exact.
+type offsetSidecarSource struct {
+	src     *lia.FileSource
+	sidecar string
+}
+
+func (o *offsetSidecarSource) Next(ctx context.Context) (lia.Snapshot, error) {
+	snap, err := o.src.Next(ctx)
+	if err == nil {
+		writeOffsetSidecar(o.sidecar, o.src.Offset())
+	}
+	return snap, err
+}
+
+func (o *offsetSidecarSource) Close() error {
+	writeOffsetSidecar(o.sidecar, o.src.Offset())
+	return o.src.Close()
+}
+
+// readOffsetSidecar returns the persisted stream offset, or 0 (start of
+// file) when the sidecar is absent or unreadable — a bad sidecar degrades
+// to re-reading, never to refusing to boot.
+func readOffsetSidecar(path string) int64 {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return 0
+	}
+	v, err := strconv.ParseInt(strings.TrimSpace(string(b)), 10, 64)
+	if err != nil || v < 0 {
+		return 0
+	}
+	return v
+}
+
+// writeOffsetSidecar atomically replaces the sidecar (write + rename), so a
+// kill mid-write leaves the previous offset intact. Persistence is best
+// effort: a failed write costs re-reading some lines on the next boot.
+func writeOffsetSidecar(path string, offset int64) {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, []byte(strconv.FormatInt(offset, 10)+"\n"), 0o644); err != nil {
+		return
+	}
+	_ = os.Rename(tmp, path)
 }
 
 // loadTopology reads a topology document, repairs fluttering, and builds

@@ -84,6 +84,19 @@
 // A ShardedEngine degrades per component: a failing component marks only
 // its own links Unresolved while the others keep resolving normally.
 //
+// The accumulated moments can also survive the process. WithDurability
+// wraps the engine in a DurableEngine that appends every acknowledged
+// snapshot to a segmented write-ahead log (the lia/wal subpackage, with a
+// configurable fsync policy) before folding it, checkpoints the moment
+// state periodically with an exact binary codec (Engine.Checkpoint /
+// RestoreFrom expose it directly), and on construction recovers the newest
+// valid checkpoint plus the WAL tail — bitwise-identical to never having
+// crashed, for cumulative, windowed, and decayed moments alike. A corrupt
+// newest checkpoint falls back to the previous one automatically; only a
+// fully unsalvageable directory surfaces a *CorruptStateError. FileSource
+// tracks its byte offset (Offset / OpenFileSourceAt), so a restored server
+// resumes a measurement file where the checkpoint left off.
+//
 // The lia/serve subpackage runs engines as a monitoring service: an HTTP
 // JSON API (ingest, inference, steady-state link estimates, status,
 // Prometheus metrics) over one or more named topologies, with background

@@ -1,0 +1,278 @@
+// Durability benches at the incremental-rebuild scale target (600 paths):
+// what a checkpoint costs to encode and restore, what the WAL adds to the
+// ingest hot path under each fsync policy, and what boot recovery costs
+// with and without a journal tail to replay. BENCH_pr8.json tracks them.
+package lia_test
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"math/rand/v2"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"lia"
+	"lia/internal/topogen"
+	"lia/wal"
+)
+
+// benchDurablePaths builds the 600-path tree of benchRebuildWorkload as
+// public lia.Paths, so the durability benches exercise the exported
+// engine surface end to end.
+func benchDurablePaths(b *testing.B) []lia.Path {
+	b.Helper()
+	rng := rand.New(rand.NewPCG(42, 1))
+	net := topogen.Tree(rng, 1600, 6)
+	if len(net.Hosts) < 600 {
+		b.Fatalf("tree has %d hosts, need 600", len(net.Hosts))
+	}
+	routes := topogen.Routes(net, []int{0}, net.Hosts[:600])
+	paths := make([]lia.Path, len(routes))
+	for i, p := range routes {
+		paths[i] = lia.Path{Beacon: p.Beacon, Dst: p.Dst, Links: p.Links}
+	}
+	return paths
+}
+
+// benchDurableSnapshots synthesizes Gaussian path observations for rm, the
+// same moment regime as benchRebuildWorkload.
+func benchDurableSnapshots(b *testing.B, rm *lia.RoutingMatrix, n int) [][]float64 {
+	b.Helper()
+	rng := rand.New(rand.NewPCG(7, 1))
+	truth := make([]float64, rm.NumLinks())
+	for k := range truth {
+		if rng.Float64() < 0.1 {
+			truth[k] = 0.005 + 0.02*rng.Float64()
+		} else {
+			truth[k] = 1e-6 * rng.Float64()
+		}
+	}
+	x := make([]float64, rm.NumLinks())
+	snaps := make([][]float64, n)
+	for t := range snaps {
+		for k := range x {
+			x[k] = rng.NormFloat64() * truth[k]
+		}
+		y := make([]float64, rm.NumPaths())
+		for i := range y {
+			for _, k := range rm.Row(i) {
+				y[i] += x[k]
+			}
+		}
+		snaps[t] = y
+	}
+	return snaps
+}
+
+// BenchmarkCheckpointEncode measures one exact binary checkpoint of the
+// 600-path engine's moment state (encode) and the inverse (restore), the
+// unit of work the durable engine pays every CheckpointEvery snapshots.
+func BenchmarkCheckpointEncode(b *testing.B) {
+	rm, err := lia.NewTopology(benchDurablePaths(b))
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng, err := lia.NewEngine(rm)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := eng.IngestBatch(benchDurableSnapshots(b, rm, 60)); err != nil {
+		b.Fatal(err)
+	}
+	b.Run("encode", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if err := eng.Checkpoint(io.Discard); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("restore", func(b *testing.B) {
+		var buf bytes.Buffer
+		if err := eng.Checkpoint(&buf); err != nil {
+			b.Fatal(err)
+		}
+		dst, err := lia.NewEngine(rm)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.SetBytes(int64(buf.Len()))
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := dst.RestoreFrom(bytes.NewReader(buf.Bytes())); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkWALAppend measures one journal append of a 64-snapshot batch
+// record (the durable engine's WAL unit for batch ingest) under each fsync
+// policy — the direct cost the log adds to the ingest hot path.
+func BenchmarkWALAppend(b *testing.B) {
+	payload := make([]byte, 8+64*600*8) // header + 64 vectors of 600 floats
+	rng := rand.New(rand.NewPCG(3, 9))
+	for i := range payload {
+		payload[i] = byte(rng.UintN(256))
+	}
+	for _, policy := range []wal.SyncPolicy{wal.SyncBatch, wal.SyncInterval, wal.SyncOff} {
+		b.Run(policy.String(), func(b *testing.B) {
+			log, err := wal.Open(b.TempDir(), wal.Options{Policy: policy})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer log.Close()
+			b.SetBytes(int64(len(payload)))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := log.Append(uint64(i+1), payload); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkDurableIngestBatch compares the 64-snapshot batch-ingest hot
+// path of a plain 600-path engine against the durable wrapper under each
+// fsync policy. plain vs wal-interval is the acceptance number: the
+// journal's overhead on acknowledged ingest throughput.
+func BenchmarkDurableIngestBatch(b *testing.B) {
+	rm, err := lia.NewTopology(benchDurablePaths(b))
+	if err != nil {
+		b.Fatal(err)
+	}
+	snaps := benchDurableSnapshots(b, rm, 64)
+	bench := func(b *testing.B, eng lia.Inferencer) {
+		b.SetBytes(int64(len(snaps) * len(snaps[0]) * 8))
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := eng.IngestBatch(snaps); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("plain", func(b *testing.B) {
+		eng, err := lia.NewEngine(rm)
+		if err != nil {
+			b.Fatal(err)
+		}
+		bench(b, eng)
+	})
+	for _, policy := range []wal.SyncPolicy{wal.SyncBatch, wal.SyncInterval, wal.SyncOff} {
+		b.Run("wal-"+policy.String(), func(b *testing.B) {
+			eng, err := lia.New(rm, lia.WithDurability(b.TempDir(), lia.DurabilityOptions{
+				CheckpointEvery: -1, // isolate the WAL append from checkpoint cost
+				Fsync:           policy,
+			}))
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer eng.(*lia.DurableEngine).Close()
+			bench(b, eng)
+		})
+	}
+}
+
+// BenchmarkRecovery measures boot recovery of the 600-path durable engine:
+// restoring the newest checkpoint alone (a gracefully closed state dir)
+// and restoring plus replaying a 128-snapshot WAL tail (a killed process).
+func BenchmarkRecovery(b *testing.B) {
+	rm, err := lia.NewTopology(benchDurablePaths(b))
+	if err != nil {
+		b.Fatal(err)
+	}
+	open := func(dir string) *lia.DurableEngine {
+		eng, err := lia.New(rm, lia.WithDurability(dir, lia.DurabilityOptions{CheckpointEvery: 256}))
+		if err != nil {
+			b.Fatal(err)
+		}
+		return eng.(*lia.DurableEngine)
+	}
+	b.Run("checkpoint-only", func(b *testing.B) {
+		// 256 snapshots, gracefully closed: the final checkpoint covers
+		// everything, so each open restores it and replays nothing.
+		dir := b.TempDir()
+		seed := open(dir)
+		if err := seed.IngestBatch(benchDurableSnapshots(b, rm, 256)); err != nil {
+			b.Fatal(err)
+		}
+		if err := seed.Close(); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			eng := open(dir)
+			if eng.Snapshots() != 256 || eng.DurabilityStats().ReplayedSnapshots != 0 {
+				b.Fatalf("recovered %d snapshots, %d replayed; want 256, 0",
+					eng.Snapshots(), eng.DurabilityStats().ReplayedSnapshots)
+			}
+			b.StopTimer()
+			if err := eng.Close(); err != nil { // no-op on disk: nothing since the checkpoint
+				b.Fatal(err)
+			}
+			b.StartTimer()
+		}
+	})
+	b.Run("replay-128", func(b *testing.B) {
+		// Checkpoint at epoch 256 plus a 128-snapshot WAL tail, abandoned
+		// without Close — the SIGKILL shape. Recovery mutates nothing, but
+		// the untimed Close between iterations would (final checkpoint +
+		// truncation), so each iteration opens a fresh copy of the dir.
+		pristine := b.TempDir()
+		seed := open(pristine)
+		if err := seed.IngestBatch(benchDurableSnapshots(b, rm, 256)); err != nil {
+			b.Fatal(err)
+		}
+		if err := seed.IngestBatch(benchDurableSnapshots(b, rm, 128)); err != nil {
+			b.Fatal(err)
+		}
+		// Abandoned: the WAL is write-through, so the open handles need no
+		// Close for the records to be on disk.
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			dir := filepath.Join(b.TempDir(), fmt.Sprintf("copy-%d", i))
+			copyDir(b, pristine, dir)
+			b.StartTimer()
+			eng := open(dir)
+			if eng.Snapshots() != 384 || eng.DurabilityStats().ReplayedSnapshots != 128 {
+				b.Fatalf("recovered %d snapshots, %d replayed; want 384, 128",
+					eng.Snapshots(), eng.DurabilityStats().ReplayedSnapshots)
+			}
+			b.StopTimer()
+			if err := eng.Close(); err != nil {
+				b.Fatal(err)
+			}
+			b.StartTimer()
+		}
+	})
+}
+
+// copyDir clones a state directory for a destructive-recovery iteration.
+func copyDir(b *testing.B, src, dst string) {
+	b.Helper()
+	if err := os.MkdirAll(dst, 0o755); err != nil {
+		b.Fatal(err)
+	}
+	entries, err := os.ReadDir(src)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, e := range entries {
+		data, err := os.ReadFile(filepath.Join(src, e.Name()))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dst, e.Name()), data, 0o644); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,105 @@
+package lia_test
+
+import (
+	"context"
+	"sync"
+	"testing"
+
+	"lia"
+	"lia/chaos"
+	"lia/wal"
+)
+
+// TestDurableKillRestartSoak is the crash-recovery soak: a seeded schedule
+// of kills interrupts ingestion mid-stream, each kill abandoning the
+// durable engine without Close (everything acked is on disk — exactly a
+// SIGKILL, since the engine never buffers WAL writes in user space), then
+// recovery resumes from the same directory and the stream continues. After
+// the full stream the recovered engine's variances must be bitwise-equal to
+// an uninterrupted engine's. Concurrent queries run throughout so `go test
+// -race` exercises the ingest/checkpoint/query interleavings.
+func TestDurableKillRestartSoak(t *testing.T) {
+	ctx := context.Background()
+	rm, err := lia.NewTopology(apiTreePaths(2, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const total = 400
+
+	for _, seed := range []uint64{1, 7, 42} {
+		snaps := shardSnapshots(rm, total, seed)
+		ref, err := lia.New(rm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := ref.IngestBatch(snaps); err != nil {
+			t.Fatal(err)
+		}
+		want, err := ref.Variances(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		kills := chaos.KillSchedule(seed, total, 6)
+		if len(kills) != 6 {
+			t.Fatalf("seed %d: schedule %v", seed, kills)
+		}
+		dir := t.TempDir()
+		opts := []lia.Option{lia.WithDurability(dir, lia.DurabilityOptions{
+			CheckpointEvery: 32,
+			Fsync:           wal.SyncOff, // crash model is process death, not power loss
+		})}
+		eng, err := lia.New(rm, opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		next := 0
+		totalReplayed := 0
+		for _, kill := range append(kills, total) {
+			// Hammer queries while this segment ingests.
+			stop := make(chan struct{})
+			var wg sync.WaitGroup
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					select {
+					case <-stop:
+						return
+					default:
+						eng.Variances(ctx)
+						eng.Stats()
+					}
+				}
+			}()
+			ingestBatches(t, eng, snaps, next, kill)
+			close(stop)
+			wg.Wait()
+			next = kill
+			if kill == total {
+				break
+			}
+			// Kill: drop the engine on the floor and recover from disk.
+			reborn, err := lia.New(rm, opts...)
+			if err != nil {
+				t.Fatalf("seed %d: recovery at epoch %d: %v", seed, kill, err)
+			}
+			eng = reborn
+			ds := eng.(*lia.DurableEngine).DurabilityStats()
+			totalReplayed += ds.ReplayedSnapshots
+			if got := eng.Snapshots(); got != kill {
+				t.Fatalf("seed %d: recovered %d snapshots at kill point %d (stats %+v)",
+					seed, got, kill, ds)
+			}
+		}
+
+		variancesBits(t, eng, want, "soak recovery")
+		if totalReplayed == 0 {
+			t.Fatalf("seed %d: no kill landed between checkpoints — weak schedule", seed)
+		}
+		if err := eng.(*lia.DurableEngine).Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,424 @@
+package lia_test
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"lia"
+	"lia/wal"
+)
+
+// openDurable builds a durable engine over rm in dir with the given options.
+func openDurable(t *testing.T, rm *lia.RoutingMatrix, dir string, opts []lia.Option) *lia.DurableEngine {
+	t.Helper()
+	eng, err := lia.New(rm, opts...)
+	if err != nil {
+		t.Fatalf("New durable: %v", err)
+	}
+	d, ok := eng.(*lia.DurableEngine)
+	if !ok {
+		t.Fatalf("New with WithDurability returned %T", eng)
+	}
+	return d
+}
+
+// ingestBatches feeds snaps[from:to] in uneven batch sizes, exercising
+// multi-snapshot WAL records with ragged boundaries.
+func ingestBatches(t *testing.T, eng lia.Inferencer, snaps [][]float64, from, to int) {
+	t.Helper()
+	sizes := []int{1, 4, 7, 3}
+	for i, s := from, 0; i < to; s++ {
+		n := sizes[s%len(sizes)]
+		if i+n > to {
+			n = to - i
+		}
+		if err := eng.IngestBatch(snaps[i : i+n]); err != nil {
+			t.Fatalf("IngestBatch at %d: %v", i, err)
+		}
+		i += n
+	}
+}
+
+// variancesBits fetches Variances and asserts bitwise equality against want.
+func variancesBits(t *testing.T, eng lia.Inferencer, want []float64, label string) {
+	t.Helper()
+	got, err := eng.Variances(context.Background())
+	if err != nil {
+		t.Fatalf("%s: Variances: %v", label, err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d variances, want %d", label, len(got), len(want))
+	}
+	for k := range got {
+		if math.Float64bits(got[k]) != math.Float64bits(want[k]) {
+			t.Fatalf("%s: variance %d bits differ: %x vs %x (%g vs %g)",
+				label, k, math.Float64bits(got[k]), math.Float64bits(want[k]), got[k], want[k])
+		}
+	}
+}
+
+// TestDurableRecoveryBitwise is the acceptance invariant for all three
+// moment configurations: ingest part of a stream, crash (abandon without
+// Close), recover in a new engine, finish the stream, and demand
+// Variances/Infer output bitwise-identical to the same stream ingested by a
+// plain uninterrupted engine.
+func TestDurableRecoveryBitwise(t *testing.T) {
+	ctx := context.Background()
+	configs := []struct {
+		name string
+		opts []lia.Option
+	}{
+		{"cumulative", nil},
+		{"windowed", []lia.Option{lia.WithWindow(16)}},
+		{"decay", []lia.Option{lia.WithDecay(0.97)}},
+	}
+	for _, cfg := range configs {
+		t.Run(cfg.name, func(t *testing.T) {
+			rm, err := lia.NewTopology(apiTreePaths(2, 3))
+			if err != nil {
+				t.Fatal(err)
+			}
+			snaps := shardSnapshots(rm, 57, 11)
+			const crashAt = 36
+
+			// Reference: one uninterrupted engine over the whole stream,
+			// built through the same New dispatch (the tree topology is
+			// link-disjoint at the top level, so New auto-shards it).
+			ref, err := lia.New(rm, cfg.opts...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ingestBatches(t, ref, snaps, 0, len(snaps))
+			wantVars, err := ref.Variances(ctx)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			dir := t.TempDir()
+			dopts := append(append([]lia.Option{}, cfg.opts...),
+				lia.WithDurability(dir, lia.DurabilityOptions{CheckpointEvery: 10, Fsync: wal.SyncInterval}))
+			first := openDurable(t, rm, dir, dopts)
+			ingestBatches(t, first, snaps, 0, crashAt)
+			// Crash: abandon without Close. Everything acked is in the WAL
+			// (one write syscall per batch), exactly as after a SIGKILL.
+
+			second := openDurable(t, rm, dir, dopts)
+			ds := second.DurabilityStats()
+			if got := second.Snapshots(); got != crashAt {
+				t.Fatalf("recovered %d snapshots, want %d (stats: %+v)", got, crashAt, ds)
+			}
+			if ds.ReplayedSnapshots == 0 {
+				t.Fatalf("recovery replayed nothing: %+v", ds)
+			}
+			if ds.RecoveredEpoch == 0 || ds.RecoveredEpoch >= crashAt {
+				t.Fatalf("recovered epoch %d outside (0, %d)", ds.RecoveredEpoch, crashAt)
+			}
+			ingestBatches(t, second, snaps, crashAt, len(snaps))
+			variancesBits(t, second, wantVars, "recovered engine")
+
+			wantRes, err := ref.Infer(ctx, snaps[0])
+			if err != nil {
+				t.Fatal(err)
+			}
+			gotRes, err := second.Infer(ctx, snaps[0])
+			if err != nil {
+				t.Fatal(err)
+			}
+			for k := range wantRes.LossRates {
+				if math.Float64bits(gotRes.LossRates[k]) != math.Float64bits(wantRes.LossRates[k]) {
+					t.Fatalf("Infer loss rate %d differs after recovery", k)
+				}
+			}
+			if err := second.Close(); err != nil {
+				t.Fatalf("Close: %v", err)
+			}
+		})
+	}
+}
+
+// TestDurableShardedRecoveryBitwise runs the same crash-recover-finish cycle
+// over a disconnected topology, where New wraps a ShardedEngine.
+func TestDurableShardedRecoveryBitwise(t *testing.T) {
+	rm, snaps := disconnectedWorkload(t)
+	const crashAt = 40
+
+	ref, err := lia.New(rm, lia.WithShards(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ref.IngestBatch(snaps); err != nil {
+		t.Fatal(err)
+	}
+	wantVars, err := ref.Variances(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+	opts := []lia.Option{lia.WithShards(2),
+		lia.WithDurability(dir, lia.DurabilityOptions{CheckpointEvery: 16})}
+	first := openDurable(t, rm, dir, opts)
+	if st := first.Stats(); st.Components < 2 {
+		t.Fatalf("expected sharded inner engine, got %d components", st.Components)
+	}
+	ingestBatches(t, first, snaps, 0, crashAt)
+	// Crash without Close, then recover and finish the stream.
+	second := openDurable(t, rm, dir, opts)
+	if got := second.Snapshots(); got != crashAt {
+		t.Fatalf("recovered %d snapshots, want %d", got, crashAt)
+	}
+	ingestBatches(t, second, snaps, crashAt, len(snaps))
+	variancesBits(t, second, wantVars, "recovered sharded engine")
+	if err := second.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDurableCorruptNewestCheckpoint truncates the newest checkpoint and
+// expects recovery to fall back to the previous one with a longer WAL
+// replay — no operator intervention, same bitwise answers — and to repair
+// the directory (fresh checkpoint written, corrupt file gone).
+func TestDurableCorruptNewestCheckpoint(t *testing.T) {
+	rm, err := lia.NewTopology(apiTreePaths(2, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	snaps := shardSnapshots(rm, 36, 5)
+
+	ref, err := lia.New(rm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ingestBatches(t, ref, snaps, 0, len(snaps))
+	wantVars, err := ref.Variances(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+	opts := []lia.Option{lia.WithDurability(dir, lia.DurabilityOptions{CheckpointEvery: 10})}
+	first := openDurable(t, rm, dir, opts)
+	// The ragged batch sizes put checkpoint boundaries at epochs 12 and 27
+	// (checkpoints land on batch boundaries once >= CheckpointEvery
+	// snapshots accumulated); keep is 2 so both survive.
+	ingestBatches(t, first, snaps, 0, len(snaps))
+	// Crash, then corrupt the newest checkpoint by truncating it.
+	newest := newestCheckpoint(t, dir)
+	info, err := os.Stat(newest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(newest, info.Size()/2); err != nil {
+		t.Fatal(err)
+	}
+
+	second := openDurable(t, rm, dir, opts)
+	ds := second.DurabilityStats()
+	if ds.CorruptCheckpoints != 1 {
+		t.Fatalf("CorruptCheckpoints = %d, want 1 (%+v)", ds.CorruptCheckpoints, ds)
+	}
+	if ds.RecoveredEpoch != 12 {
+		t.Fatalf("fell back to epoch %d, want 12", ds.RecoveredEpoch)
+	}
+	if ds.ReplayedSnapshots != 24 {
+		t.Fatalf("replayed %d snapshots, want 24", ds.ReplayedSnapshots)
+	}
+	if got := second.Snapshots(); got != len(snaps) {
+		t.Fatalf("recovered %d snapshots, want %d", got, len(snaps))
+	}
+	variancesBits(t, second, wantVars, "fallback recovery")
+	// Repair: recovery re-checkpoints the full state and removes the bad file.
+	if cur := newestCheckpoint(t, dir); !strings.Contains(cur, "00000000000000000036") {
+		t.Fatalf("expected repair checkpoint at epoch 36, newest is %s", filepath.Base(cur))
+	}
+	second.Close()
+}
+
+func newestCheckpoint(t *testing.T, dir string) string {
+	t.Helper()
+	matches, err := filepath.Glob(filepath.Join(dir, "checkpoint-*.ckpt"))
+	if err != nil || len(matches) == 0 {
+		t.Fatalf("no checkpoints in %s (err %v)", dir, err)
+	}
+	return matches[len(matches)-1]
+}
+
+// TestDurableNothingSalvageable corrupts every checkpoint and removes the
+// WAL; recovery must refuse with a typed *lia.CorruptStateError instead of
+// silently booting cold over dead state.
+func TestDurableNothingSalvageable(t *testing.T) {
+	rm, err := lia.NewTopology(apiTreePaths(2, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	snaps := shardSnapshots(rm, 30, 3)
+	dir := t.TempDir()
+	opts := []lia.Option{lia.WithDurability(dir, lia.DurabilityOptions{CheckpointEvery: 10})}
+	first := openDurable(t, rm, dir, opts)
+	ingestBatches(t, first, snaps, 0, len(snaps))
+	first.Close()
+
+	ckpts, _ := filepath.Glob(filepath.Join(dir, "checkpoint-*.ckpt"))
+	if len(ckpts) == 0 {
+		t.Fatal("no checkpoints written")
+	}
+	for _, ck := range ckpts {
+		if err := os.WriteFile(ck, bytes.Repeat([]byte{0xAB}, 64), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	segs, _ := filepath.Glob(filepath.Join(dir, "wal-*.seg"))
+	for _, seg := range segs {
+		if err := os.Remove(seg); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	_, err = lia.New(rm, opts...)
+	var cse *lia.CorruptStateError
+	if !errors.As(err, &cse) {
+		t.Fatalf("got %v, want *lia.CorruptStateError", err)
+	}
+	if cse.Dir != dir || len(cse.Checkpoints) == 0 {
+		t.Fatalf("error detail: %+v", cse)
+	}
+}
+
+// TestDurableColdBoot: an empty (or absent) state dir boots cold, exactly as
+// an engine without durability.
+func TestDurableColdBoot(t *testing.T) {
+	rm, err := lia.NewTopology(shardStar(0, 0, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := filepath.Join(t.TempDir(), "not-yet-created")
+	d := openDurable(t, rm, dir, []lia.Option{lia.WithDurability(dir, lia.DurabilityOptions{})})
+	if d.Snapshots() != 0 {
+		t.Fatalf("cold boot has %d snapshots", d.Snapshots())
+	}
+	ds := d.DurabilityStats()
+	if ds.RecoveredEpoch != 0 || ds.ReplayedSnapshots != 0 || ds.CorruptCheckpoints != 0 {
+		t.Fatalf("cold boot stats: %+v", ds)
+	}
+	if _, err := d.Variances(context.Background()); !errors.Is(err, lia.ErrTooFewSnapshots) {
+		t.Fatalf("cold engine Variances: %v, want ErrTooFewSnapshots", err)
+	}
+	d.Close()
+}
+
+// TestDurableGracefulClose: Close checkpoints the tail, so the next boot
+// restores everything from the checkpoint and replays nothing.
+func TestDurableGracefulClose(t *testing.T) {
+	rm, err := lia.NewTopology(apiTreePaths(2, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	snaps := shardSnapshots(rm, 23, 9)
+	dir := t.TempDir()
+	opts := []lia.Option{lia.WithDurability(dir, lia.DurabilityOptions{CheckpointEvery: 10})}
+	first := openDurable(t, rm, dir, opts)
+	ingestBatches(t, first, snaps, 0, len(snaps))
+	if err := first.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := first.Ingest(snaps[0]); err == nil {
+		t.Fatal("Ingest after Close succeeded")
+	}
+
+	second := openDurable(t, rm, dir, opts)
+	ds := second.DurabilityStats()
+	if ds.RecoveredEpoch != uint64(len(snaps)) || ds.ReplayedSnapshots != 0 {
+		t.Fatalf("graceful restart stats: %+v", ds)
+	}
+	second.Close()
+}
+
+// TestDurableStateAgeSurvivesRestore: the checkpoint carries the last
+// rebuild's wall time, so a restored engine reports a continuous StateAge
+// instead of resetting to boot.
+func TestDurableStateAgeSurvivesRestore(t *testing.T) {
+	// Connected star, so New picks the plain Engine and StateEpoch is the
+	// global ingestion epoch.
+	rm, err := lia.NewTopology(shardStar(0, 0, 6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	snaps := shardSnapshots(rm, 12, 1)
+	dir := t.TempDir()
+	opts := []lia.Option{lia.WithDurability(dir, lia.DurabilityOptions{CheckpointEvery: 100})}
+	first := openDurable(t, rm, dir, opts)
+	ingestBatches(t, first, snaps, 0, len(snaps))
+	if _, err := first.Variances(context.Background()); err != nil {
+		t.Fatal(err) // force a rebuild so a builtAt exists to persist
+	}
+	time.Sleep(20 * time.Millisecond)
+	if err := first.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	second := openDurable(t, rm, dir, opts)
+	st := second.Stats()
+	if st.StateEpoch != -1 {
+		t.Fatalf("restored engine already has a state epoch %d", st.StateEpoch)
+	}
+	if st.StateAge < 20*time.Millisecond {
+		t.Fatalf("StateAge %v does not span the restart", st.StateAge)
+	}
+	// After the first post-restore rebuild, age tracks the fresh state.
+	if _, err := second.Variances(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if st = second.Stats(); st.StateEpoch != len(snaps) {
+		t.Fatalf("post-restore rebuild at epoch %d", st.StateEpoch)
+	}
+	second.Close()
+}
+
+// TestDurableConfigMismatchRejected: a checkpoint from a windowed engine
+// must not install into a cumulative one.
+func TestDurableConfigMismatch(t *testing.T) {
+	rm, err := lia.NewTopology(apiTreePaths(2, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	snaps := shardSnapshots(rm, 20, 2)
+	win, err := lia.NewEngine(rm, lia.WithWindow(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ingestBatches(t, win, snaps, 0, len(snaps))
+	var buf bytes.Buffer
+	if err := win.Checkpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	plain, err := lia.NewEngine(rm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := plain.RestoreFrom(bytes.NewReader(buf.Bytes())); err == nil {
+		t.Fatal("cumulative engine accepted a windowed checkpoint")
+	}
+	if got := plain.Snapshots(); got != 0 {
+		t.Fatalf("failed restore mutated the engine: %d snapshots", got)
+	}
+	// The right configuration round-trips.
+	win2, err := lia.NewEngine(rm, lia.WithWindow(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := win2.RestoreFrom(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatalf("matching restore failed: %v", err)
+	}
+	wantVars, err := win.Variances(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	variancesBits(t, win2, wantVars, "direct checkpoint round-trip")
+}

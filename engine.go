@@ -65,6 +65,13 @@ type Engine struct {
 	rebuildMu sync.Mutex // single-flights state rebuilds
 	state     atomic.Pointer[phaseState]
 
+	// restoredAt is the unix-nano wall time the last-rebuilt state of a
+	// checkpointed engine was built, installed by RestoreFrom so StateAge
+	// reports continuity across a restart instead of resetting to boot time
+	// (0 = never restored). It is consulted only until the first
+	// post-restore rebuild publishes a state of its own.
+	restoredAt atomic.Int64
+
 	// Observability counters, read by Stats (and liaserve's /v1/status and
 	// /metrics endpoints).
 	rebuilds        atomic.Uint64
@@ -426,6 +433,11 @@ func (e *Engine) Stats() Stats {
 		if !st.builtAt.IsZero() {
 			s.StateAge = time.Since(st.builtAt)
 		}
+	} else if ns := e.restoredAt.Load(); ns != 0 {
+		// Freshly restored from a checkpoint: no state rebuilt this process
+		// yet, but the served moments descend from one built at the
+		// checkpointed wall time — report that age, not zero.
+		s.StateAge = time.Since(time.Unix(0, ns))
 	}
 	if s.StateEpoch >= 0 {
 		if s.EpochLag = s.Snapshots - s.StateEpoch; s.EpochLag < 0 {

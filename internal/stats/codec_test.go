@@ -1,0 +1,201 @@
+package stats
+
+import (
+	"errors"
+	"math"
+	"math/rand/v2"
+	"testing"
+)
+
+func randVec(rng *rand.Rand, dim int) []float64 {
+	y := make([]float64, dim)
+	for i := range y {
+		y[i] = rng.NormFloat64()
+	}
+	return y
+}
+
+// covEqualBits asserts every covariance entry of a and b has identical
+// float64 bits — the durability invariant, stricter than numeric equality.
+func covEqualBits(t *testing.T, a, b CovView) {
+	t.Helper()
+	if a.Dim() != b.Dim() || a.Count() != b.Count() {
+		t.Fatalf("shape mismatch: (%d,%d) vs (%d,%d)", a.Dim(), a.Count(), b.Dim(), b.Count())
+	}
+	for i := 0; i < a.Dim(); i++ {
+		for j := i; j < a.Dim(); j++ {
+			ga, gb := math.Float64bits(a.Cov(i, j)), math.Float64bits(b.Cov(i, j))
+			if ga != gb {
+				t.Fatalf("Cov(%d,%d) bits differ: %#x vs %#x", i, j, ga, gb)
+			}
+		}
+	}
+}
+
+// TestCodecResumeBitwise is the core invariant: encoding an accumulator
+// mid-stream, decoding it, and folding the remaining snapshots into the copy
+// must land on exactly the same moments as the uninterrupted original — for
+// all three accumulator kinds, across several split points including ones
+// past the window wrap.
+func TestCodecResumeBitwise(t *testing.T) {
+	const dim, total = 7, 93
+	makers := map[string]func() MomentAccumulator{
+		"cumulative": func() MomentAccumulator { return NewCovAccumulator(dim) },
+		"windowed":   func() MomentAccumulator { return NewWindowedCovAccumulator(dim, 16) },
+		"decay":      func() MomentAccumulator { return NewDecayCovAccumulator(dim, 0.97) },
+	}
+	for name, mk := range makers {
+		t.Run(name, func(t *testing.T) {
+			rng := rand.New(rand.NewPCG(42, 7))
+			ys := make([][]float64, total)
+			for i := range ys {
+				ys[i] = randVec(rng, dim)
+			}
+			for _, split := range []int{0, 1, 5, 17, 40, total} {
+				ref := mk()
+				resumed := mk()
+				for _, y := range ys[:split] {
+					ref.Add(y)
+					resumed.Add(y)
+				}
+				rec, err := AppendAccumulator(nil, resumed)
+				if err != nil {
+					t.Fatalf("encode at split %d: %v", split, err)
+				}
+				decoded, n, err := DecodeAccumulator(rec)
+				if err != nil {
+					t.Fatalf("decode at split %d: %v", split, err)
+				}
+				if n != len(rec) {
+					t.Fatalf("decode consumed %d of %d bytes", n, len(rec))
+				}
+				for _, y := range ys[split:] {
+					ref.Add(y)
+					decoded.Add(y)
+				}
+				if ref.Count() >= 2 {
+					covEqualBits(t, ref, decoded)
+				}
+				if split == total {
+					continue
+				}
+				// Decoded accumulator must be independent of the record bytes.
+				for i := range rec {
+					rec[i] = 0xFF
+				}
+				if ref.Count() >= 2 {
+					covEqualBits(t, ref, decoded)
+				}
+			}
+		})
+	}
+}
+
+// TestCodecRestoresKindSpecificState checks fields beyond the covariance
+// surface: window geometry, decay weights, lifetime counts.
+func TestCodecRestoresKindSpecificState(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 2))
+	w := NewWindowedCovAccumulator(3, 4)
+	for i := 0; i < 11; i++ {
+		w.Add(randVec(rng, 3))
+	}
+	rec, err := AppendAccumulator(nil, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := DecodeAccumulator(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gw := got.(*WindowedCovAccumulator)
+	if gw.Window() != w.Window() || gw.Count() != w.Count() || gw.head != w.head {
+		t.Fatalf("windowed state: got (%d,%d,%d) want (%d,%d,%d)",
+			gw.Window(), gw.Count(), gw.head, w.Window(), w.Count(), w.head)
+	}
+
+	d := NewDecayCovAccumulator(3, 0.9)
+	for i := 0; i < 9; i++ {
+		d.Add(randVec(rng, 3))
+	}
+	rec, err = AppendAccumulator(nil, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, err = DecodeAccumulator(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gd := got.(*DecayCovAccumulator)
+	if gd.Lambda() != d.Lambda() || gd.Count() != d.Count() ||
+		math.Float64bits(gd.w) != math.Float64bits(d.w) ||
+		math.Float64bits(gd.w2) != math.Float64bits(d.w2) {
+		t.Fatalf("decay state not restored exactly: %+v vs %+v", gd, d)
+	}
+}
+
+// TestCodecConcatenatedRecords decodes two records back to back, as the
+// sharded checkpoint format stores them.
+func TestCodecConcatenatedRecords(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3, 4))
+	a, b := NewCovAccumulator(2), NewDecayCovAccumulator(3, 0.5)
+	for i := 0; i < 5; i++ {
+		a.Add(randVec(rng, 2))
+		b.Add(randVec(rng, 3))
+	}
+	buf, err := AppendAccumulator(nil, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf, err = AppendAccumulator(buf, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, n, err := DecodeAccumulator(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := first.(*CovAccumulator); !ok {
+		t.Fatalf("first record decoded as %T", first)
+	}
+	second, m, err := DecodeAccumulator(buf[n:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := second.(*DecayCovAccumulator); !ok {
+		t.Fatalf("second record decoded as %T", second)
+	}
+	if n+m != len(buf) {
+		t.Fatalf("consumed %d of %d bytes", n+m, len(buf))
+	}
+	covEqualBits(t, a, first)
+	covEqualBits(t, b, second)
+}
+
+// TestCodecRejectsCorruption flips, truncates, and garbles records and
+// expects every damaged variant to fail with ErrCorruptRecord.
+func TestCodecRejectsCorruption(t *testing.T) {
+	rng := rand.New(rand.NewPCG(9, 9))
+	acc := NewWindowedCovAccumulator(4, 3)
+	for i := 0; i < 7; i++ {
+		acc.Add(randVec(rng, 4))
+	}
+	rec, err := AppendAccumulator(nil, acc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	check := func(name string, data []byte) {
+		t.Helper()
+		if _, _, err := DecodeAccumulator(data); !errors.Is(err, ErrCorruptRecord) {
+			t.Fatalf("%s: got %v, want ErrCorruptRecord", name, err)
+		}
+	}
+	check("empty", nil)
+	check("truncated header", rec[:10])
+	check("truncated payload", rec[:len(rec)-8])
+	check("missing crc", rec[:len(rec)-2])
+	for _, pos := range []int{0, 4, 5, 9, 20, len(rec) / 2, len(rec) - 1} {
+		bad := append([]byte(nil), rec...)
+		bad[pos] ^= 0x40
+		check("bit flip", bad)
+	}
+}

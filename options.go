@@ -77,6 +77,8 @@ type settings struct {
 	decaySet bool
 	shards   int
 	strict   bool
+	durDir   string
+	dur      DurabilityOptions
 }
 
 // newAccumulator builds the moment accumulator the options select:
@@ -187,6 +189,21 @@ func WithShards(k int) Option {
 // services generally want the default degraded behaviour (see Engine).
 func WithStrictRebuilds() Option {
 	return func(s *settings) { s.strict = true }
+}
+
+// WithDurability makes the engine New returns durable: ingested snapshots
+// append to a write-ahead log under dir before they fold into the moments,
+// checkpoints of the full moment state land there periodically, and
+// construction recovers the previous process's state (newest valid
+// checkpoint + WAL tail replay) so a restarted engine resumes with moments
+// bitwise-identical to an uninterrupted run. An empty or absent dir boots
+// cold, exactly as without the option. See DurabilityOptions for the
+// checkpoint cadence and fsync policy, and DurableEngine for the recovery
+// semantics (including *CorruptStateError). The option selects the
+// implementation New returns; NewEngine and NewShardedEngine ignore it —
+// wrap them explicitly if needed.
+func WithDurability(dir string, o DurabilityOptions) Option {
+	return func(s *settings) { s.durDir, s.dur = dir, o }
 }
 
 // WithDecay exponentially decays the engine's second-order moments: before

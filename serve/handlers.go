@@ -99,6 +99,25 @@ type SourceStatus struct {
 	LastErrorAt string `json:"last_error_at,omitempty"`
 }
 
+// DurabilityStatus is the durability block of a TopoStatus, present only
+// for engines persisting state (lia.WithDurability). It mirrors
+// lia.DurabilityStats: the recovery that happened at boot and the
+// WAL/checkpoint activity since.
+type DurabilityStatus struct {
+	Dir                string  `json:"dir"`
+	SyncPolicy         string  `json:"sync_policy"`
+	Checkpoints        uint64  `json:"checkpoints"`
+	CheckpointEpoch    uint64  `json:"checkpoint_epoch"`
+	LastCheckpointMs   float64 `json:"last_checkpoint_ms"`
+	LastCheckpointAt   string  `json:"last_checkpoint_at,omitempty"`
+	WALBytes           int64   `json:"wal_bytes"`
+	WALRecords         uint64  `json:"wal_records"`
+	WALSegments        int     `json:"wal_segments"`
+	RecoveredEpoch     uint64  `json:"recovered_epoch"`
+	ReplayedSnapshots  int     `json:"recovery_replayed_snapshots"`
+	CorruptCheckpoints int     `json:"corrupt_checkpoints"`
+}
+
 // TopoStatus is one topology's entry in a StatusResponse. The degradation
 // block (Degraded through StateAgeMs) mirrors lia.Stats: a degraded
 // topology is still serving, from the last-good epoch, while rebuilds fail.
@@ -132,6 +151,10 @@ type TopoStatus struct {
 	HTTPSnapshots   uint64         `json:"http_snapshots"`
 	SourceSnapshots uint64         `json:"source_snapshots"`
 	Inferences      uint64         `json:"inferences"`
+
+	// Durability is present only when the topology's engine persists its
+	// state (lia.WithDurability); plain engines omit the block.
+	Durability *DurabilityStatus `json:"durability,omitempty"`
 }
 
 // StatusResponse is the body of GET /v1/status.
@@ -426,6 +449,26 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 		}
 		if !st.LastFailure.IsZero() {
 			ts.LastFailure = st.LastFailure.UTC().Format(time.RFC3339Nano)
+		}
+		if dst, ok := tp.eng.(durabilityStatser); ok {
+			ds := dst.DurabilityStats()
+			dur := &DurabilityStatus{
+				Dir:                ds.Dir,
+				SyncPolicy:         ds.SyncPolicy,
+				Checkpoints:        ds.Checkpoints,
+				CheckpointEpoch:    ds.CheckpointEpoch,
+				LastCheckpointMs:   float64(ds.LastCheckpoint) / float64(time.Millisecond),
+				WALBytes:           ds.WALBytes,
+				WALRecords:         ds.WALRecords,
+				WALSegments:        ds.WALSegments,
+				RecoveredEpoch:     ds.RecoveredEpoch,
+				ReplayedSnapshots:  ds.ReplayedSnapshots,
+				CorruptCheckpoints: ds.CorruptCheckpoints,
+			}
+			if !ds.LastCheckpointAt.IsZero() {
+				dur.LastCheckpointAt = ds.LastCheckpointAt.UTC().Format(time.RFC3339Nano)
+			}
+			ts.Durability = dur
 		}
 		for _, ss := range tp.sources {
 			state, lastErr, lastErrAt := ss.health()

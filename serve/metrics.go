@@ -6,6 +6,8 @@ import (
 	"net/http"
 	"strings"
 	"time"
+
+	"lia"
 )
 
 // metricDef is one exported gauge/counter family.
@@ -86,6 +88,29 @@ var metricDefs = []metricDef{
 			}
 			return math.NaN()
 		}},
+	// The durability series apply only to engines persisting state
+	// (lia.WithDurability); other engines skip them (NaN sentinel).
+	{"liaserve_checkpoints_total", "State checkpoints written this process lifetime.", "counter",
+		func(tp *topo) float64 {
+			if ds, ok := tp.eng.(durabilityStatser); ok {
+				return float64(ds.DurabilityStats().Checkpoints)
+			}
+			return math.NaN()
+		}},
+	{"liaserve_wal_bytes", "Total size of the write-ahead-log segment files.", "gauge",
+		func(tp *topo) float64 {
+			if ds, ok := tp.eng.(durabilityStatser); ok {
+				return float64(ds.DurabilityStats().WALBytes)
+			}
+			return math.NaN()
+		}},
+	{"liaserve_recovery_replayed_snapshots", "Snapshots replayed from the WAL tail by boot recovery.", "gauge",
+		func(tp *topo) float64 {
+			if ds, ok := tp.eng.(durabilityStatser); ok {
+				return float64(ds.DurabilityStats().ReplayedSnapshots)
+			}
+			return math.NaN()
+		}},
 }
 
 // clusterNoder is the optional fleet-size interface a clustered engine
@@ -97,6 +122,13 @@ type clusterNoder interface {
 // clusterMisser exposes the fleet's dropped-delivery counter.
 type clusterMisser interface {
 	Missed() int64
+}
+
+// durabilityStatser is the optional interface a durable engine
+// (lia.DurableEngine) implements; plain engines do not, so the status block
+// and metric families are emitted only where they apply.
+type durabilityStatser interface {
+	DurabilityStats() lia.DurabilityStats
 }
 
 // handleMetrics writes the Prometheus text exposition (version 0.0.4): one

@@ -54,7 +54,9 @@ var (
 // ShardedEngine when WithShards requests more than one shard or when — with
 // the default WithShards(0) auto policy — the topology splits into several
 // link-disjoint components, and a plain Engine otherwise. WithShards(1)
-// forces the single unsharded engine regardless of the topology.
+// forces the single unsharded engine regardless of the topology. With
+// WithDurability the chosen engine is additionally wrapped in a
+// DurableEngine, recovering any previously persisted state first.
 func New(rm *RoutingMatrix, options ...Option) (Inferencer, error) {
 	if rm == nil {
 		return nil, errors.New("lia: nil routing matrix")
@@ -63,6 +65,18 @@ func New(rm *RoutingMatrix, options ...Option) (Inferencer, error) {
 	for _, o := range options {
 		o(&s)
 	}
+	inner, err := newInner(rm, &s, options)
+	if err != nil {
+		return nil, err
+	}
+	if s.durDir == "" {
+		return inner, nil
+	}
+	return newDurableEngine(inner, s.durDir, s.dur)
+}
+
+// newInner picks the plain or sharded implementation for New.
+func newInner(rm *RoutingMatrix, s *settings, options []Option) (Inferencer, error) {
 	if s.shards < 0 {
 		return nil, fmt.Errorf("lia: shard count %d must be non-negative", s.shards)
 	}
@@ -76,7 +90,7 @@ func New(rm *RoutingMatrix, options ...Option) (Inferencer, error) {
 		// equivalent (bitwise) and strictly cheaper, whatever k was asked.
 		return NewEngine(rm, options...)
 	}
-	return newShardedEngine(rm, part, &s, options)
+	return newShardedEngine(rm, part, s, options)
 }
 
 // shardComponent is one link-connected component of a sharded engine: an

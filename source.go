@@ -160,6 +160,7 @@ type FileSource struct {
 	closer io.Closer
 	probes int
 	line   int
+	offset int64 // bytes consumed from the underlying reader (line-aligned)
 	fatal  error // sticky mid-stream I/O failure
 }
 
@@ -177,13 +178,42 @@ func NewFileSource(r io.Reader, probes int) *FileSource {
 // OpenFileSource opens path and reads snapshots from it; Close releases the
 // file.
 func OpenFileSource(path string, probes int) (*FileSource, error) {
+	return OpenFileSourceAt(path, 0, probes)
+}
+
+// OpenFileSourceAt opens path and resumes reading at the given byte offset —
+// the position a previous source reported through Offset, so a restarted
+// process continues a stream exactly where its predecessor stopped instead
+// of re-ingesting from the top. The offset must be line-aligned (Offset
+// values are); an offset inside a line yields a *LineError for the partial
+// line and resumes with the next one. Line numbers restart at 1 from the
+// resume point.
+func OpenFileSourceAt(path string, offset int64, probes int) (*FileSource, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, fmt.Errorf("lia: open snapshot file: %w", err)
 	}
+	if offset > 0 {
+		if _, err := f.Seek(offset, io.SeekStart); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("lia: seek snapshot file to %d: %w", offset, err)
+		}
+	}
 	src := NewFileSource(f, probes)
 	src.closer = f
+	src.offset = offset
 	return src, nil
+}
+
+// Offset reports the byte position just past the last line consumed —
+// including skipped blank, malformed, and overlong lines — counted from the
+// start of the underlying stream (so for OpenFileSourceAt the start offset
+// is included). Because Next always consumes whole lines, the value is
+// line-aligned and safe to persist for OpenFileSourceAt resumption.
+func (f *FileSource) Offset() int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.offset
 }
 
 // Next implements SnapshotSource.
@@ -233,6 +263,7 @@ func (f *FileSource) readLine() (string, error) {
 	overlong := false
 	for {
 		chunk, err := f.r.ReadSlice('\n')
+		f.offset += int64(len(chunk))
 		if !overlong && len(buf)+len(chunk) > maxSnapshotLine {
 			overlong = true
 			buf = nil

@@ -3,8 +3,11 @@ package lia_test
 import (
 	"context"
 	"errors"
+	"fmt"
 	"io"
 	"math"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
@@ -115,5 +118,132 @@ func TestTraceAndSliceAndLimit(t *testing.T) {
 	}
 	if _, err := limited.Next(ctx); !errors.Is(err, io.EOF) {
 		t.Fatalf("limit EOF = %v", err)
+	}
+}
+
+func TestFileSourceOffsetTracking(t *testing.T) {
+	ctx := context.Background()
+	lines := []string{
+		`[1.0, 0.9]`,
+		``, // blank: consumed by the Next that returns the following line
+		`{"frac": [0.8, 0.7]}`,
+		`not json`,
+		`[0.6, 0.5]`, // final line, unterminated
+	}
+	input := strings.Join(lines, "\n")
+	src := lia.NewFileSource(strings.NewReader(input), 1000)
+	if got := src.Offset(); got != 0 {
+		t.Fatalf("initial offset %d", got)
+	}
+	if _, err := src.Next(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := src.Offset(), int64(len(lines[0])+1); got != want {
+		t.Fatalf("offset after line 1: %d, want %d", got, want)
+	}
+	if _, err := src.Next(ctx); err != nil {
+		t.Fatal(err) // skips the blank line, returns line 3
+	}
+	want := int64(len(lines[0]) + 1 + 1 + len(lines[2]) + 1)
+	if got := src.Offset(); got != want {
+		t.Fatalf("offset after line 3: %d, want %d", got, want)
+	}
+	var le *lia.LineError
+	if _, err := src.Next(ctx); !errors.As(err, &le) {
+		t.Fatalf("bad line error: %v", err)
+	}
+	want += int64(len(lines[3]) + 1)
+	if got := src.Offset(); got != want {
+		t.Fatalf("offset after bad line: %d, want %d", got, want)
+	}
+	if _, err := src.Next(ctx); err != nil {
+		t.Fatal(err) // unterminated final line still counts its bytes
+	}
+	if got := src.Offset(); got != int64(len(input)) {
+		t.Fatalf("final offset %d, want %d", src.Offset(), len(input))
+	}
+	if _, err := src.Next(ctx); !errors.Is(err, io.EOF) {
+		t.Fatalf("want EOF, got %v", err)
+	}
+}
+
+func TestOpenFileSourceAtResumes(t *testing.T) {
+	ctx := context.Background()
+	path := filepath.Join(t.TempDir(), "snaps.ndjson")
+	var sb strings.Builder
+	for i := 0; i < 6; i++ {
+		fmt.Fprintf(&sb, "[0.9%d, 0.8%d]\n", i, i)
+	}
+	if err := os.WriteFile(path, []byte(sb.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	first, err := lia.OpenFileSource(path, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var firstYs [][]float64
+	for i := 0; i < 3; i++ {
+		snap, err := first.Next(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		firstYs = append(firstYs, snap.Y)
+	}
+	cut := first.Offset()
+	first.Close()
+
+	// A resumed source continues exactly after the last consumed line and
+	// reports stream-absolute offsets.
+	second, err := lia.OpenFileSourceAt(path, cut, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer second.Close()
+	if got := second.Offset(); got != cut {
+		t.Fatalf("resumed offset %d, want %d", got, cut)
+	}
+	whole, err := lia.OpenFileSource(path, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer whole.Close()
+	for i := 0; i < 3; i++ { // skip the prefix in the uninterrupted reader
+		if _, err := whole.Next(ctx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 3; ; i++ {
+		wantSnap, wantErr := whole.Next(ctx)
+		gotSnap, gotErr := second.Next(ctx)
+		if !errors.Is(gotErr, wantErr) {
+			t.Fatalf("snapshot %d: err %v vs %v", i, gotErr, wantErr)
+		}
+		if wantErr != nil {
+			break
+		}
+		for k := range wantSnap.Y {
+			if math.Float64bits(gotSnap.Y[k]) != math.Float64bits(wantSnap.Y[k]) {
+				t.Fatalf("snapshot %d entry %d differs after resume", i, k)
+			}
+		}
+	}
+	if got := second.Offset(); got != int64(len(sb.String())) {
+		t.Fatalf("exhausted offset %d, want file size %d", got, len(sb.String()))
+	}
+
+	// Resuming mid-line surfaces the partial line as a LineError, then
+	// continues with the next whole line.
+	mid, err := lia.OpenFileSourceAt(path, cut+2, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mid.Close()
+	var le *lia.LineError
+	if _, err := mid.Next(ctx); !errors.As(err, &le) {
+		t.Fatalf("mid-line resume: %v", err)
+	}
+	if snap, err := mid.Next(ctx); err != nil || len(snap.Y) != 2 {
+		t.Fatalf("post-partial resume: %v", err)
 	}
 }
