@@ -1,7 +1,8 @@
 // Command liaserve runs the inference engine as a long-lived HTTP service:
 // learning snapshots stream in continuously (over HTTP, from a live
-// collector listener, from an NDJSON file, or from the built-in simulator)
-// and per-link loss estimates are queryable at any moment.
+// collector listener, from an NDJSON file, from the built-in simulator, or
+// from a congestion-driven world server via -world, see cmd/liaworld) and
+// per-link loss estimates are queryable at any moment.
 //
 //	liaserve -listen 127.0.0.1:8420 -topo default=topo.json \
 //	         -collect default=127.0.0.1:7000
@@ -130,6 +131,7 @@ func run(args []string) error {
 		collect multiFlag
 		streams multiFlag
 		sims    multiFlag
+		worlds  multiFlag
 
 		rebuildEvery    = fs.Int("rebuild-every", serve.DefaultRebuildEvery, "rebuild the served state after this many new snapshots (negative disables)")
 		rebuildInterval = fs.Duration("rebuild-interval", 5*time.Second, "also rebuild a stale state at least this often (0 disables)")
@@ -164,6 +166,7 @@ func run(args []string) error {
 	fs.Var(&collect, "collect", "live collector listener, as name=host:port (repeatable)")
 	fs.Var(&streams, "stream", "NDJSON snapshot file source, as name=file (repeatable)")
 	fs.Var(&sims, "sim", "built-in simulator source streaming N snapshots (0 = unbounded), as name=N (repeatable)")
+	fs.Var(&worlds, "world", "world-server source (see cmd/liaworld), as name=host:port (repeatable; the scenario is named after the topology)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -392,6 +395,20 @@ func run(args []string) error {
 		}
 		st.spec.Sources = append(st.spec.Sources,
 			lia.NewSimSource(st.rm, lia.SimConfig{Probes: st.nProbes, Seed: *simSeed, Snapshots: n}))
+	}
+	for _, spec := range worlds {
+		st, addr, err := stateFor("world", spec)
+		if err != nil {
+			return err
+		}
+		// The scenario is named after the topology, so several liaserve
+		// topologies (or a restarted liaserve) attach to their own worlds on
+		// a shared server — and a reconnect resumes rather than restarts.
+		name, _ := splitSpec(spec)
+		src := lia.NewWorldSource(addr, st.rm, lia.WorldConfig{Scenario: name, Probes: st.nProbes})
+		closers = append(closers, src.Close)
+		st.spec.Sources = append(st.spec.Sources, src)
+		log.Printf("liaserve: topology %s: streaming world scenario %q from %s", name, name, addr)
 	}
 	defer func() {
 		for _, c := range closers {

@@ -1,0 +1,147 @@
+// Command liaworld runs the congestion-driven world server (package
+// lia/world): a long-lived, seeded-deterministic scenario simulator that
+// liaserve (via -world), the examples, and soak harnesses stream
+// non-stationary, correlated-loss snapshots from.
+//
+//	liaworld -listen 127.0.0.1:9310 -seed 7 -schedule schedule.json
+//
+// serves scenarios over the NDJSON TCP protocol: consumers assign their
+// topology's physical routes and pull snapshot batches, control
+// connections schedule congestion/flap/reroute regime shifts and query
+// ground truth. The -schedule file (a JSON array of world.Event documents)
+// is pre-applied to every scenario, so a CI run scripts its regime shifts
+// up front; the same seed and schedule reproduce every stream bit for bit.
+//
+// With -dump N the binary runs offline instead: it builds one world from
+// the -topo document (the liainfer topology schema), steps it N ticks, and
+// writes the NDJSON snapshot stream to stdout — piping two runs through
+// sha256sum is the replay-determinism check.
+package main
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"lia/world"
+)
+
+// topoDoc is the topology file schema shared with liainfer/liaserve; only
+// the physical routes matter here.
+type topoDoc struct {
+	Probes int `json:"probes"`
+	Paths  []struct {
+		Beacon int   `json:"beacon"`
+		Dst    int   `json:"dst"`
+		Links  []int `json:"links"`
+	} `json:"paths"`
+}
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintf(os.Stderr, "liaworld: %v\n", err)
+		os.Exit(2)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("liaworld", flag.ContinueOnError)
+	var (
+		listen   = fs.String("listen", "127.0.0.1:9310", "TCP listen address for the NDJSON protocol")
+		seed     = fs.Uint64("seed", 1, "world seed: same seed + same schedule reproduces every stream bitwise")
+		probes   = fs.Int("probes", 0, "default per-path probe count for binomial observation sampling (0 = exact fractions; assigns may override)")
+		schedule = fs.String("schedule", "", "JSON file holding an array of events pre-applied to every scenario")
+
+		utilization = fs.Float64("utilization", 0, "mean base link utilisation rho (0 = default 0.55)")
+		spread      = fs.Float64("utilization-spread", 0, "per-link base utilisation spread (0 = default 0.2)")
+		queue       = fs.Float64("queue", 0, "per-link buffer in capacity-ticks (0 = default 0.5)")
+		diurnalP    = fs.Int("diurnal-period", 0, "diurnal load-curve period in ticks (0 disables)")
+		diurnalA    = fs.Float64("diurnal-amplitude", 0, "diurnal swing as a fraction of base load (0 = default 0.3 when enabled)")
+		jitter      = fs.Float64("jitter", 0, "per-tick multiplicative load noise amplitude (0 = default 0.15)")
+
+		dump = fs.Int("dump", 0, "offline mode: step one world this many ticks, write NDJSON to stdout, exit (requires -topo)")
+		topo = fs.String("topo", "", "topology document for -dump mode (the liainfer -topo schema)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	cfg := world.Config{
+		Seed:              *seed,
+		Probes:            *probes,
+		Utilization:       *utilization,
+		UtilizationSpread: *spread,
+		Queue:             *queue,
+		DiurnalPeriod:     *diurnalP,
+		DiurnalAmplitude:  *diurnalA,
+		Jitter:            *jitter,
+	}
+	var events []world.Event
+	if *schedule != "" {
+		b, err := os.ReadFile(*schedule)
+		if err != nil {
+			return err
+		}
+		if err := json.Unmarshal(b, &events); err != nil {
+			return fmt.Errorf("-schedule %s: %w", *schedule, err)
+		}
+	}
+
+	if *dump > 0 {
+		return dumpStream(cfg, events, *topo, *dump)
+	}
+
+	srv := world.NewServer(world.ServerConfig{World: cfg, Schedule: events, Logf: log.Printf})
+	if err := srv.Listen(*listen); err != nil {
+		return err
+	}
+	log.Printf("liaworld: serving scenarios on %s (seed %d, %d scheduled events)",
+		srv.Addr(), *seed, len(events))
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	<-ctx.Done()
+	log.Printf("liaworld: shutting down")
+	return srv.Close()
+}
+
+// dumpStream runs the offline replay: one world over the topology's
+// routes, N ticks of NDJSON on stdout.
+func dumpStream(cfg world.Config, events []world.Event, topoFile string, n int) error {
+	if topoFile == "" {
+		return fmt.Errorf("-dump requires -topo file.json")
+	}
+	b, err := os.ReadFile(topoFile)
+	if err != nil {
+		return err
+	}
+	var doc topoDoc
+	if err := json.Unmarshal(b, &doc); err != nil {
+		return fmt.Errorf("-topo %s: %w", topoFile, err)
+	}
+	paths := make([][]int, len(doc.Paths))
+	for i, p := range doc.Paths {
+		paths[i] = p.Links
+	}
+	if cfg.Probes == 0 {
+		cfg.Probes = doc.Probes
+	}
+	w, err := world.New(paths, cfg, events)
+	if err != nil {
+		return err
+	}
+	out := bufio.NewWriterSize(os.Stdout, 256*1024)
+	enc := json.NewEncoder(out)
+	for i := 0; i < n; i++ {
+		if err := enc.Encode(w.Step()); err != nil {
+			return err
+		}
+	}
+	return out.Flush()
+}

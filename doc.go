@@ -124,4 +124,21 @@
 // unreachable node marks only the links it hosts Unresolved while the
 // rest of the fleet keeps serving, /readyz names the missing node, and a
 // node that rejoins under the same identity is re-placed and re-fed.
+//
+// The lia/world subpackage is the adversary those layers are tested
+// against: a long-running, seeded-deterministic world server whose
+// per-link capacity/queue congestion model produces the non-stationary,
+// correlated-loss regimes the paper's estimator is built for — diurnal
+// load curves, congestion events that correlate loss across every path
+// sharing the bottleneck, flapping links, mid-run rerouting. Scenarios are
+// served over a newline-delimited-JSON TCP protocol (cmd/liaworld is the
+// standalone binary); NewWorldSource is the client-side SnapshotSource, so
+// a world stream composes with RetrySource, SanitizeSource, and liaserve's
+// supervised ingestion exactly like a real measurement plane, while the
+// server's control surface can shift the loss regime mid-run and report
+// the ground truth an estimate should be converging to. The same seed and
+// schedule reproduce every stream bit for bit, regardless of batching,
+// reconnects, or GOMAXPROCS. ThinSource subsamples any source (keep-rate
+// or stride) for quick-look monitoring, reporting in its Stats the
+// divisor correction a variance consumer owes the thinned stream.
 package lia

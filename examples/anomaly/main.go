@@ -8,6 +8,13 @@
 // enough to flag. The inference is fast (a linear solve), as the paper
 // suggests for anomaly detection use.
 //
+// The faulty network is an in-process world server (package lia/world): the
+// quiet baseline streams from one scenario, and the live stream from a
+// second scenario whose schedule flaps the victim link's physical members —
+// alternating healthy and lossy phases, the classic intermittent fault.
+// Both streams arrive through lia.WorldSource, the same socket path a
+// production monitor would use.
+//
 //	go run ./examples/anomaly
 package main
 
@@ -16,11 +23,12 @@ import (
 	"fmt"
 	"log"
 	"math/rand/v2"
+	"time"
 
 	"lia"
-	"lia/internal/netsim"
 	"lia/internal/topogen"
 	"lia/internal/topology"
+	"lia/world"
 )
 
 func main() {
@@ -34,15 +42,14 @@ func main() {
 		log.Fatal(err)
 	}
 	ctx := context.Background()
-	sim := netsim.New(rm, netsim.Config{Probes: 1000, Seed: 5})
 
-	quiet := make([]float64, rm.NumLinks()) // all links healthy
-	drawQuiet := func() []float64 {
-		for k := range quiet {
-			quiet[k] = 0.0005 * rng.Float64()
-		}
-		return quiet
+	// One world server, two scenarios: "baseline" runs the schedule-free
+	// quiet regime, "live" gets the flapping fault injected below.
+	srv := world.NewServer(world.ServerConfig{World: world.Config{Seed: 5}})
+	if err := srv.Listen("127.0.0.1:0"); err != nil {
+		log.Fatal(err)
 	}
+	defer srv.Close()
 
 	// Baseline variance profile over a healthy window.
 	const window = 40
@@ -50,31 +57,50 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	for s := 0; s < window; s++ {
-		if err := base.Ingest(sim.Run(drawQuiet()).LogRates()); err != nil {
-			log.Fatal(err)
-		}
+	quiet := lia.NewWorldSource(srv.Addr(), rm, lia.WorldConfig{Scenario: "baseline"})
+	if _, err := base.Consume(ctx, lia.Limit(quiet, window)); err != nil {
+		log.Fatal(err)
 	}
 	baseVars, err := base.Variances(ctx)
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	// Fault injection: one link starts flapping between healthy and lossy.
+	// Fault injection: the victim virtual link's physical members start
+	// flapping between healthy and lossy every other snapshot. The fault is
+	// scheduled on the "live" scenario through the world's control surface
+	// before its consumer attaches.
 	victim := rm.NumLinks() / 2
 	fmt.Printf("injecting intermittent loss on virtual link %d (members %v)\n\n", victim, rm.Members(victim))
+	physPaths := make([][]int, rm.NumPaths())
+	for i := range physPaths {
+		physPaths[i] = rm.Path(i).Links
+	}
+	ctl, err := world.Dial(srv.Addr(), 5*time.Second)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer ctl.Close()
+	if _, err := ctl.Assign("live", physPaths, 0); err != nil {
+		log.Fatal(err)
+	}
+	if err := ctl.Shift("live", world.Event{
+		Kind:   world.KindFlap,
+		Tick:   0,
+		Links:  rm.Members(victim),
+		Period: 2, // lossy on even ticks, healthy on odd — intermittent
+		Loss:   0.1,
+	}); err != nil {
+		log.Fatal(err)
+	}
+
 	live, err := lia.NewEngine(rm)
 	if err != nil {
 		log.Fatal(err)
 	}
-	for s := 0; s < window; s++ {
-		rates := drawQuiet()
-		if s%2 == 0 {
-			rates[victim] = 0.05 + 0.1*rng.Float64()
-		}
-		if err := live.Ingest(sim.Run(rates).LogRates()); err != nil {
-			log.Fatal(err)
-		}
+	faulty := lia.NewWorldSource(srv.Addr(), rm, lia.WorldConfig{Scenario: "live"})
+	if _, err := live.Consume(ctx, lia.Limit(faulty, window)); err != nil {
+		log.Fatal(err)
 	}
 	liveVars, err := live.Variances(ctx)
 	if err != nil {

@@ -63,6 +63,10 @@ var metricDefs = []metricDef{
 		func(tp *topo) float64 { return float64(tp.quarantined()) }},
 	{"liaserve_watchers", "GET /v1/watch push streams currently connected.", "gauge",
 		func(tp *topo) float64 { return float64(tp.watchers.Load()) }},
+	// The world-lag gauge applies only to topologies fed by a world server
+	// (lia.WorldSource); other sources skip the series (NaN sentinel).
+	{"liaserve_world_lag", "World-server snapshots generated but not yet ingested (largest across sources).", "gauge",
+		func(tp *topo) float64 { return tp.worldLag() }},
 	// The cluster gauges apply only to engines with a node fleet behind them
 	// (cluster.Fleet); other engines skip the series entirely (NaN sentinel).
 	{"liaserve_cluster_nodes", "Nodes registered with the clustered engine's fleet.", "gauge",
@@ -111,6 +115,12 @@ var metricDefs = []metricDef{
 			}
 			return math.NaN()
 		}},
+}
+
+// worldLagger is the optional lag interface a world-server consumer
+// (lia.WorldSource) implements; other sources do not.
+type worldLagger interface {
+	WorldLag() int
 }
 
 // clusterNoder is the optional fleet-size interface a clustered engine

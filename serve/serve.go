@@ -39,6 +39,7 @@ import (
 	"fmt"
 	"io"
 	"log"
+	"math"
 	"regexp"
 	"sync"
 	"sync/atomic"
@@ -129,6 +130,7 @@ type Topology struct {
 // supervisor maintains and /v1/status reports.
 type supervisedSource struct {
 	src       lia.SnapshotSource // counting(sanitize(raw)): what Consume reads
+	raw       lia.SnapshotSource // the unwrapped source, for optional interfaces
 	sanitizer *lia.Sanitizer
 	restarts  atomic.Uint64
 
@@ -179,6 +181,25 @@ func (tp *topo) sourceRestarts() uint64 {
 		n += ss.restarts.Load()
 	}
 	return n
+}
+
+// worldLag returns the largest world-server snapshot lag across the
+// topology's sources, or NaN when none of them is a world consumer (the
+// metric-skip sentinel).
+func (tp *topo) worldLag() float64 {
+	lag, found := 0, false
+	for _, ss := range tp.sources {
+		if wl, ok := ss.raw.(worldLagger); ok {
+			found = true
+			if l := wl.WorldLag(); l > lag {
+				lag = l
+			}
+		}
+	}
+	if !found {
+		return math.NaN()
+	}
+	return float64(lag)
 }
 
 // quarantined sums the sanitizer quarantine counters across the
@@ -269,6 +290,7 @@ func (s *Server) Add(name string, t Topology) error {
 		san := lia.SanitizeSource(src, lia.SanitizeConfig{Dim: np, MaxAbs: t.SanitizeMaxAbs})
 		tp.sources = append(tp.sources, &supervisedSource{
 			src:       &countingSource{src: san, n: &tp.sourceSnapshots},
+			raw:       src,
 			sanitizer: san,
 			state:     "pending",
 		})

@@ -1,0 +1,178 @@
+package world
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"time"
+)
+
+// Client speaks the Server protocol over one TCP connection: the snapshot
+// consumer side (Assign + Next, what lia.WorldSource is built on) and the
+// control side (Shift + Truth + Stats, what soak harnesses steer worlds
+// with). A Client serialises internally, so one may be shared; a Client
+// whose connection died returns errors from every call — dial a new one
+// (the consumer-side reconnect policy lives in lia.WorldSource).
+type Client struct {
+	conn net.Conn
+	sc   *bufio.Scanner
+	out  *bufio.Writer
+	enc  *json.Encoder
+}
+
+// AssignInfo is the scenario description an assign returns.
+type AssignInfo struct {
+	// Paths is the scenario's path count (the snapshot dimension).
+	Paths int
+	// LinkIDs is the ascending physical link-ID order Tick.Loss and
+	// Tick.Regime are aligned with.
+	LinkIDs []int
+	// Tick is the world time at attach: 0 for a fresh scenario, the
+	// current tick when re-attaching to a running one.
+	Tick int
+}
+
+// TruthInfo is the ground truth a truth query returns.
+type TruthInfo struct {
+	// Tick is the time of the most recently generated snapshot (−1 before
+	// the first).
+	Tick int
+	// LinkIDs aligns Loss and Regime.
+	LinkIDs []int
+	// Loss is the realized per-link loss at Tick.
+	Loss []float64
+	// Regime is the noise-free mean loss of the regime active at Tick.
+	Regime []float64
+}
+
+// StatsInfo is a scenario's serving counters.
+type StatsInfo struct {
+	Tick   int
+	Paths  int
+	Links  int
+	Events int
+	Served uint64
+}
+
+// Dial connects to a world server. A zero timeout dials without a bound.
+func Dial(addr string, timeout time.Duration) (*Client, error) {
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, fmt.Errorf("world: dial %s: %w", addr, err)
+	}
+	return NewClient(conn), nil
+}
+
+// NewClient wraps an established connection (Dial is the common path; this
+// exists for pipes in tests).
+func NewClient(conn net.Conn) *Client {
+	sc := bufio.NewScanner(conn)
+	sc.Buffer(make([]byte, 64*1024), maxRequestLine)
+	out := bufio.NewWriterSize(conn, 64*1024)
+	return &Client{conn: conn, sc: sc, out: out, enc: json.NewEncoder(out)}
+}
+
+// Close severs the connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// SetDeadline bounds the next round-trip's I/O (a zero time clears it).
+func (c *Client) SetDeadline(t time.Time) error { return c.conn.SetDeadline(t) }
+
+// roundTrip sends one request and decodes the response line.
+func (c *Client) roundTrip(req *request) (*response, error) {
+	if err := c.enc.Encode(req); err != nil {
+		return nil, fmt.Errorf("world: send %s: %w", req.Op, err)
+	}
+	if err := c.out.Flush(); err != nil {
+		return nil, fmt.Errorf("world: send %s: %w", req.Op, err)
+	}
+	return c.readResponse(req.Op)
+}
+
+// readResponse decodes one response line, turning protocol-level errors
+// into Go errors.
+func (c *Client) readResponse(op string) (*response, error) {
+	if !c.sc.Scan() {
+		err := c.sc.Err()
+		if err == nil {
+			err = errors.New("connection closed")
+		}
+		return nil, fmt.Errorf("world: %s: %w", op, err)
+	}
+	var resp response
+	if err := json.Unmarshal(c.sc.Bytes(), &resp); err != nil {
+		return nil, fmt.Errorf("world: %s: malformed response: %w", op, err)
+	}
+	if !resp.OK {
+		return nil, fmt.Errorf("world: %s: %s", op, resp.Error)
+	}
+	return &resp, nil
+}
+
+// Assign creates or re-attaches to the named scenario ("" selects
+// "default") with the given physical routes. probes > 0 overrides the
+// server's default probe sampling for a fresh scenario.
+func (c *Client) Assign(name string, paths [][]int, probes int) (*AssignInfo, error) {
+	resp, err := c.roundTrip(&request{Op: "assign", Name: name, Paths: paths, Probes: probes})
+	if err != nil {
+		return nil, err
+	}
+	return &AssignInfo{Paths: resp.Paths, LinkIDs: resp.LinkIDs, Tick: resp.Tick}, nil
+}
+
+// Next advances the scenario count ticks and returns the batch, plus the
+// world tick after it (the freshness reference for lag accounting).
+func (c *Client) Next(name string, count int) ([]*Tick, int, error) {
+	if count <= 0 {
+		count = 1
+	}
+	resp, err := c.roundTrip(&request{Op: "next", Name: name, Count: count})
+	if err != nil {
+		return nil, 0, err
+	}
+	batch := make([]*Tick, 0, resp.Count)
+	for i := 0; i < resp.Count; i++ {
+		if !c.sc.Scan() {
+			err := c.sc.Err()
+			if err == nil {
+				err = errors.New("connection closed")
+			}
+			return nil, 0, fmt.Errorf("world: next: snapshot %d of %d: %w", i, resp.Count, err)
+		}
+		tick := new(Tick)
+		if err := json.Unmarshal(c.sc.Bytes(), tick); err != nil {
+			return nil, 0, fmt.Errorf("world: next: snapshot %d of %d: %w", i, resp.Count, err)
+		}
+		batch = append(batch, tick)
+	}
+	return batch, resp.Tick, nil
+}
+
+// Shift schedules a regime change on the named scenario.
+func (c *Client) Shift(name string, ev Event) error {
+	_, err := c.roundTrip(&request{Op: "shift", Name: name, Event: &ev})
+	return err
+}
+
+// Truth queries the scenario's current ground truth.
+func (c *Client) Truth(name string) (*TruthInfo, error) {
+	resp, err := c.roundTrip(&request{Op: "truth", Name: name})
+	if err != nil {
+		return nil, err
+	}
+	return &TruthInfo{Tick: resp.Tick, LinkIDs: resp.LinkIDs, Loss: resp.Loss, Regime: resp.Regime}, nil
+}
+
+// Stats queries the scenario's serving counters.
+func (c *Client) Stats(name string) (*StatsInfo, error) {
+	resp, err := c.roundTrip(&request{Op: "stats", Name: name})
+	if err != nil {
+		return nil, err
+	}
+	return &StatsInfo{
+		Tick: resp.Tick, Paths: resp.Paths, Links: resp.Links,
+		Events: resp.Events, Served: resp.Served,
+	}, nil
+}

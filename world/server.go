@@ -1,0 +1,404 @@
+package world
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+)
+
+// Protocol: newline-delimited JSON over TCP, request/response. Every
+// request line yields exactly one response line; a successful "next"
+// response is followed by exactly Count snapshot lines (the Tick JSON
+// encoding). Ops:
+//
+//	{"op":"assign","name":"default","paths":[[1,4],[1,5]],"probes":400}
+//	  -> {"ok":true,"paths":2,"links":3,"link_ids":[1,4,5],"tick":0}
+//	  Creates the named scenario (world defaults + the server's schedule)
+//	  or re-attaches when it already exists with the same paths — so a
+//	  reconnecting consumer resumes the world where it is, not at tick 0.
+//
+//	{"op":"next","name":"default","count":16}
+//	  -> {"ok":true,"count":16,"tick":16}
+//	  -> 16 × {"tick":N,"frac":[...],"loss":[...],"regime":[...]}
+//	  Advances the world count ticks and streams the batch. The response
+//	  tick is the world time after the batch — a consumer's snapshot lag
+//	  is that minus the tick it last ingested.
+//
+//	{"op":"shift","name":"default","event":{"kind":"congest","tick":200,"links":[1,2],"factor":6}}
+//	  -> {"ok":true,"events":3,"tick":57}
+//	  Schedules a regime change (congest, flap, or reroute — see Event).
+//	  Events must be at the current tick or later; scheduling controls the
+//	  run, it never rewrites history, so a fixed schedule replays exactly.
+//
+//	{"op":"truth","name":"default"}
+//	  -> {"ok":true,"tick":N,"loss":[...],"regime":[...],"link_ids":[...]}
+//	  Ground truth of the most recently generated tick: realized per-link
+//	  loss and the regime's noise-free mean loss (tick −1 before the first
+//	  snapshot).
+//
+//	{"op":"stats","name":"default"}
+//	  -> {"ok":true,"tick":N,"paths":P,"links":L,"events":E,"served":S}
+//
+// Errors come back as {"ok":false,"error":"..."} and leave the connection
+// usable. Multiple connections may address the same scenario: a consumer
+// pulls snapshots while a control connection schedules shifts and queries
+// truth — the soak harness pattern.
+
+// request is one protocol line from a client.
+type request struct {
+	Op     string  `json:"op"`
+	Name   string  `json:"name,omitempty"`
+	Paths  [][]int `json:"paths,omitempty"`
+	Probes int     `json:"probes,omitempty"`
+	Count  int     `json:"count,omitempty"`
+	Event  *Event  `json:"event,omitempty"`
+}
+
+// response is the first line answering any request.
+type response struct {
+	OK      bool      `json:"ok"`
+	Error   string    `json:"error,omitempty"`
+	Paths   int       `json:"paths,omitempty"`
+	Links   int       `json:"links,omitempty"`
+	LinkIDs []int     `json:"link_ids,omitempty"`
+	Count   int       `json:"count,omitempty"`
+	Tick    int       `json:"tick"`
+	Events  int       `json:"events,omitempty"`
+	Served  uint64    `json:"served,omitempty"`
+	Loss    []float64 `json:"loss,omitempty"`
+	Regime  []float64 `json:"regime,omitempty"`
+}
+
+// ServerConfig parameterizes a Server.
+type ServerConfig struct {
+	// World is the traffic-model template every assigned scenario is built
+	// from (see Config). World.Probes acts as the default when an assign
+	// omits its own.
+	World Config
+
+	// Schedule is pre-applied to every new scenario — how a CI run or the
+	// liaworld binary scripts regime shifts before any client connects.
+	Schedule []Event
+
+	// Logf receives operational lines (assigns, shifts, connection errors).
+	// nil disables logging.
+	Logf func(format string, args ...any)
+}
+
+// scenario is one named world and its serving counters.
+type scenario struct {
+	mu      sync.Mutex
+	w       *World
+	pathSig string
+	served  atomic.Uint64 // snapshots streamed to clients
+}
+
+// pathsSignature fingerprints a path set for attach-vs-conflict decisions.
+func pathsSignature(paths [][]int) string {
+	b, _ := json.Marshal(paths)
+	return string(b)
+}
+
+// Server hosts named world scenarios behind the NDJSON TCP protocol.
+type Server struct {
+	cfg ServerConfig
+
+	mu     sync.Mutex
+	ln     net.Listener
+	conns  map[net.Conn]struct{}
+	worlds map[string]*scenario
+	closed bool
+
+	wg sync.WaitGroup
+}
+
+// NewServer creates a server; call Listen to start accepting.
+func NewServer(cfg ServerConfig) *Server {
+	return &Server{
+		cfg:    cfg,
+		conns:  make(map[net.Conn]struct{}),
+		worlds: make(map[string]*scenario),
+	}
+}
+
+// logf logs through the configured sink.
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Logf != nil {
+		s.cfg.Logf(format, args...)
+	}
+}
+
+// Listen binds addr (e.g. "127.0.0.1:0") and serves connections until
+// Close.
+func (s *Server) Listen(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("world: listen %s: %w", addr, err)
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		ln.Close()
+		return errors.New("world: server closed")
+	}
+	s.ln = ln
+	s.mu.Unlock()
+	s.wg.Add(1)
+	go s.acceptLoop(ln)
+	return nil
+}
+
+// Addr returns the bound listen address ("" before Listen).
+func (s *Server) Addr() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ln == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// Close stops the listener, severs every connection, and waits for the
+// connection handlers to drain. Scenario state is retained (a Server is
+// one process's world; Close is shutdown, not reset).
+func (s *Server) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	ln := s.ln
+	conns := make([]net.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	var err error
+	if ln != nil {
+		err = ln.Close()
+	}
+	for _, c := range conns {
+		c.Close()
+	}
+	s.wg.Wait()
+	return err
+}
+
+// acceptLoop accepts connections until the listener dies.
+func (s *Server) acceptLoop(ln net.Listener) {
+	defer s.wg.Done()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.handle(conn)
+	}
+}
+
+// maxRequestLine bounds one protocol line (16 MB — a 100k-path assign fits
+// with room to spare).
+const maxRequestLine = 16 * 1024 * 1024
+
+// handle serves one connection's request loop.
+func (s *Server) handle(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+	}()
+	sc := bufio.NewScanner(conn)
+	sc.Buffer(make([]byte, 64*1024), maxRequestLine)
+	out := bufio.NewWriterSize(conn, 256*1024)
+	enc := json.NewEncoder(out)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var req request
+		if err := json.Unmarshal(line, &req); err != nil {
+			_ = enc.Encode(response{Error: "malformed request: " + err.Error()})
+			_ = out.Flush()
+			continue
+		}
+		if err := s.serveRequest(enc, &req); err != nil {
+			_ = enc.Encode(response{Error: err.Error()})
+		}
+		if err := out.Flush(); err != nil {
+			return
+		}
+	}
+}
+
+// lookup resolves a named scenario ("" selects "default").
+func (s *Server) lookup(name string) (*scenario, string, error) {
+	if name == "" {
+		name = "default"
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sn, ok := s.worlds[name]
+	if !ok {
+		return nil, name, fmt.Errorf("world: unknown scenario %q (assign first)", name)
+	}
+	return sn, name, nil
+}
+
+// serveRequest dispatches one request; a returned error becomes the error
+// response line.
+func (s *Server) serveRequest(enc *json.Encoder, req *request) error {
+	switch req.Op {
+	case "assign":
+		return s.assign(enc, req)
+	case "next":
+		return s.next(enc, req)
+	case "shift":
+		return s.shift(enc, req)
+	case "truth":
+		return s.truth(enc, req)
+	case "stats":
+		return s.stats(enc, req)
+	default:
+		return fmt.Errorf("world: unknown op %q", req.Op)
+	}
+}
+
+// assign creates the named scenario or re-attaches to it.
+func (s *Server) assign(enc *json.Encoder, req *request) error {
+	if len(req.Paths) == 0 {
+		return errors.New("world: assign needs paths")
+	}
+	name := req.Name
+	if name == "" {
+		name = "default"
+	}
+	sig := pathsSignature(req.Paths)
+	s.mu.Lock()
+	sn, ok := s.worlds[name]
+	if !ok {
+		cfg := s.cfg.World
+		if req.Probes > 0 {
+			cfg.Probes = req.Probes
+		}
+		w, err := New(req.Paths, cfg, s.cfg.Schedule)
+		if err != nil {
+			s.mu.Unlock()
+			return err
+		}
+		sn = &scenario{w: w, pathSig: sig}
+		s.worlds[name] = sn
+		s.mu.Unlock()
+		s.logf("world: scenario %q assigned: %d paths, %d links, %d scheduled events",
+			name, w.NumPaths(), len(w.LinkIDs()), w.Events())
+	} else {
+		s.mu.Unlock()
+		if sn.pathSig != sig {
+			return fmt.Errorf("world: scenario %q exists with a different path set", name)
+		}
+	}
+	sn.mu.Lock()
+	resp := response{
+		OK:      true,
+		Paths:   sn.w.NumPaths(),
+		LinkIDs: sn.w.LinkIDs(),
+		Tick:    sn.w.Now(),
+	}
+	resp.Links = len(resp.LinkIDs)
+	sn.mu.Unlock()
+	return enc.Encode(resp)
+}
+
+// next advances the scenario Count ticks, streaming each snapshot.
+func (s *Server) next(enc *json.Encoder, req *request) error {
+	sn, _, err := s.lookup(req.Name)
+	if err != nil {
+		return err
+	}
+	count := req.Count
+	if count <= 0 {
+		count = 1
+	}
+	const maxBatch = 4096
+	if count > maxBatch {
+		return fmt.Errorf("world: batch of %d exceeds %d", count, maxBatch)
+	}
+	sn.mu.Lock()
+	defer sn.mu.Unlock()
+	if err := enc.Encode(response{OK: true, Count: count, Tick: sn.w.Now() + count}); err != nil {
+		return nil // conn dead; handle's flush will notice
+	}
+	for i := 0; i < count; i++ {
+		if err := enc.Encode(sn.w.Step()); err != nil {
+			return nil
+		}
+		sn.served.Add(1)
+	}
+	return nil
+}
+
+// shift schedules a regime change on the named scenario.
+func (s *Server) shift(enc *json.Encoder, req *request) error {
+	sn, name, err := s.lookup(req.Name)
+	if err != nil {
+		return err
+	}
+	if req.Event == nil {
+		return errors.New("world: shift needs an event")
+	}
+	sn.mu.Lock()
+	defer sn.mu.Unlock()
+	if err := sn.w.ScheduleEvent(*req.Event); err != nil {
+		return err
+	}
+	s.logf("world: scenario %q: scheduled %s at tick %d (world at %d)",
+		name, req.Event.Kind, req.Event.Tick, sn.w.Now())
+	return enc.Encode(response{OK: true, Events: sn.w.Events(), Tick: sn.w.Now()})
+}
+
+// truth reports the ground truth of the most recently generated tick.
+func (s *Server) truth(enc *json.Encoder, req *request) error {
+	sn, _, err := s.lookup(req.Name)
+	if err != nil {
+		return err
+	}
+	sn.mu.Lock()
+	defer sn.mu.Unlock()
+	resp := response{OK: true, Tick: -1, LinkIDs: sn.w.LinkIDs()}
+	if last := sn.w.Last(); last != nil {
+		resp.Tick = last.Tick
+		resp.Loss = last.Loss
+		resp.Regime = last.Regime
+	}
+	return enc.Encode(resp)
+}
+
+// stats reports the scenario's counters.
+func (s *Server) stats(enc *json.Encoder, req *request) error {
+	sn, _, err := s.lookup(req.Name)
+	if err != nil {
+		return err
+	}
+	sn.mu.Lock()
+	defer sn.mu.Unlock()
+	return enc.Encode(response{
+		OK:     true,
+		Tick:   sn.w.Now(),
+		Paths:  sn.w.NumPaths(),
+		Links:  len(sn.w.LinkIDs()),
+		Events: sn.w.Events(),
+		Served: sn.served.Load(),
+	})
+}

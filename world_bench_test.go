@@ -1,0 +1,50 @@
+package lia_test
+
+// world_bench_test.go compares snapshot-source throughput: the in-process
+// simulator (NewSimSource) against the world server consumed over TCP
+// loopback (NewWorldSource) — the cost of moving scenario generation behind
+// a socket.
+
+import (
+	"context"
+	"testing"
+
+	"lia"
+	"lia/world"
+)
+
+func BenchmarkSnapshotSources(b *testing.B) {
+	rm, err := lia.NewTopology(apiTreePaths(2, 3))
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+
+	b.Run("sim", func(b *testing.B) {
+		src := lia.NewSimSource(rm, lia.SimConfig{Probes: 400, Seed: 1})
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := src.Next(ctx); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	b.Run("world", func(b *testing.B) {
+		srv := world.NewServer(world.ServerConfig{World: world.Config{Seed: 1}})
+		if err := srv.Listen("127.0.0.1:0"); err != nil {
+			b.Fatal(err)
+		}
+		defer srv.Close()
+		src := lia.NewWorldSource(srv.Addr(), rm, lia.WorldConfig{Probes: 400, Batch: 256})
+		defer src.Close()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := src.Next(ctx); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

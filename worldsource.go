@@ -1,0 +1,203 @@
+package lia
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"lia/world"
+)
+
+// WorldConfig tunes a WorldSource.
+type WorldConfig struct {
+	// Scenario is the named world on the server to attach to ("" selects
+	// "default"). Several consumers naming the same scenario share one
+	// world; a control connection can steer it concurrently.
+	Scenario string
+
+	// Probes is S, the per-path probe count: forwarded to the server (so a
+	// freshly created scenario samples binomial observation noise at this
+	// rate) and used to clamp zero-delivery paths in LogRates. ≤ 0 keeps
+	// the server default and the paper's clamp default of 1000.
+	Probes int
+
+	// Batch is how many snapshots each network round-trip pulls
+	// (default 16, max 4096). Larger batches amortise protocol overhead;
+	// smaller ones keep WorldLag tighter.
+	Batch int
+
+	// DialTimeout bounds connection establishment (default 5s).
+	DialTimeout time.Duration
+}
+
+// WorldSource streams snapshots from a world server (see package
+// lia/world): it dials lazily, assigns the routing matrix's physical paths
+// as the scenario topology, pulls snapshot batches, and converts each tick
+// into the engine's observation vector with per-virtual-link ground truth
+// attached. It implements SnapshotSource and composes with RetrySource /
+// SanitizeSource like any other source.
+//
+// On a connection error WorldSource surfaces the error and drops the
+// connection; the following Next redials and re-assigns. The server's
+// create-or-attach assign semantics make that resume the world where it
+// is — so serve's supervised-restart path continues the scenario rather
+// than replaying it from tick 0.
+type WorldSource struct {
+	addr  string
+	rm    *RoutingMatrix
+	cfg   WorldConfig
+	paths [][]int
+
+	mu      sync.Mutex
+	cli     *world.Client
+	pending []*world.Tick
+	// members[k] indexes virtual link k's physical members into the wire
+	// Loss/Regime arrays (built from the assign link-ID order).
+	members   [][]int
+	lastTick  int // tick of the last delivered snapshot
+	worldTick int // world time after the last pull (the next ack's tick)
+	closed    bool
+}
+
+// NewWorldSource returns a source streaming from the world server at addr
+// (host:port), using rm's physical routes as the scenario topology. No
+// connection is made until the first Next.
+func NewWorldSource(addr string, rm *RoutingMatrix, cfg WorldConfig) *WorldSource {
+	if cfg.Batch <= 0 {
+		cfg.Batch = 16
+	}
+	if cfg.Batch > 4096 {
+		cfg.Batch = 4096
+	}
+	if cfg.DialTimeout <= 0 {
+		cfg.DialTimeout = 5 * time.Second
+	}
+	paths := make([][]int, rm.NumPaths())
+	for i := range paths {
+		paths[i] = rm.Path(i).Links
+	}
+	return &WorldSource{addr: addr, rm: rm, cfg: cfg, paths: paths, lastTick: -1}
+}
+
+// connect dials and assigns, building the truth index from the advertised
+// link-ID order.
+func (s *WorldSource) connect() error {
+	cli, err := world.Dial(s.addr, s.cfg.DialTimeout)
+	if err != nil {
+		return err
+	}
+	info, err := cli.Assign(s.cfg.Scenario, s.paths, s.cfg.Probes)
+	if err != nil {
+		cli.Close()
+		return err
+	}
+	if info.Paths != s.rm.NumPaths() {
+		cli.Close()
+		return fmt.Errorf("lia: world scenario has %d paths, routing matrix has %d: %w",
+			info.Paths, s.rm.NumPaths(), ErrDimensionMismatch)
+	}
+	idx := make(map[int]int, len(info.LinkIDs))
+	for i, id := range info.LinkIDs {
+		idx[id] = i
+	}
+	members := make([][]int, s.rm.NumLinks())
+	for k := range members {
+		for _, phys := range s.rm.Members(k) {
+			if i, ok := idx[phys]; ok {
+				members[k] = append(members[k], i)
+			}
+		}
+	}
+	s.cli, s.members = cli, members
+	s.worldTick = info.Tick
+	return nil
+}
+
+// Next implements SnapshotSource, pulling a fresh batch when the buffered
+// one is drained. A transport error drops the connection and is returned
+// as-is (wrap with NewRetrySource for resilience); the next call redials.
+func (s *WorldSource) Next(ctx context.Context) (Snapshot, error) {
+	if err := ctx.Err(); err != nil {
+		return Snapshot{}, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return Snapshot{}, errors.New("lia: world source closed")
+	}
+	if len(s.pending) == 0 {
+		if s.cli == nil {
+			if err := s.connect(); err != nil {
+				return Snapshot{}, err
+			}
+		}
+		if dl, ok := ctx.Deadline(); ok {
+			_ = s.cli.SetDeadline(dl)
+		} else {
+			_ = s.cli.SetDeadline(time.Time{})
+		}
+		batch, tick, err := s.cli.Next(s.cfg.Scenario, s.cfg.Batch)
+		if err != nil {
+			s.cli.Close()
+			s.cli = nil
+			return Snapshot{}, err
+		}
+		s.pending, s.worldTick = batch, tick
+	}
+	tk := s.pending[0]
+	s.pending = s.pending[1:]
+	s.lastTick = tk.Tick
+	return Snapshot{
+		Y:     LogRates(tk.Frac, s.cfg.Probes),
+		Truth: s.virtualTruth(tk.Regime),
+	}, nil
+}
+
+// virtualTruth folds the wire's per-physical-link regime means into
+// per-virtual-link loss rates, matching the Truth convention of the other
+// simulator sources. Physical links the routing matrix does not know (a
+// world that rerouted past the consumer's topology) simply do not
+// contribute — that drift is exactly what staleness detection is for.
+func (s *WorldSource) virtualTruth(regime []float64) []float64 {
+	out := make([]float64, len(s.members))
+	for k, mem := range s.members {
+		tr := 1.0
+		for _, i := range mem {
+			if i < len(regime) {
+				tr *= 1 - regime[i]
+			}
+		}
+		out[k] = 1 - tr
+	}
+	return out
+}
+
+// WorldLag reports how many generated snapshots the consumer has not yet
+// ingested: the world tick after the last pull minus the tick last
+// delivered. It rises when other consumers (or large batches) advance the
+// shared scenario ahead of this one, and drains to zero as the buffered
+// batch is consumed. serve exports it as the liaserve_world_lag metric.
+func (s *WorldSource) WorldLag() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	lag := s.worldTick - 1 - s.lastTick
+	if lag < 0 {
+		lag = 0
+	}
+	return lag
+}
+
+// Close severs the server connection; subsequent Next calls fail.
+func (s *WorldSource) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.closed = true
+	if s.cli == nil {
+		return nil
+	}
+	err := s.cli.Close()
+	s.cli = nil
+	return err
+}

@@ -1,0 +1,259 @@
+package lia_test
+
+// worldsource_test.go covers lia.WorldSource against an in-process world
+// server: stream conversion (LogRates + virtual-link truth), attach-resume
+// across consumers, lag accounting, and reconnect-through-RetrySource via
+// a connection-dropping proxy.
+
+import (
+	"context"
+	"io"
+	"math"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"lia"
+	"lia/world"
+)
+
+// worldTestPaths is the standard 6-path probing tree used across the repo's
+// tests: beacon side links 1..3, destination side links 4..9.
+func worldTestPaths() []lia.Path {
+	return []lia.Path{
+		{Beacon: 0, Dst: 4, Links: []int{1, 4}},
+		{Beacon: 0, Dst: 5, Links: []int{1, 5}},
+		{Beacon: 0, Dst: 6, Links: []int{2, 6}},
+		{Beacon: 0, Dst: 7, Links: []int{2, 7}},
+		{Beacon: 0, Dst: 8, Links: []int{3, 8}},
+		{Beacon: 0, Dst: 9, Links: []int{3, 9}},
+	}
+}
+
+func startWorldServer(t *testing.T, cfg world.ServerConfig) *world.Server {
+	t.Helper()
+	s := world.NewServer(cfg)
+	if err := s.Listen("127.0.0.1:0"); err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+// TestWorldSourceStreams checks the conversion end to end: Y is the log
+// transmission rate of the world's path fractions, and Truth folds the
+// per-physical-link regime into virtual-link loss rates.
+func TestWorldSourceStreams(t *testing.T) {
+	rm, err := lia.NewTopology(worldTestPaths())
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := startWorldServer(t, world.ServerConfig{
+		World: world.Config{Seed: 11},
+		Schedule: []world.Event{
+			// Permanent 8x congest on shared link 1 from tick 0: paths 0 and
+			// 1 lose together, and their virtual links carry truth > 0.
+			{Kind: world.KindCongest, Tick: 0, Links: []int{1}, Factor: 8},
+		},
+	})
+	src := lia.NewWorldSource(srv.Addr(), rm, lia.WorldConfig{Batch: 4})
+	defer src.Close()
+
+	// A reference client on a *separate scenario* with identical paths and
+	// seed replays the same stream — the determinism contract lets us check
+	// the conversion value-for-value.
+	ref, err := world.Dial(srv.Addr(), time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ref.Close()
+	paths := make([][]int, rm.NumPaths())
+	for i := range paths {
+		paths[i] = rm.Path(i).Links
+	}
+	if _, err := ref.Assign("reference", paths, 0); err != nil {
+		t.Fatal(err)
+	}
+	refBatch, _, err := ref.Next("reference", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx := context.Background()
+	vlink1, ok := rm.VirtualOf(1)
+	if !ok {
+		t.Fatal("physical link 1 has no virtual link")
+	}
+	for i := 0; i < 8; i++ {
+		snap, err := src.Next(ctx)
+		if err != nil {
+			t.Fatalf("snapshot %d: %v", i, err)
+		}
+		if len(snap.Y) != rm.NumPaths() || len(snap.Truth) != rm.NumLinks() {
+			t.Fatalf("snapshot %d dims: %d paths, %d truth", i, len(snap.Y), len(snap.Truth))
+		}
+		wantY := lia.LogRates(refBatch[i].Frac, 0)
+		for p := range wantY {
+			if math.Float64bits(snap.Y[p]) != math.Float64bits(wantY[p]) {
+				t.Fatalf("snapshot %d path %d: Y=%v, want LogRates of replay %v",
+					i, p, snap.Y[p], wantY[p])
+			}
+		}
+		if snap.Truth[vlink1] <= 0 {
+			t.Fatalf("snapshot %d: truth for congested virtual link %d = %g, want > 0",
+				i, vlink1, snap.Truth[vlink1])
+		}
+	}
+}
+
+// TestWorldSourceAttachResumeAndLag checks that a second consumer attaching
+// to the same scenario resumes at the current tick, and that WorldLag
+// tracks generated-but-undelivered snapshots.
+func TestWorldSourceAttachResumeAndLag(t *testing.T) {
+	rm, err := lia.NewTopology(worldTestPaths())
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := startWorldServer(t, world.ServerConfig{World: world.Config{Seed: 4}})
+	ctx := context.Background()
+
+	ws := lia.NewWorldSource(srv.Addr(), rm, lia.WorldConfig{Scenario: "shared", Batch: 4})
+	if lag := ws.WorldLag(); lag != 0 {
+		t.Fatalf("lag before first pull = %d", lag)
+	}
+	if _, err := ws.Next(ctx); err != nil {
+		t.Fatal(err)
+	}
+	// One pull of 4 delivered 1: three generated snapshots are buffered.
+	if lag := ws.WorldLag(); lag != 3 {
+		t.Fatalf("lag after delivering 1 of 4 = %d, want 3", lag)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := ws.Next(ctx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if lag := ws.WorldLag(); lag != 0 {
+		t.Fatalf("lag after draining the batch = %d, want 0", lag)
+	}
+	if err := ws.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ws.Next(ctx); err == nil {
+		t.Fatal("Next after Close succeeded")
+	}
+
+	// A new source on the same scenario resumes at tick 4, not 0 — the
+	// supervised-restart contract.
+	ws2 := lia.NewWorldSource(srv.Addr(), rm, lia.WorldConfig{Scenario: "shared", Batch: 1})
+	defer ws2.Close()
+	if _, err := ws2.Next(ctx); err != nil {
+		t.Fatal(err)
+	}
+	ctl, err := world.Dial(srv.Addr(), time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ctl.Close()
+	st, err := ctl.Stats("shared")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Tick != 5 {
+		t.Fatalf("world at tick %d after 4 + 1 pulls, want 5 (resume, not restart)", st.Tick)
+	}
+}
+
+// dropProxy forwards TCP to a backend and can sever every active
+// connection on demand — a stand-in for network partitions.
+type dropProxy struct {
+	ln      net.Listener
+	backend string
+	mu      sync.Mutex
+	conns   []net.Conn
+}
+
+func newDropProxy(t *testing.T, backend string) *dropProxy {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := &dropProxy{ln: ln, backend: backend}
+	t.Cleanup(func() { ln.Close(); p.drop() })
+	go p.accept()
+	return p
+}
+
+func (p *dropProxy) accept() {
+	for {
+		c, err := p.ln.Accept()
+		if err != nil {
+			return
+		}
+		b, err := net.Dial("tcp", p.backend)
+		if err != nil {
+			c.Close()
+			continue
+		}
+		p.mu.Lock()
+		p.conns = append(p.conns, c, b)
+		p.mu.Unlock()
+		go func() { io.Copy(b, c); b.Close(); c.Close() }()
+		go func() { io.Copy(c, b); b.Close(); c.Close() }()
+	}
+}
+
+// drop severs every proxied connection.
+func (p *dropProxy) drop() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, c := range p.conns {
+		c.Close()
+	}
+	p.conns = nil
+}
+
+// TestWorldSourceReconnects drops the connection mid-stream and checks that
+// RetrySource(WorldSource) rides it out, resuming the scenario where it was
+// instead of replaying from tick 0.
+func TestWorldSourceReconnects(t *testing.T) {
+	rm, err := lia.NewTopology(worldTestPaths())
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := startWorldServer(t, world.ServerConfig{World: world.Config{Seed: 21}})
+	proxy := newDropProxy(t, srv.Addr())
+
+	ws := lia.NewWorldSource(proxy.ln.Addr().String(), rm, lia.WorldConfig{Batch: 2})
+	src := lia.RetrySource(ws, lia.RetryPolicy{
+		MaxAttempts: 5, InitialBackoff: time.Millisecond, Seed: 1,
+	})
+	defer lia.CloseSource(src)
+	ctx := context.Background()
+	for i := 0; i < 4; i++ {
+		if _, err := src.Next(ctx); err != nil {
+			t.Fatalf("pre-drop snapshot %d: %v", i, err)
+		}
+	}
+	proxy.drop()
+	// The next pulls must succeed through redial + re-assign.
+	for i := 0; i < 4; i++ {
+		if _, err := src.Next(ctx); err != nil {
+			t.Fatalf("post-drop snapshot %d: %v", i, err)
+		}
+	}
+	ctl, err := world.Dial(srv.Addr(), time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ctl.Close()
+	st, err := ctl.Stats("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Tick != 8 {
+		t.Fatalf("world at tick %d after 8 snapshots across a reconnect, want 8", st.Tick)
+	}
+}
