@@ -4,9 +4,11 @@ import (
 	"context"
 	"crypto/sha256"
 	"encoding/binary"
+	"encoding/json"
 	"errors"
 	"math"
 	"math/rand/v2"
+	"net/http"
 	"net/http/httptest"
 	"reflect"
 	"testing"
@@ -640,6 +642,63 @@ func TestFleetNodeRestartRestoresState(t *testing.T) {
 		if math.Float64bits(final.Variances[k]) != math.Float64bits(want.Variances[k]) ||
 			math.Float64bits(final.LossRates[k]) != math.Float64bits(want.LossRates[k]) {
 			t.Fatalf("link %d differs after post-restart stream", k)
+		}
+	}
+}
+
+// nodeStatsEvent fetches one node's GET /cluster/v1/stats body.
+func nodeStatsEvent(t testing.TB, tn *testNode) cluster.NodeEvent {
+	t.Helper()
+	resp, err := http.Get(tn.srv.URL + "/cluster/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("stats endpoint: %s", resp.Status)
+	}
+	var ev cluster.NodeEvent
+	if err := json.NewDecoder(resp.Body).Decode(&ev); err != nil {
+		t.Fatal(err)
+	}
+	return ev
+}
+
+// TestNodeStatsDirtyComponents pins the per-node dirty surface of
+// /cluster/v1/stats: after an ingest wave with no gather, every component a
+// node carries is dirty — it holds snapshots its served state has not
+// absorbed — and one gathered inference rebuilds exactly those components,
+// draining the count to zero.
+func TestNodeStatsDirtyComponents(t *testing.T) {
+	rm, snaps := workload(t)
+	tc := startCluster(t, rm, []string{"a", "b"})
+	if err := tc.fleet.IngestBatch(snaps); err != nil {
+		t.Fatal(err)
+	}
+	tc.sync(t)
+	for id, tn := range tc.nodes {
+		ev := nodeStatsEvent(t, tn)
+		if len(ev.Components) == 0 {
+			t.Fatalf("node %s carries no components", id)
+		}
+		if ev.DirtyComponents != len(ev.Components) {
+			t.Fatalf("node %s: DirtyComponents = %d before any gather, want %d (all)",
+				id, ev.DirtyComponents, len(ev.Components))
+		}
+	}
+	if _, err := tc.fleet.Infer(context.Background(), snaps[0]); err != nil {
+		t.Fatal(err)
+	}
+	for id, tn := range tc.nodes {
+		ev := nodeStatsEvent(t, tn)
+		if ev.DirtyComponents != 0 {
+			t.Fatalf("node %s: DirtyComponents = %d after a gathered inference, want 0",
+				id, ev.DirtyComponents)
+		}
+		for _, cs := range ev.Components {
+			if cs.Rebuilds == 0 || cs.StateEpoch != len(snaps) {
+				t.Fatalf("node %s component %d: %+v after gather", id, cs.Component, cs)
+			}
 		}
 	}
 }

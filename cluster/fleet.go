@@ -918,6 +918,8 @@ func (f *Fleet) ComponentStats() []lia.Stats {
 			Rebuilds:        cs.Rebuilds,
 			ElimReuses:      cs.ElimReuses,
 			RebuildFailures: cs.RebuildFailures,
+			DeltaRebuilds:   cs.DeltaRebuilds,
+			DirtyShards:     cs.DirtyShards,
 			Degraded:        cs.Degraded || !live,
 			LastError:       cs.LastError,
 		}
@@ -964,6 +966,10 @@ func (f *Fleet) Stats() lia.Stats {
 		s.Rebuilds += cs.Rebuilds
 		s.ElimReuses += cs.ElimReuses
 		s.RebuildFailures += cs.RebuildFailures
+		s.DeltaRebuilds += cs.DeltaRebuilds
+		if cs.EpochLag > 0 && !cs.Degraded {
+			s.DirtyComponents++
+		}
 		if cs.Degraded {
 			s.DegradedComponents++
 			if cs.LastError != "" && s.LastError == "" {

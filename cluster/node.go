@@ -493,11 +493,16 @@ func (n *Node) event(typ string) NodeEvent {
 			Rebuilds:        cs.Rebuilds,
 			ElimReuses:      cs.ElimReuses,
 			RebuildFailures: cs.RebuildFailures,
+			DeltaRebuilds:   cs.DeltaRebuilds,
+			DirtyShards:     cs.DirtyShards,
 			Degraded:        degraded,
 			LastError:       cs.LastError,
 		})
 		if degraded {
 			ev.Degraded = true
+		}
+		if cs.EpochLag > 0 || cs.StateEpoch < 0 && cs.Snapshots > 0 {
+			ev.DirtyComponents++
 		}
 		if c == 0 || cs.StateEpoch < ev.StateEpoch {
 			ev.StateEpoch = cs.StateEpoch

@@ -37,6 +37,18 @@
 // document (baseline ns/op ÷ run ns/op, so larger is faster) and, with
 // -assert regex:min, exits non-zero unless every matching bench reaches
 // the minimum speedup in the last document.
+//
+// Absolute latency gate (the steady-state SLO harness):
+//
+//	go run ./cmd/benchjson \
+//	    -gate 'BenchmarkEngineDeltaRebuild/dirty1:1000000' scale.json
+//
+// prints a markdown table and exits non-zero unless every bench matching
+// each -gate regex (repeatable; the spec splits on its last colon) comes in
+// at or under the ns/op ceiling. Unlike -baseline, the limit is absolute —
+// machine-dependent, but immune to a drifting baseline — so it suits hard
+// targets like "a dirty-shard epoch stays under a millisecond". A -gate
+// that matches no bench fails rather than passing vacuously.
 package main
 
 import (
@@ -74,15 +86,27 @@ func main() {
 		labels     = flag.String("labels", "", "with -speedup: comma-separated column labels, one per document")
 		assertSpec = flag.String("assert", "", "with -speedup: regex:min — every matching bench must reach the minimum speedup in the last document")
 	)
+	var gates []gateSpec
+	flag.Func("gate", "regex:max-ns — every matching bench's ns/op must come in at or under the ceiling (repeatable)", func(s string) error {
+		g, err := parseGate(s)
+		if err != nil {
+			return err
+		}
+		gates = append(gates, g)
+		return nil
+	})
 	flag.Parse()
 	var err error
 	switch {
-	case *baseline != "" && *speedup:
-		err = fmt.Errorf("-baseline and -speedup are mutually exclusive")
+	case *baseline != "" && *speedup,
+		len(gates) > 0 && (*baseline != "" || *speedup):
+		err = fmt.Errorf("-baseline, -speedup and -gate are mutually exclusive")
 	case *baseline != "":
 		err = runBaseline(os.Stdout, *baseline, flag.Args(), *maxRegress, *track, *strict)
 	case *speedup:
 		err = runSpeedup(os.Stdout, flag.Args(), *labels, *assertSpec)
+	case len(gates) > 0:
+		err = runGate(os.Stdout, flag.Args(), gates)
 	default:
 		err = runConvert()
 	}
@@ -271,6 +295,83 @@ func runBaseline(w io.Writer, basePath string, args []string, maxRegress float64
 		return nil
 	}
 	fmt.Fprintf(w, "\n> no tracked bench regressed beyond %.0f%%\n", 100*maxRegress)
+	return nil
+}
+
+// gateSpec is one -gate flag: an absolute ns/op ceiling every matching
+// bench must respect.
+type gateSpec struct {
+	re    *regexp.Regexp
+	maxNS float64
+	raw   string
+}
+
+// parseGate decodes a regex:max-ns spec, splitting on the LAST colon so the
+// regex part may itself contain colons.
+func parseGate(s string) (gateSpec, error) {
+	i := strings.LastIndex(s, ":")
+	if i < 0 {
+		return gateSpec{}, fmt.Errorf("-gate wants regex:max-ns, got %q", s)
+	}
+	re, err := regexp.Compile(s[:i])
+	if err != nil {
+		return gateSpec{}, fmt.Errorf("-gate: %w", err)
+	}
+	maxNS, err := strconv.ParseFloat(s[i+1:], 64)
+	if err != nil || maxNS <= 0 {
+		return gateSpec{}, fmt.Errorf("-gate ceiling %q: want a positive ns/op number", s[i+1:])
+	}
+	return gateSpec{re: re, maxNS: maxNS, raw: s}, nil
+}
+
+// runGate checks one document's ns/op against absolute ceilings.
+func runGate(w io.Writer, args []string, gates []gateSpec) error {
+	if len(args) != 1 {
+		return fmt.Errorf("-gate mode takes exactly one BENCH.json argument")
+	}
+	rep, err := loadReport(args[0])
+	if err != nil {
+		return err
+	}
+	ns, order := nsByKey(rep)
+	fmt.Fprintf(w, "| bench | ns/op | limit ns | ok |\n")
+	fmt.Fprintf(w, "|---|---:|---:|:---:|\n")
+	var failures []string
+	matched := make([]int, len(gates))
+	for _, k := range order {
+		limit := 0.0 // tightest ceiling across the specs that match this bench
+		hit := false
+		for gi, g := range gates {
+			if !g.re.MatchString(k) {
+				continue
+			}
+			matched[gi]++
+			if !hit || g.maxNS < limit {
+				limit = g.maxNS
+			}
+			hit = true
+		}
+		if !hit {
+			continue
+		}
+		ok := ns[k] <= limit
+		fmt.Fprintf(w, "| %s | %.6g | %.6g | %s |\n", k, ns[k], limit, mark(ok))
+		if !ok {
+			failures = append(failures,
+				fmt.Sprintf("%s took %.6g ns/op, ceiling %.6g", k, ns[k], limit))
+		}
+	}
+	// A spec that matches nothing must fail: a renamed or filtered-out bench
+	// would otherwise turn the gate green with no data.
+	for gi, g := range gates {
+		if matched[gi] == 0 {
+			failures = append(failures, fmt.Sprintf("-gate %q matched no bench", g.raw))
+		}
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("latency gate failed:\n  %s", strings.Join(failures, "\n  "))
+	}
+	fmt.Fprintf(w, "\n> every gated bench is under its ns/op ceiling\n")
 	return nil
 }
 

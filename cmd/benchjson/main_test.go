@@ -123,6 +123,80 @@ func TestSpeedupTableAndAssert(t *testing.T) {
 	}
 }
 
+func TestParseGate(t *testing.T) {
+	g, err := parseGate("BenchmarkDelta/dirty1:1e6")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.maxNS != 1e6 || !g.re.MatchString("lia BenchmarkDelta/dirty1") {
+		t.Fatalf("parsed %+v", g)
+	}
+	// The spec splits on its LAST colon, so the regex part may contain one.
+	g, err = parseGate("Benchmark(Delta|Full):500000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.maxNS != 500000 {
+		t.Fatalf("ceiling = %g, want 500000", g.maxNS)
+	}
+	for _, bad := range []string{"no-colon", "Bench:-5", "Bench:0", "Bench:not-a-number", "(:1e6"} {
+		if _, err := parseGate(bad); err == nil {
+			t.Fatalf("%q parsed", bad)
+		}
+	}
+}
+
+func TestLatencyGate(t *testing.T) {
+	doc := writeReport(t, "scale.json", mkReport("x", map[string]float64{
+		"BenchmarkDelta/dirty1-4": 120_000,
+		"BenchmarkDelta/cold-4":   3_600_000,
+		"BenchmarkOther-4":        50,
+	}))
+	mustGate := func(specs ...string) []gateSpec {
+		t.Helper()
+		gs := make([]gateSpec, len(specs))
+		for i, s := range specs {
+			g, err := parseGate(s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			gs[i] = g
+		}
+		return gs
+	}
+	// Under the ceiling: pass, and the table shows the gated benches only.
+	var out strings.Builder
+	if err := runGate(&out, []string{doc}, mustGate("BenchmarkDelta/dirty1:1000000")); err != nil {
+		t.Fatalf("120µs failed a 1ms ceiling: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "dirty1") || strings.Contains(out.String(), "BenchmarkOther") {
+		t.Fatalf("gate table wrong:\n%s", out.String())
+	}
+	// Over the ceiling: fail and blame the right bench.
+	out.Reset()
+	err := runGate(&out, []string{doc}, mustGate("BenchmarkDelta:1000000"))
+	if err == nil {
+		t.Fatalf("3.6ms cold rebuild passed a 1ms ceiling:\n%s", out.String())
+	}
+	if !strings.Contains(err.Error(), "cold") || strings.Contains(err.Error(), "dirty1") {
+		t.Fatalf("gate blamed the wrong bench: %v", err)
+	}
+	// Overlapping specs: the tightest ceiling wins.
+	out.Reset()
+	if err := runGate(&out, []string{doc}, mustGate("BenchmarkDelta/dirty1:5000000", "BenchmarkDelta/dirty1:100000")); err == nil {
+		t.Fatalf("tightest overlapping ceiling not enforced:\n%s", out.String())
+	}
+	// A spec matching no bench must fail loudly, not pass vacuously.
+	out.Reset()
+	if err := runGate(&out, []string{doc}, mustGate("BenchmarkRenamed:1000000")); err == nil {
+		t.Fatal("gate over no matching benches passed")
+	}
+	// Exactly one document.
+	if err := runGate(&out, []string{doc, doc}, mustGate("BenchmarkDelta:1")); err == nil {
+		t.Fatal("two documents accepted")
+	}
+}
+
 func TestParseBench(t *testing.T) {
 	b, ok := parseBench("BenchmarkServerInfer-8   52452   44019 ns/op   14491 B/op   123 allocs/op")
 	if !ok {

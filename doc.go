@@ -55,6 +55,19 @@
 // supports) are never enumerated at all. WithShards tunes or disables the
 // policy.
 //
+// Steady-state rebuilds are O(delta) in the data that moved, not in the
+// topology. Windowed accumulators track which packed comoment blocks each
+// snapshot dirtied, and the next rebuild patches only those blocks'
+// contributions into the cached Phase-1 right-hand side — bitwise-equal to
+// a full refold by construction. A sharded engine additionally skips every
+// component none of whose paths saw a snapshot; IngestSparse feeds whole
+// components selectively so localized traffic dirties only the components
+// it names (ErrPartialComponent rejects partial coverage). Stats reports
+// the wave shape (DeltaRebuilds, DirtyComponents, DirtyShards,
+// SkippedComponents), and WithRebalance lets the sharded engine re-group
+// components across its rebuild shards as measured costs drift — moving no
+// state, so estimates stay bitwise-identical to a never-rebalanced run.
+//
 // Measurement collection is decoupled from inference through the
 // SnapshotSource interface: NewSimSource streams synthetic campaigns from
 // the packet-level simulator, NewTraceSource adapts recorded received

@@ -347,38 +347,13 @@ func accumulateRHSInto(dst []float64, rm *topology.RoutingMatrix, cov stats.CovV
 	window := min(shards, rhsWindowShards)
 	staging := make([]float64, window*nc)
 	shardN := make([]int, shards)
-	doShard := func(s int, rhs []float64) {
-		lo := s * pairsPerShard
-		hi := min(lo+pairsPerShard, npairs)
-		for i := range rhs {
-			rhs[i] = 0 // slots are reused across windows
-		}
-		n := 0
-		p := lo // packed pair index of the current visit
-		rm.VisitPairSupports(lo, hi, func(i, j int, support []int32) {
-			p++
-			if len(support) == 0 {
-				return
-			}
-			sigma, keep := opts.adjust(cov.Cov(i, j))
-			if !keep {
-				return
-			}
-			if kept != nil {
-				kept[p-1] = true
-			}
-			n++
-			for _, k := range support {
-				rhs[k] += sigma
-			}
-		})
-		shardN[s] = n
-	}
 	total := 0
 	for base := 0; base < shards; base += window {
 		count := min(window, shards-base)
 		par.Do(workers, count, func(_, i int) {
-			doShard(base+i, staging[i*nc:(i+1)*nc])
+			s := base + i
+			shardN[s] = accumulateRHSShard(staging[i*nc:(i+1)*nc], rm, cov, opts,
+				s*pairsPerShard, min(s*pairsPerShard+pairsPerShard, npairs), kept)
 		})
 		for i := 0; i < count; i++ {
 			for k, v := range staging[i*nc : (i+1)*nc] {
@@ -388,6 +363,44 @@ func accumulateRHSInto(dst []float64, rm *topology.RoutingMatrix, cov stats.CovV
 		}
 	}
 	return total
+}
+
+// accumulateRHSShard folds the adjusted right-hand sides of the packed pair
+// range [lo, hi) — one shard of the equation stream — into rhs (length nc,
+// zeroed here because staging slots are reused across windows), and returns
+// the kept-equation count. It is the per-shard unit of both the cold fold
+// above and Phase1's warm delta fold: a shard's partial depends only on its
+// own co-moment block and the divisor, and both paths run this one
+// implementation, so a cached partial is bit-for-bit what a recompute would
+// produce.
+//
+// When kept is non-nil (length npairs overall) the walk also records which
+// packed pair indices survived the negative-covariance policy; shards own
+// disjoint ranges, so concurrent writes are race-free.
+func accumulateRHSShard(rhs []float64, rm *topology.RoutingMatrix, cov stats.CovView, opts VarianceOptions, lo, hi int, kept []bool) int {
+	for i := range rhs {
+		rhs[i] = 0
+	}
+	n := 0
+	p := lo // packed pair index of the current visit
+	rm.VisitPairSupports(lo, hi, func(i, j int, support []int32) {
+		p++
+		if len(support) == 0 {
+			return
+		}
+		sigma, keep := opts.adjust(cov.Cov(i, j))
+		if !keep {
+			return
+		}
+		if kept != nil {
+			kept[p-1] = true
+		}
+		n++
+		for _, k := range support {
+			rhs[k] += sigma
+		}
+	})
+	return n
 }
 
 // accumulateGramInto folds the support outer-products of every kept equation

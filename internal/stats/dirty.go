@@ -1,0 +1,73 @@
+package stats
+
+import "math"
+
+// Divisor returns the covariance divisor behind the snapshot (n−1 for the
+// cumulative and windowed accumulators, the effective-weight analog for the
+// decayed one). Two snapshots with bitwise-equal divisors and bitwise-equal
+// co-moment blocks yield bitwise-equal covariances over those blocks — the
+// invariant the dirty-set below certifies.
+func (s *CovSnapshot) Divisor() float64 { return s.div }
+
+// NumComoments returns the length of the packed upper-triangular co-moment
+// slice: dim·(dim+1)/2. For a view over np paths this equals the packed pair
+// count of the Phase-1 equation stream, and entry k of the triangle is
+// exactly the co-moment behind packed pair k — the correspondence that lets
+// the Phase-1 delta fold map co-moment blocks onto its pair shards.
+func (s *CovSnapshot) NumComoments() int { return len(s.comom) }
+
+// DirtyBlocks compares the packed co-moment triangle of s against an older
+// snapshot prev in fixed-size blocks of blockSize entries (the last block may
+// be shorter) and returns one flag per block: true where any entry differs
+// bitwise, false where the whole block is bitwise-unchanged. A clean block
+// certifies that every covariance read from it is bitwise-identical between
+// the two snapshots, so downstream folds over that block can be reused
+// verbatim.
+//
+// It returns nil when the snapshots are not comparable block-by-block: a
+// different dimension, or a divisor that moved (a divisor change — the
+// cumulative count growing, a decay weight rescaling — shifts every
+// covariance at once, so the caller must treat the entire view as dirty).
+// The comparison is bitwise (math.Float64bits), not numeric: −0 vs +0 is
+// dirty, NaN vs the same NaN is clean — exactly the equivalence the
+// bit-reproducibility contract needs.
+func (s *CovSnapshot) DirtyBlocks(prev *CovSnapshot, blockSize int) []bool {
+	if prev == nil || blockSize <= 0 {
+		return nil
+	}
+	if s.dim != prev.dim || len(s.comom) != len(prev.comom) {
+		return nil
+	}
+	if math.Float64bits(s.div) != math.Float64bits(prev.div) {
+		return nil
+	}
+	n := len(s.comom)
+	blocks := (n + blockSize - 1) / blockSize
+	dirty := make([]bool, blocks)
+	for b := 0; b < blocks; b++ {
+		lo := b * blockSize
+		hi := min(lo+blockSize, n)
+		for k := lo; k < hi; k++ {
+			if math.Float64bits(s.comom[k]) != math.Float64bits(prev.comom[k]) {
+				dirty[b] = true
+				break
+			}
+		}
+	}
+	return dirty
+}
+
+// CountDirty returns the number of true flags in a DirtyBlocks result, with
+// nil (incomparable snapshots) counting as "all blocks dirty" out of total.
+func CountDirty(dirty []bool, total int) int {
+	if dirty == nil {
+		return total
+	}
+	n := 0
+	for _, d := range dirty {
+		if d {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,130 @@
+package stats
+
+import (
+	"math/rand/v2"
+	"testing"
+)
+
+// fillVec returns a dim-vector whose first dim-tail coordinates carry fresh
+// noise and whose last tail coordinates carry the fixed per-coordinate
+// constants 0.01·(i+1) — a "quiet tail" snapshot.
+func fillVec(rng *rand.Rand, dim, tail int, quietTail bool) []float64 {
+	y := make([]float64, dim)
+	for i := range y {
+		if quietTail && i >= dim-tail {
+			y[i] = 0.01 * float64(i+1)
+		} else {
+			y[i] = rng.NormFloat64()
+		}
+	}
+	return y
+}
+
+func TestDirtyBlocksIncomparable(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 2))
+	acc := NewCovAccumulator(10)
+	for i := 0; i < 3; i++ {
+		acc.Add(fillVec(rng, 10, 0, false))
+	}
+	v0 := acc.View()
+	acc.Add(fillVec(rng, 10, 0, false))
+	v1 := acc.View()
+	// Cumulative divisor grew 2 → 3: every covariance rescaled, incomparable.
+	if d := v1.DirtyBlocks(v0, 8); d != nil {
+		t.Fatalf("cumulative views with different divisors: dirty = %v, want nil", d)
+	}
+	other := NewCovAccumulator(9)
+	for i := 0; i < 4; i++ {
+		other.Add(fillVec(rng, 9, 0, false))
+	}
+	if d := v1.DirtyBlocks(other.View(), 8); d != nil {
+		t.Fatalf("dimension mismatch: dirty = %v, want nil", d)
+	}
+	if d := v1.DirtyBlocks(nil, 8); d != nil {
+		t.Fatalf("nil prev: dirty = %v, want nil", d)
+	}
+	if d := v1.DirtyBlocks(v0, 0); d != nil {
+		t.Fatalf("non-positive block size: dirty = %v, want nil", d)
+	}
+	if got := CountDirty(nil, 7); got != 7 {
+		t.Fatalf("CountDirty(nil, 7) = %d, want 7 (incomparable counts all-dirty)", got)
+	}
+}
+
+func TestDirtyBlocksIdenticalViews(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3, 4))
+	acc := NewWindowedCovAccumulator(12, 5)
+	for i := 0; i < 5; i++ {
+		acc.Add(fillVec(rng, 12, 0, false))
+	}
+	v0, v1 := acc.View(), acc.View()
+	dirty := v1.DirtyBlocks(v0, 10)
+	want := (v1.NumComoments() + 9) / 10
+	if len(dirty) != want {
+		t.Fatalf("got %d blocks, want %d", len(dirty), want)
+	}
+	if n := CountDirty(dirty, want); n != 0 {
+		t.Fatalf("identical views: %d dirty blocks, want 0", n)
+	}
+}
+
+// TestDirtyBlocksQuietTailStaysClean is the profitability half of the dirty
+// set: with a windowed accumulator at capacity (constant divisor) and a
+// region of the vector that never changes, the co-moment blocks covering
+// only that region stay bitwise clean across adds and evictions, while the
+// active blocks go dirty.
+func TestDirtyBlocksQuietTailStaysClean(t *testing.T) {
+	const dim, tail, window = 8, 4, 3
+	rng := rand.New(rand.NewPCG(5, 6))
+	acc := NewWindowedCovAccumulator(dim, window)
+	// Every snapshot in the ring (and every one to come) carries the fixed
+	// constants on the tail.
+	for i := 0; i < window; i++ {
+		acc.Add(fillVec(rng, dim, tail, true))
+	}
+	v0 := acc.View()
+	acc.Add(fillVec(rng, dim, tail, true)) // evicts a quiet-tail snapshot
+	v1 := acc.View()
+	// Rows 5..7 of the packed triangle are pure tail×tail entries: indices
+	// 30..35, i.e. exactly the last block of size 10 over the 36 entries.
+	dirty := v1.DirtyBlocks(v0, 10)
+	if dirty == nil {
+		t.Fatal("windowed views at capacity should be comparable (constant divisor)")
+	}
+	if last := dirty[len(dirty)-1]; last {
+		t.Fatal("pure quiet-tail block went dirty despite bitwise-unchanged data")
+	}
+	if n := CountDirty(dirty, len(dirty)); n == 0 {
+		t.Fatal("active head blocks should have gone dirty")
+	}
+}
+
+// TestDirtyBlocksEvictionAloneDirties is the correctness half: a block must
+// go dirty when the only change affecting it is a windowed *eviction* — the
+// incoming snapshot carries the very same constants the block has seen for
+// the whole window, but the evicted snapshot did not, and its reverse-
+// Welford removal moves the tail co-moments. An ingest-driven dirty set
+// (tracking which coordinates new data touched) would miss this; the
+// bitwise comparison cannot.
+func TestDirtyBlocksEvictionAloneDirties(t *testing.T) {
+	const dim, tail, window = 8, 3, 3
+	rng := rand.New(rand.NewPCG(7, 8))
+	acc := NewWindowedCovAccumulator(dim, window)
+	acc.Add(fillVec(rng, dim, 0, false)) // snapshot 0: tail varies
+	for i := 1; i < window; i++ {
+		acc.Add(fillVec(rng, dim, tail, true)) // tail at the constants
+	}
+	v0 := acc.View()
+	// The new snapshot's tail is bitwise what snapshots 1..window-1 carried;
+	// the only tail-relevant change this add makes is evicting snapshot 0.
+	acc.Add(fillVec(rng, dim, tail, true))
+	v1 := acc.View()
+	dirty := v1.DirtyBlocks(v0, 10)
+	if dirty == nil {
+		t.Fatal("windowed views at capacity should be comparable (constant divisor)")
+	}
+	// Rows 5..7 are pure tail×tail (indices 30..35): the last block.
+	if last := dirty[len(dirty)-1]; !last {
+		t.Fatal("evicting the varying-tail snapshot must dirty the tail block")
+	}
+}

@@ -1,0 +1,252 @@
+package lia
+
+import (
+	"bytes"
+	"context"
+	"encoding/binary"
+	"math/rand/v2"
+	"reflect"
+	"testing"
+)
+
+// rebStars builds k link-disjoint star components of n paths each.
+func rebStars(k, n int) []Path {
+	var paths []Path
+	for c := 0; c < k; c++ {
+		base, beacon := c*1000, 100*(c+1)
+		for i := 0; i < n; i++ {
+			paths = append(paths, Path{Beacon: beacon, Dst: beacon + 1 + i, Links: []int{base, base + 1 + i}})
+		}
+	}
+	return paths
+}
+
+// rebSnapshots synthesizes m Gaussian snapshots over rm (same construction
+// as the exported-API tests, local to the internal package).
+func rebSnapshots(rm *RoutingMatrix, m int, seed uint64) [][]float64 {
+	rng := rand.New(rand.NewPCG(seed, 17))
+	sigma := make([]float64, rm.NumLinks())
+	for k := range sigma {
+		sigma[k] = 1e-3 * (1 + rng.Float64())
+	}
+	snaps := make([][]float64, m)
+	x := make([]float64, rm.NumLinks())
+	for t := range snaps {
+		for k := range x {
+			x[k] = rng.NormFloat64() * sigma[k]
+		}
+		y := make([]float64, rm.NumPaths())
+		for i := range y {
+			for _, k := range rm.Row(i) {
+				y[i] += x[k]
+			}
+		}
+		snaps[t] = y
+	}
+	return snaps
+}
+
+func TestLPTGroups(t *testing.T) {
+	got := lptGroups([]float64{5, 1, 4, 2, 2}, 2)
+	// Descending cost order 0(5), 2(4), 3(2), 4(2), 1(1), each to the
+	// lightest group (ties to the lower index): {0,4} and {2,3,1}.
+	want := [][]int{{0, 4}, {2, 3, 1}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("lptGroups = %v, want %v", got, want)
+	}
+	if c := maxGroupCost(got, []float64{5, 1, 4, 2, 2}); c != 7 {
+		t.Fatalf("maxGroupCost = %g, want 7", c)
+	}
+	// Equal costs tie-break by index, deterministically.
+	if got := lptGroups([]float64{3, 3, 3, 3}, 2); !reflect.DeepEqual(got, [][]int{{0, 2}, {1, 3}}) {
+		t.Fatalf("tie-broken lptGroups = %v, want [[0 2] [1 3]]", got)
+	}
+}
+
+// rebEngine builds a ShardedEngine over four equal star components grouped
+// into two rebuild shards — the static LPT pairing is {0,2} / {1,3}.
+func rebEngine(t *testing.T, options ...Option) *ShardedEngine {
+	t.Helper()
+	rm, err := NewTopology(rebStars(4, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	se, err := NewShardedEngine(rm, append([]Option{WithShards(2)}, options...)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := se.ShardGroups(); !reflect.DeepEqual(got, [][]int{{0, 2}, {1, 3}}) {
+		t.Fatalf("static grouping = %v, want [[0 2] [1 3]]", got)
+	}
+	return se
+}
+
+// TestMaybeRebalanceHysteresis pins the adoption rule: with measured costs
+// {10,1,10,1} the static {0,2}/{1,3} wave costs 20 while a fresh LPT
+// grouping costs 11 — adopted under the default θ=0.5 (11·1.5 < 20). With
+// {10,6,10,6} the candidate only cuts 20 to 16 — inside the hysteresis band
+// at θ=0.5 (rejected), a strict improvement at θ=0 (adopted), and never
+// considered when rebalancing is disabled.
+func TestMaybeRebalanceHysteresis(t *testing.T) {
+	cases := []struct {
+		name  string
+		theta Option
+		cost  []float64
+		adopt bool
+	}{
+		{"default theta clear win", nil, []float64{10, 1, 10, 1}, true},
+		{"default theta inside band", nil, []float64{10, 6, 10, 6}, false},
+		{"zero theta strict improvement", WithRebalance(0), []float64{10, 6, 10, 6}, true},
+		{"disabled", WithRebalance(-1), []float64{10, 1, 10, 1}, false},
+		{"unmeasured component blocks", nil, []float64{10, 1, 10, 0}, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var opts []Option
+			if tc.theta != nil {
+				opts = append(opts, tc.theta)
+			}
+			se := rebEngine(t, opts...)
+			copy(se.rebCost, tc.cost)
+			before := se.ShardGroups()
+			se.maybeRebalance(*se.groups.Load(), make([]bool, 4))
+			after := se.ShardGroups()
+			if tc.adopt {
+				if se.rebalances.Load() != 1 {
+					t.Fatalf("rebalances = %d, want 1", se.rebalances.Load())
+				}
+				if reflect.DeepEqual(before, after) {
+					t.Fatalf("grouping unchanged (%v) despite an adopted rebalance", after)
+				}
+				if len(after) != len(before) {
+					t.Fatalf("rebalance changed the shard count %d -> %d", len(before), len(after))
+				}
+			} else {
+				if se.rebalances.Load() != 0 {
+					t.Fatalf("rebalances = %d, want 0", se.rebalances.Load())
+				}
+				if !reflect.DeepEqual(before, after) {
+					t.Fatalf("grouping moved %v -> %v without an adoption", before, after)
+				}
+			}
+		})
+	}
+}
+
+// TestRebalanceMidStreamBitwise is the losslessness proof the WithRebalance
+// contract promises: an engine that re-groups its components mid-stream
+// keeps serving variances, inferences and Checkpoint bytes bitwise-equal to
+// a never-rebalanced twin fed the identical stream — regrouping moves no
+// state, only shard assignments.
+func TestRebalanceMidStreamBitwise(t *testing.T) {
+	ctx := context.Background()
+	reb := rebEngine(t, WithRebalance(0))
+	fixed := rebEngine(t, WithRebalance(-1))
+	rm := reb.RoutingMatrix()
+
+	stream := rebSnapshots(rm, 60, 11)
+	feed := func(ys [][]float64) {
+		for _, y := range ys {
+			if err := reb.Ingest(y); err != nil {
+				t.Fatal(err)
+			}
+			if err := fixed.Ingest(y); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	// normalizeCkpt zeroes the wall-clock builtAt stamps (and the CRCs that
+	// cover them) in a sharded checkpoint, leaving only moment state: two
+	// engines fed the same stream rebuild at different nanoseconds, and that
+	// timestamp is the one field the losslessness contract excludes.
+	normalizeCkpt := func(t *testing.T, b []byte) []byte {
+		t.Helper()
+		const hdr = 12 // magic + version + kind + reserved
+		out := append([]byte(nil), b...)
+		off := hdr + 8 // outer header + u64 epoch
+		ncomps := int(binary.LittleEndian.Uint32(out[off:]))
+		off += 4
+		for c := 0; c < ncomps; c++ {
+			n := int(binary.LittleEndian.Uint32(out[off:]))
+			off += 4
+			nested := out[off : off+n]
+			for i := 0; i < 8; i++ {
+				nested[hdr+8+i] = 0 // builtAt, after the nested epoch
+			}
+			for i := n - 4; i < n; i++ {
+				nested[i] = 0 // nested CRC
+			}
+			off += n
+		}
+		if off != len(out)-4 {
+			t.Fatalf("checkpoint layout drifted: %d bytes consumed of %d", off, len(out))
+		}
+		for i := len(out) - 4; i < len(out); i++ {
+			out[i] = 0 // outer CRC
+		}
+		return out
+	}
+	compare := func(stage string) {
+		rv, err := reb.Variances(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fv, err := fixed.Variances(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for k := range fv {
+			if rv[k] != fv[k] {
+				t.Fatalf("%s: link %d: rebalanced %g != fixed %g (not bitwise)", stage, k, rv[k], fv[k])
+			}
+		}
+		var rb, fb bytes.Buffer
+		if err := reb.Checkpoint(&rb); err != nil {
+			t.Fatal(err)
+		}
+		if err := fixed.Checkpoint(&fb); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(normalizeCkpt(t, rb.Bytes()), normalizeCkpt(t, fb.Bytes())) {
+			t.Fatalf("%s: checkpoint moment state diverges (%d vs %d bytes)", stage, rb.Len(), fb.Len())
+		}
+	}
+
+	feed(stream[:40])
+	compare("before rebalance")
+
+	// Force a regrouping: skew the measured costs so the static pairing is
+	// 2x off the LPT optimum, then let the rebalancer look.
+	copy(reb.rebCost, []float64{10, 1, 10, 1})
+	reb.maybeRebalance(*reb.groups.Load(), make([]bool, 4))
+	if reb.rebalances.Load() == 0 {
+		t.Fatal("skewed costs at theta=0 must force a rebalance")
+	}
+	if reflect.DeepEqual(reb.ShardGroups(), fixed.ShardGroups()) {
+		t.Fatal("rebalanced engine still has the static grouping")
+	}
+	if reb.NumShards() != fixed.NumShards() {
+		t.Fatalf("rebalance changed the shard count: %d vs %d", reb.NumShards(), fixed.NumShards())
+	}
+
+	feed(stream[40:])
+	compare("after rebalance")
+
+	probe := rebSnapshots(rm, 1, 99)[0]
+	rres, err := reb.Infer(ctx, probe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fres, err := fixed.Infer(ctx, probe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := range fres.LossRates {
+		if rres.LossRates[k] != fres.LossRates[k] || rres.LogRates[k] != fres.LogRates[k] {
+			t.Fatalf("link %d: inference diverged after rebalance", k)
+		}
+	}
+	if got := reb.Stats().Rebalances; got < 1 {
+		t.Fatalf("Stats().Rebalances = %d, want >= 1", got)
+	}
+}

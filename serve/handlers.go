@@ -131,6 +131,16 @@ type TopoStatus struct {
 	ElimReuses    uint64  `json:"elim_reuses"`
 	LastRebuildMs float64 `json:"last_rebuild_ms"`
 
+	// The O(delta) steady-state block mirrors the incremental-rebuild
+	// fields of lia.Stats: how many rebuilds ran the dirty-shard delta
+	// fold, the shard/component work of the most recent wave, the lifetime
+	// count of skipped component rebuilds, and adopted LPT rebalances.
+	DeltaRebuilds     uint64 `json:"delta_rebuilds"`
+	DirtyShards       int    `json:"dirty_shards"`
+	DirtyComponents   int    `json:"dirty_components,omitempty"`
+	SkippedComponents uint64 `json:"skipped_components,omitempty"`
+	Rebalances        uint64 `json:"rebalances,omitempty"`
+
 	Degraded           bool    `json:"degraded"`
 	DegradedComponents int     `json:"degraded_components,omitempty"`
 	RebuildFailures    uint64  `json:"rebuild_failures"`
@@ -427,6 +437,12 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 			Rebuilds:      st.Rebuilds,
 			ElimReuses:    st.ElimReuses,
 			LastRebuildMs: float64(st.LastRebuild) / float64(time.Millisecond),
+
+			DeltaRebuilds:     st.DeltaRebuilds,
+			DirtyShards:       st.DirtyShards,
+			DirtyComponents:   st.DirtyComponents,
+			SkippedComponents: st.SkippedComponents,
+			Rebalances:        st.Rebalances,
 
 			Degraded:           st.Degraded,
 			DegradedComponents: st.DegradedComponents,

@@ -44,6 +44,16 @@ var metricDefs = []metricDef{
 		func(tp *topo) float64 { return float64(tp.eng.Stats().Shards) }},
 	{"liaserve_components", "Link-connected topology components (0 = unsharded engine).", "gauge",
 		func(tp *topo) float64 { return float64(tp.eng.Stats().Components) }},
+	{"liaserve_delta_rebuilds_total", "Rebuilds that ran the incremental O(delta) Phase-1 fold over dirty shards only.", "counter",
+		func(tp *topo) float64 { return float64(tp.eng.Stats().DeltaRebuilds) }},
+	{"liaserve_rebuild_dirty_shards", "Shard work of the most recent rebuild (pair shards refolded, or rebuild groups that rebuilt).", "gauge",
+		func(tp *topo) float64 { return float64(tp.eng.Stats().DirtyShards) }},
+	{"liaserve_rebuild_dirty_components", "Components that actually rebuilt in the most recent sharded rebuild wave.", "gauge",
+		func(tp *topo) float64 { return float64(tp.eng.Stats().DirtyComponents) }},
+	{"liaserve_rebuild_skipped_components", "Components whose Phase-1 rebuild was skipped because their moments were untouched.", "counter",
+		func(tp *topo) float64 { return float64(tp.eng.Stats().SkippedComponents) }},
+	{"liaserve_rebalances_total", "Dynamic LPT re-groupings of sharded components across rebuild shards.", "counter",
+		func(tp *topo) float64 { return float64(tp.eng.Stats().Rebalances) }},
 	{"liaserve_rebuild_failures_total", "Phase-1 rebuild attempts that failed or panicked.", "counter",
 		func(tp *topo) float64 { return float64(tp.eng.Stats().RebuildFailures) }},
 	{"liaserve_degraded", "1 while the engine serves its last-good state through rebuild failures.", "gauge",

@@ -159,17 +159,34 @@ func (sc *shardComponent) scatter(y []float64, dst []float64) []float64 {
 // automatically for disconnected topologies). A ShardedEngine is safe for
 // concurrent use under the same contract as Engine.
 type ShardedEngine struct {
-	rm     *RoutingMatrix
-	part   *topology.Partition
-	comps  []*shardComponent
-	shards [][]int // component indices per concurrent rebuild group
+	rm    *RoutingMatrix
+	part  *topology.Partition
+	comps []*shardComponent
+
+	// groups holds the component indices of each concurrent rebuild group.
+	// It is behind an atomic pointer because dynamic LPT rebalancing (see
+	// WithRebalance) swaps in a new grouping between rebuild waves; the
+	// group count never changes, only the assignment.
+	groups atomic.Pointer[[][]int]
 
 	threshold float64
 	window    int
 	decay     float64
+	rebTheta  float64 // LPT rebalance hysteresis; negative = disabled
 
-	mu    sync.Mutex // serialises ingestion so every component sees the same order
-	epoch atomic.Uint64
+	mu        sync.Mutex // serialises ingestion so every component sees the same order
+	epoch     atomic.Uint64
+	sparsePos []int // IngestSparse scratch: global path -> snapshot position (-1 idle); under mu
+
+	rebMu      sync.Mutex // guards rebCost and regrouping decisions
+	rebCost    []float64  // per-component rebuild-cost EWMA (ns); 0 = never measured
+	rebalances atomic.Uint64
+
+	// Most-recent-rebuild-wave gauges and the lifetime skip counter behind
+	// Stats.DirtyComponents / DirtyShards / SkippedComponents.
+	waveDirtyComponents atomic.Int64
+	waveDirtyShards     atomic.Int64
+	skippedComponents   atomic.Uint64
 }
 
 // NewShardedEngine creates a sharded engine over the routing matrix,
@@ -201,11 +218,14 @@ func newShardedEngine(rm *RoutingMatrix, part *topology.Partition, s *settings, 
 		k = runtime.GOMAXPROCS(0)
 	}
 	e := &ShardedEngine{
-		rm:     rm,
-		part:   part,
-		comps:  make([]*shardComponent, part.NumComponents()),
-		shards: part.Shards(k),
+		rm:       rm,
+		part:     part,
+		comps:    make([]*shardComponent, part.NumComponents()),
+		rebTheta: s.effectiveRebalance(),
+		rebCost:  make([]float64, part.NumComponents()),
 	}
+	groups := part.Shards(k)
+	e.groups.Store(&groups)
 	for c := range e.comps {
 		sub, links, err := part.ComponentMatrix(c)
 		if err != nil {
@@ -234,15 +254,29 @@ func (e *ShardedEngine) RoutingMatrix() *RoutingMatrix { return e.rm }
 // Partition returns the topology decomposition behind the engine.
 func (e *ShardedEngine) Partition() *topology.Partition { return e.part }
 
-// NumShards returns the number of concurrent rebuild groups.
-func (e *ShardedEngine) NumShards() int { return len(e.shards) }
+// NumShards returns the number of concurrent rebuild groups. Rebalancing
+// regroups components across the shards but never changes their count.
+func (e *ShardedEngine) NumShards() int { return len(*e.groups.Load()) }
+
+// ShardGroups returns the current component-index grouping of the rebuild
+// shards — one slice of component indices per concurrent group, in the
+// order dynamic rebalancing last left them. The result is a copy.
+func (e *ShardedEngine) ShardGroups() [][]int {
+	cur := *e.groups.Load()
+	out := make([][]int, len(cur))
+	for i, g := range cur {
+		out[i] = append([]int(nil), g...)
+	}
+	return out
+}
 
 // NumComponents returns the number of link-connected components.
 func (e *ShardedEngine) NumComponents() int { return len(e.comps) }
 
 // Snapshots returns the lifetime number of learning snapshots ingested.
-// Every snapshot scatters to every component, so the per-component counts
-// all equal this value.
+// Full snapshots scatter to every component; IngestSparse snapshots count
+// once here but advance only the components they cover, so per-component
+// counts can trail this value on sparse streams.
 func (e *ShardedEngine) Snapshots() int { return int(e.epoch.Load()) }
 
 // Threshold returns the effective congestion threshold tl.
@@ -295,20 +329,114 @@ func (e *ShardedEngine) Consume(ctx context.Context, src SnapshotSource) (int, e
 	return consumeSource(ctx, src, e.rm, e.IngestBatch)
 }
 
+// SparseIngester is the optional component-granular ingestion surface:
+// engines that can fold snapshots covering only part of the topology
+// implement it (Engine requires full coverage, ShardedEngine accepts any
+// union of complete components). Callers holding an Inferencer type-assert
+// for it; wrappers that cannot journal sparse folds (DurableEngine's WAL
+// records whole snapshots) deliberately do not implement it.
+type SparseIngester interface {
+	// IngestSparse folds one snapshot covering exactly the named global
+	// paths (strictly ascending). Coverage must be a union of complete
+	// link-connected components; ErrPartialComponent otherwise.
+	IngestSparse(paths []int, y []float64) error
+}
+
+// Interface conformance, checked at compile time.
+var (
+	_ SparseIngester = (*Engine)(nil)
+	_ SparseIngester = (*ShardedEngine)(nil)
+)
+
+// IngestSparse folds one learning snapshot that covers only part of the
+// topology: paths holds strictly ascending global path indices and y the
+// matching observations, and together they must cover the union of complete
+// link-connected components — each component is either fully present or
+// entirely absent (anything else returns ErrPartialComponent with nothing
+// ingested anywhere). Only the covered components' moments and epochs
+// advance; at the next rebuild wave every untouched component skips its
+// Phase-1 solve and serves its cached state — variances, elimination and
+// all — bitwise unchanged. This is the O(delta) steady-state ingest path:
+// an epoch where k of K components saw traffic rebuilds only those k.
+//
+// The global Snapshots count advances by one per sparse snapshot, like any
+// other ingest; per-component counts advance only where covered, so
+// gathered Epochs report the oldest covered state as usual.
+func (e *ShardedEngine) IngestSparse(paths []int, y []float64) error {
+	if err := checkSparse(e.rm, paths, y); err != nil {
+		return err
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.sparsePos == nil {
+		e.sparsePos = make([]int, e.rm.NumPaths())
+		for i := range e.sparsePos {
+			e.sparsePos[i] = -1
+		}
+	}
+	pos := e.sparsePos
+	for i, p := range paths {
+		pos[p] = i
+	}
+	defer func() {
+		for _, p := range paths {
+			pos[p] = -1
+		}
+	}()
+	// Validate coverage for every component before folding into any, so a
+	// partial snapshot leaves all moments untouched.
+	covered := make([]bool, len(e.comps))
+	for c, sc := range e.comps {
+		n := 0
+		for _, pg := range sc.paths {
+			if pos[pg] >= 0 {
+				n++
+			}
+		}
+		switch {
+		case n == 0:
+		case n == len(sc.paths):
+			covered[c] = true
+		default:
+			return fmt.Errorf("lia: sparse snapshot covers %d of %d paths of component %d: %w",
+				n, len(sc.paths), c, ErrPartialComponent)
+		}
+	}
+	for c, sc := range e.comps {
+		if !covered[c] {
+			continue
+		}
+		dst := sc.scratch
+		for pl, pg := range sc.paths {
+			dst[pl] = y[pos[pg]]
+		}
+		if err := sc.eng.Ingest(dst); err != nil {
+			return err // unreachable: dimensions hold by construction
+		}
+	}
+	e.epoch.Add(1)
+	return nil
+}
+
 // runComponents runs fn for every component, fanning the shards out on
 // their own goroutines; components within a shard run sequentially, which
 // is what bounds rebuild concurrency at the shard count. The returned
 // slice holds each component's error (nil on success) in component-index
 // order, deterministically.
 func (e *ShardedEngine) runComponents(fn func(c int, sc *shardComponent) error) []error {
+	groups := *e.groups.Load()
+	before := make([]uint64, len(e.comps))
+	for c, sc := range e.comps {
+		before[c] = sc.eng.rebuilds.Load()
+	}
 	errs := make([]error, len(e.comps))
-	if len(e.shards) == 1 {
-		for _, c := range e.shards[0] {
+	if len(groups) == 1 {
+		for _, c := range groups[0] {
 			errs[c] = fn(c, e.comps[c])
 		}
 	} else {
 		var wg sync.WaitGroup
-		for _, shard := range e.shards {
+		for _, shard := range groups {
 			wg.Add(1)
 			go func(shard []int) {
 				defer wg.Done()
@@ -319,7 +447,135 @@ func (e *ShardedEngine) runComponents(fn func(c int, sc *shardComponent) error) 
 		}
 		wg.Wait()
 	}
+	e.observeWave(groups, before)
 	return errs
+}
+
+// observeWave inspects which components rebuilt during one runComponents
+// pass: it publishes the dirty-component and dirty-shard gauges, counts the
+// untouched components that skipped Phase-1 outright, refreshes the
+// rebuild-cost EWMAs and gives the LPT rebalancer a chance to regroup.
+// Passes where nothing rebuilt (warm gathers over unchanged epochs) leave
+// everything untouched, so the gauges always describe the most recent wave
+// that did rebuild work.
+func (e *ShardedEngine) observeWave(groups [][]int, before []uint64) {
+	dirty := 0
+	var rebuilt []bool
+	for c, sc := range e.comps {
+		if sc.eng.rebuilds.Load() > before[c] {
+			if rebuilt == nil {
+				rebuilt = make([]bool, len(e.comps))
+			}
+			rebuilt[c] = true
+			dirty++
+		}
+	}
+	if dirty == 0 {
+		return
+	}
+	dirtyGroups := 0
+	for _, g := range groups {
+		for _, c := range g {
+			if rebuilt[c] {
+				dirtyGroups++
+				break
+			}
+		}
+	}
+	e.waveDirtyComponents.Store(int64(dirty))
+	e.waveDirtyShards.Store(int64(dirtyGroups))
+	e.skippedComponents.Add(uint64(len(e.comps) - dirty))
+	e.maybeRebalance(groups, rebuilt)
+}
+
+// rebalanceEWMA is the smoothing factor of the per-component rebuild-cost
+// estimate: cost ← 0.7·cost + 0.3·observed. Heavy smoothing so one outlier
+// rebuild (a cold factorization, a GC pause) cannot flip the layout.
+const rebalanceEWMA = 0.7
+
+// maybeRebalance updates the measured per-component rebuild costs from the
+// wave that just finished and re-groups the components across the rebuild
+// shards when a fresh LPT grouping over those costs would cut the estimated
+// critical path of a wave by more than the hysteresis fraction rebTheta.
+// Costs are measured, not static: windowed or decayed moments shifting a
+// component's regime (delta folds turning into full folds, elimination
+// caches missing) show up in its rebuild durations and eventually in the
+// layout. Regrouping moves no component state — accumulators, cached
+// factorizations and elimination caches stay put; only the shard assignment
+// changes — so results and Checkpoint bytes are identical to a
+// never-rebalanced engine.
+func (e *ShardedEngine) maybeRebalance(groups [][]int, rebuilt []bool) {
+	if e.rebTheta < 0 || len(groups) >= len(e.comps) || len(groups) < 2 {
+		return
+	}
+	e.rebMu.Lock()
+	defer e.rebMu.Unlock()
+	for c, sc := range e.comps {
+		last := float64(sc.eng.lastRebuildNano.Load())
+		if last <= 0 {
+			continue
+		}
+		switch {
+		case e.rebCost[c] == 0:
+			// First measurement (or one recorded before tracking began).
+			e.rebCost[c] = last
+		case rebuilt[c]:
+			e.rebCost[c] = rebalanceEWMA*e.rebCost[c] + (1-rebalanceEWMA)*last
+		}
+	}
+	for _, w := range e.rebCost {
+		if w == 0 {
+			return // rebalance only once every component has a measured cost
+		}
+	}
+	cand := lptGroups(e.rebCost, len(groups))
+	if maxGroupCost(cand, e.rebCost)*(1+e.rebTheta) < maxGroupCost(groups, e.rebCost) {
+		e.groups.Store(&cand)
+		e.rebalances.Add(1)
+	}
+}
+
+// lptGroups is longest-processing-time grouping over measured costs:
+// components in descending cost order (ties by index) each join the
+// currently lightest group (ties by group index). The same deterministic
+// heuristic as topology.Partition.Shards, but over observed rebuild
+// durations instead of static pair counts.
+func lptGroups(cost []float64, k int) [][]int {
+	order := make([]int, len(cost))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool { return cost[order[a]] > cost[order[b]] })
+	groups := make([][]int, k)
+	load := make([]float64, k)
+	for _, c := range order {
+		g := 0
+		for i := 1; i < k; i++ {
+			if load[i] < load[g] {
+				g = i
+			}
+		}
+		groups[g] = append(groups[g], c)
+		load[g] += cost[c]
+	}
+	return groups
+}
+
+// maxGroupCost is the estimated critical path of one rebuild wave under a
+// grouping: the heaviest group's total cost — components within a group
+// run sequentially, groups run concurrently.
+func maxGroupCost(groups [][]int, cost []float64) float64 {
+	m := 0.0
+	for _, g := range groups {
+		t := 0.0
+		for _, c := range g {
+			t += cost[c]
+		}
+		if t > m {
+			m = t
+		}
+	}
+	return m
 }
 
 // forEachComponent is the all-or-nothing variant of runComponents: any
@@ -531,16 +787,24 @@ func (e *ShardedEngine) CheckIdentifiable() error {
 // sharded rebuild — and the degradation surface reports componentwise:
 // Degraded is true while any component is unhealthy, DegradedComponents
 // counts them, LastError/LastFailure carry the most recent component
-// failure, and StateAge is the stalest served component state. Use
+// failure, and StateAge is the stalest served component state. The
+// steady-state surface reads componentwise too: DeltaRebuilds sums the
+// per-component incremental RHS folds, DirtyComponents/DirtyShards describe
+// the most recent wave that rebuilt anything, and SkippedComponents counts
+// the lifetime Phase-1 solves avoided on untouched components. Use
 // ComponentStats for the per-component breakdown.
 func (e *ShardedEngine) Stats() Stats {
 	s := Stats{
-		Snapshots:  int(e.epoch.Load()),
-		StateEpoch: -1,
-		Window:     e.window,
-		Decay:      e.decay,
-		Shards:     len(e.shards),
-		Components: len(e.comps),
+		Snapshots:         int(e.epoch.Load()),
+		StateEpoch:        -1,
+		Window:            e.window,
+		Decay:             e.decay,
+		Shards:            e.NumShards(),
+		Components:        len(e.comps),
+		DirtyComponents:   int(e.waveDirtyComponents.Load()),
+		DirtyShards:       int(e.waveDirtyShards.Load()),
+		SkippedComponents: e.skippedComponents.Load(),
+		Rebalances:        e.rebalances.Load(),
 	}
 	oldest := -1
 	var last time.Duration
@@ -549,6 +813,7 @@ func (e *ShardedEngine) Stats() Stats {
 		s.Rebuilds += cs.Rebuilds
 		s.ElimReuses += cs.ElimReuses
 		s.RebuildFailures += cs.RebuildFailures
+		s.DeltaRebuilds += cs.DeltaRebuilds
 		if componentUnhealthy(cs) {
 			s.DegradedComponents++
 		}
